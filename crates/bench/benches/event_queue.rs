@@ -1,0 +1,66 @@
+//! Micro-benchmark: the discrete-event queue (ablation for DESIGN.md's
+//! integer-time/total-order decision). Event throughput bounds the whole
+//! simulator: the paper notes "the simulation is bottlenecked at
+//! per-packet event processing".
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use hypatia_netsim::event::{Event, EventQueue};
+use hypatia_util::SimTime;
+use std::hint::black_box;
+
+fn bench_event_queue(c: &mut Criterion) {
+    let mut group = c.benchmark_group("event_queue");
+
+    group.bench_function("schedule_pop_10k_fifo", |b| {
+        b.iter_batched(
+            EventQueue::new,
+            |mut q| {
+                for i in 0..10_000u64 {
+                    q.schedule(SimTime::from_nanos(i * 100), Event::ForwardingUpdate { step: i });
+                }
+                while let Some(e) = q.pop() {
+                    black_box(e);
+                }
+            },
+            BatchSize::SmallInput,
+        )
+    });
+
+    group.bench_function("schedule_pop_10k_reverse", |b| {
+        b.iter_batched(
+            EventQueue::new,
+            |mut q| {
+                for i in 0..10_000u64 {
+                    q.schedule(
+                        SimTime::from_nanos((10_000 - i) * 100),
+                        Event::ForwardingUpdate { step: i },
+                    );
+                }
+                while let Some(e) = q.pop() {
+                    black_box(e);
+                }
+            },
+            BatchSize::SmallInput,
+        )
+    });
+
+    group.bench_function("interleaved_steady_state", |b| {
+        // Steady-state pattern of a running simulation: pop one, push one.
+        let mut q = EventQueue::new();
+        for i in 0..1_000u64 {
+            q.schedule(SimTime::from_nanos(i * 1_000), Event::ForwardingUpdate { step: i });
+        }
+        let mut t = 1_000_000u64;
+        b.iter(|| {
+            let (at, e) = q.pop().expect("queue kept warm");
+            black_box((at, e));
+            q.schedule(SimTime::from_nanos(t), Event::ForwardingUpdate { step: 0 });
+            t += 1_000;
+        })
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_event_queue);
+criterion_main!(benches);

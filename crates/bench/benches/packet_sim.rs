@@ -1,0 +1,88 @@
+//! Macro-benchmark: end-to-end packet simulation throughput (events/s) —
+//! the Rust analogue of the paper's Fig. 2 cost model, in Criterion form.
+//! UDP and TCP single-flow runs over a reduced Kuiper-like shell.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use hypatia_constellation::ground::GroundStation;
+use hypatia_constellation::gsl::GslConfig;
+use hypatia_constellation::isl::IslLayout;
+use hypatia_constellation::shell::ShellSpec;
+use hypatia_constellation::Constellation;
+use hypatia_netsim::apps::{UdpSink, UdpSource};
+use hypatia_netsim::{SimConfig, Simulator};
+use hypatia_transport::{NewReno, TcpConfig, TcpSender, TcpSink};
+use hypatia_util::{DataRate, SimTime};
+use std::hint::black_box;
+use std::sync::Arc;
+
+fn constellation() -> Arc<Constellation> {
+    Arc::new(Constellation::build(
+        "bench",
+        vec![ShellSpec::new("K", 630.0, 12, 12, 51.9)],
+        IslLayout::PlusGrid,
+        vec![
+            GroundStation::new("a", 10.0, 10.0),
+            GroundStation::new("b", -5.0, 60.0),
+        ],
+        GslConfig::new(10.0),
+    ))
+}
+
+fn bench_packet_sim(c: &mut Criterion) {
+    let mut group = c.benchmark_group("packet_sim");
+    group.sample_size(10);
+
+    let constellation = constellation();
+
+    group.bench_function("udp_flow_2s_10mbps", |b| {
+        b.iter(|| {
+            let cst = constellation.clone();
+            let (src, dst) = (cst.gs_node(0), cst.gs_node(1));
+            let mut sim = Simulator::new(
+                cst,
+                SimConfig::default().with_link_rate(DataRate::from_mbps(10)),
+                vec![src, dst],
+            );
+            sim.add_app(dst, 50, Box::new(UdpSink::new()));
+            sim.add_app(
+                src,
+                50,
+                Box::new(UdpSource::new(
+                    dst,
+                    0,
+                    DataRate::from_mbps(10),
+                    1440,
+                    SimTime::from_secs(2),
+                )),
+            );
+            sim.run_until(SimTime::from_secs(2));
+            black_box(sim.stats.events)
+        })
+    });
+
+    group.bench_function("tcp_flow_2s_10mbps", |b| {
+        b.iter(|| {
+            let cst = constellation.clone();
+            let (src, dst) = (cst.gs_node(0), cst.gs_node(1));
+            let mut sim = Simulator::new(
+                cst,
+                SimConfig::default().with_link_rate(DataRate::from_mbps(10)),
+                vec![src, dst],
+            );
+            let cfg = TcpConfig::default();
+            sim.add_app(dst, 80, Box::new(TcpSink::new(cfg.clone())));
+            sim.add_app(
+                src,
+                70,
+                Box::new(TcpSender::new(dst, 80, cfg, Box::new(NewReno::new()))),
+            );
+            sim.run_until(SimTime::from_secs(2));
+            black_box(sim.stats.events)
+        })
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_packet_sim);
+criterion_main!(benches);

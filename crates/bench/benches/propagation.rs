@@ -1,0 +1,73 @@
+//! Micro-benchmark / ablation: per-packet live-geometry delay vs a static
+//! delay (DESIGN.md §4). The paper's simulator computes every hop's
+//! propagation delay from satellite motion at transmit time; this measures
+//! the cost of that fidelity choice — orbit propagation + frame rotation
+//! per query.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use hypatia_constellation::ground::top_cities;
+use hypatia_constellation::presets;
+use hypatia_constellation::NodeId;
+use hypatia_orbit::kepler::KeplerianElements;
+use hypatia_orbit::propagate::Propagator;
+use hypatia_util::SimTime;
+use std::hint::black_box;
+
+fn bench_propagation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("propagation");
+
+    let el = KeplerianElements::circular(630.0, 51.9, 73.0, 211.0);
+    let two_body = Propagator::two_body(el);
+    let j2 = Propagator::j2(el);
+
+    group.bench_function("two_body_position", |b| {
+        let mut t = 0u64;
+        b.iter(|| {
+            t += 1;
+            black_box(two_body.position_at(SimTime::from_millis(t)))
+        })
+    });
+
+    group.bench_function("j2_position", |b| {
+        let mut t = 0u64;
+        b.iter(|| {
+            t += 1;
+            black_box(j2.position_at(SimTime::from_millis(t)))
+        })
+    });
+
+    // The simulator's actual hot call: node-to-node distance at `now`.
+    let constellation = presets::kuiper_k1(top_cities(10));
+    let (a, b_node) = constellation.isls[123];
+    group.bench_function("live_isl_distance", |b| {
+        let mut t = 0u64;
+        b.iter(|| {
+            t += 1;
+            black_box(constellation.distance_km(
+                NodeId(a),
+                NodeId(b_node),
+                SimTime::from_millis(t),
+            ))
+        })
+    });
+
+    // The static alternative: one precomputed snapshot lookup.
+    let positions = constellation.positions_at(SimTime::ZERO);
+    group.bench_function("static_distance_lookup", |b| {
+        b.iter(|| black_box(positions[a as usize].distance(positions[b_node as usize])))
+    });
+
+    // Whole-constellation snapshot (the per-time-step cost of routing).
+    group.bench_function("positions_snapshot_kuiper_k1", |b| {
+        let mut t = 0u64;
+        b.iter(|| {
+            t += 100;
+            black_box(constellation.positions_at(SimTime::from_millis(t)))
+        })
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_propagation);
+criterion_main!(benches);

@@ -1,0 +1,64 @@
+//! Micro-benchmark / ablation: per-destination Dijkstra vs the paper's
+//! Floyd–Warshall for forwarding-state computation (DESIGN.md §4).
+//!
+//! On constellation-scale graphs Dijkstra-per-destination wins by orders
+//! of magnitude while producing identical state (property-tested in
+//! `hypatia-routing`); Floyd–Warshall is benchmarked on a reduced shell —
+//! O(n³) at n = 1256 would dominate the whole suite.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use hypatia_constellation::ground::top_cities;
+use hypatia_constellation::gsl::GslConfig;
+use hypatia_constellation::isl::IslLayout;
+use hypatia_constellation::shell::ShellSpec;
+use hypatia_constellation::Constellation;
+use hypatia_routing::dijkstra::shortest_path_tree;
+use hypatia_routing::floyd_warshall::floyd_warshall;
+use hypatia_routing::graph::DelayGraph;
+use hypatia_util::SimTime;
+use std::hint::black_box;
+
+fn kuiper_like(orbits: u32, per: u32, cities: usize) -> Constellation {
+    Constellation::build(
+        "bench",
+        vec![ShellSpec::new("K", 630.0, orbits, per, 51.9)],
+        IslLayout::PlusGrid,
+        top_cities(cities),
+        GslConfig::new(30.0),
+    )
+}
+
+fn bench_routing(c: &mut Criterion) {
+    let mut group = c.benchmark_group("routing");
+    group.sample_size(10);
+
+    // Full Kuiper K1 scale for the production path.
+    let full = kuiper_like(34, 34, 100);
+    let graph_full = DelayGraph::snapshot(&full, SimTime::ZERO);
+    group.bench_function("snapshot_graph_kuiper_k1", |b| {
+        b.iter(|| black_box(DelayGraph::snapshot(&full, SimTime::from_secs(30))))
+    });
+    group.bench_function("dijkstra_one_dest_kuiper_k1", |b| {
+        let dst = full.gs_node(0).0;
+        b.iter(|| black_box(shortest_path_tree(&graph_full, dst)))
+    });
+
+    // Reduced shell where Floyd–Warshall is feasible: same result, other cost.
+    let small = kuiper_like(8, 8, 10);
+    let graph_small = DelayGraph::snapshot(&small, SimTime::ZERO);
+    group.bench_function("dijkstra_all_dests_8x8", |b| {
+        b.iter(|| {
+            for gs in 0..small.num_ground_stations() {
+                black_box(shortest_path_tree(&graph_small, small.gs_node(gs).0));
+            }
+        })
+    });
+    group.bench_function("floyd_warshall_8x8", |b| {
+        b.iter(|| black_box(floyd_warshall(&graph_small)))
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_routing);
+criterion_main!(benches);

@@ -1,0 +1,142 @@
+//! Shared plumbing for the figure-regeneration binaries.
+//!
+//! Every binary accepts:
+//!
+//! * `--full` — run at the paper's parameters (200 s horizons, 100 ms
+//!   granularity, 100 cities). Without it, a reduced-scale run that
+//!   preserves the qualitative result finishes in minutes on one core.
+//! * `--out <dir>` — where to write gnuplot-ready data files (default
+//!   `results/`).
+
+use std::path::PathBuf;
+
+/// Parsed common CLI options.
+#[derive(Debug, Clone)]
+pub struct BenchArgs {
+    /// Paper-scale parameters requested?
+    pub full: bool,
+    /// Output directory for series files.
+    pub out_dir: PathBuf,
+}
+
+impl BenchArgs {
+    /// Parse from `std::env::args`.
+    pub fn parse() -> BenchArgs {
+        let mut full = false;
+        let mut out_dir = PathBuf::from("results");
+        let mut args = std::env::args().skip(1);
+        while let Some(a) = args.next() {
+            match a.as_str() {
+                "--full" => full = true,
+                "--out" => {
+                    out_dir = PathBuf::from(
+                        args.next().expect("--out requires a directory argument"),
+                    );
+                }
+                "--help" | "-h" => {
+                    eprintln!("options: [--full] [--out <dir>]");
+                    std::process::exit(0);
+                }
+                other => panic!("unknown argument: {other}"),
+            }
+        }
+        BenchArgs { full, out_dir }
+    }
+
+    /// Banner for the scale in use.
+    pub fn scale_note(&self) -> &'static str {
+        if self.full {
+            "scale: FULL (paper parameters)"
+        } else {
+            "scale: reduced (pass --full for paper parameters)"
+        }
+    }
+
+    /// Write a two-column series under the output directory.
+    pub fn write_series(&self, name: &str, header: &str, points: &[(f64, f64)]) {
+        let path = self.out_dir.join(name);
+        hypatia_viz::csv::write_series(&path, header, points)
+            .unwrap_or_else(|e| panic!("writing {}: {e}", path.display()));
+        println!("  wrote {}", path.display());
+    }
+
+    /// Write arbitrary text (JSON/CZML documents, ASCII art) under the
+    /// output directory.
+    pub fn write_text(&self, name: &str, content: &str) {
+        let path = self.out_dir.join(name);
+        if let Some(parent) = path.parent() {
+            std::fs::create_dir_all(parent).expect("create output dir");
+        }
+        std::fs::write(&path, content)
+            .unwrap_or_else(|e| panic!("writing {}: {e}", path.display()));
+        println!("  wrote {}", path.display());
+    }
+}
+
+/// The three-constellation pair sweep shared by Figs. 6, 7 and 8.
+///
+/// Returns `(constellation name, per-pair statistics)` for Telesat T1,
+/// Kuiper K1 and Starlink S1 — the paper's comparison set.
+pub fn three_constellation_sweep(
+    args: &BenchArgs,
+) -> Vec<(&'static str, Vec<hypatia::experiments::pair_sweep::PairStats>)> {
+    use hypatia::experiments::pair_sweep::{run, PairSweepConfig};
+    use hypatia::scenario::ConstellationChoice;
+    use hypatia_constellation::ground::top_cities;
+    use hypatia_util::SimDuration;
+
+    let (cities, cfg) = if args.full {
+        (
+            100,
+            PairSweepConfig {
+                duration: SimDuration::from_secs(200),
+                step: SimDuration::from_millis(100),
+                min_pair_distance_km: 500.0,
+            },
+        )
+    } else {
+        (
+            40,
+            PairSweepConfig {
+                duration: SimDuration::from_secs(200),
+                step: SimDuration::from_millis(500),
+                min_pair_distance_km: 500.0,
+            },
+        )
+    };
+
+    let choices = [
+        ("Telesat T1", ConstellationChoice::TelesatT1),
+        ("Kuiper K1", ConstellationChoice::KuiperK1),
+        ("Starlink S1", ConstellationChoice::StarlinkS1),
+    ];
+    choices
+        .into_iter()
+        .map(|(name, choice)| {
+            eprintln!("  sweeping {name} ({cities} cities)...");
+            let c = choice.build(top_cities(cities));
+            (name, run(&c, &cfg))
+        })
+        .collect()
+}
+
+/// Print a figure banner.
+pub fn banner(figure: &str, title: &str, args: &BenchArgs) {
+    println!("==============================================================");
+    println!("{figure}: {title}");
+    println!("{}", args.scale_note());
+    println!("==============================================================");
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scale_notes() {
+        let a = BenchArgs { full: false, out_dir: PathBuf::from("results") };
+        assert!(a.scale_note().contains("reduced"));
+        let b = BenchArgs { full: true, out_dir: PathBuf::from("x") };
+        assert!(b.scale_note().contains("FULL"));
+    }
+}

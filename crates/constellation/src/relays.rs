@@ -1,0 +1,129 @@
+//! Ground-relay grids for bent-pipe connectivity (paper Appendix A).
+//!
+//! Constellations without ISLs route long-distance traffic up and down
+//! through chains of ground stations ("bent pipe"). For the Paris–Moscow
+//! experiment the paper adds "a grid of ground stations between Paris and
+//! Moscow such that there are multiple relays that can be chosen from".
+
+use crate::ground::GroundStation;
+
+/// Generate a lat/lon grid of candidate relay ground stations covering the
+/// bounding box of `a` and `b`, expanded by `margin_deg` on every side,
+/// with `spacing_deg` between grid points.
+///
+/// Relays are named `relay-<row>-<col>`. The two endpoints themselves are
+/// *not* included. Longitude handling assumes the pair does not straddle
+/// the antimeridian (true for all the paper's pairs; assert enforces it).
+pub fn relay_grid(
+    a: &GroundStation,
+    b: &GroundStation,
+    spacing_deg: f64,
+    margin_deg: f64,
+) -> Vec<GroundStation> {
+    assert!(spacing_deg > 0.0, "spacing must be positive");
+    assert!(margin_deg >= 0.0, "margin cannot be negative");
+    assert!(
+        (a.longitude_deg - b.longitude_deg).abs() <= 180.0,
+        "relay_grid does not handle antimeridian-crossing pairs"
+    );
+
+    let lat_min = (a.latitude_deg.min(b.latitude_deg) - margin_deg).max(-89.0);
+    let lat_max = (a.latitude_deg.max(b.latitude_deg) + margin_deg).min(89.0);
+    let lon_min = a.longitude_deg.min(b.longitude_deg) - margin_deg;
+    let lon_max = a.longitude_deg.max(b.longitude_deg) + margin_deg;
+
+    let mut out = Vec::new();
+    let mut row = 0u32;
+    let mut lat = lat_min;
+    while lat <= lat_max + 1e-9 {
+        let mut col = 0u32;
+        let mut lon = lon_min;
+        while lon <= lon_max + 1e-9 {
+            out.push(GroundStation::new(format!("relay-{row}-{col}"), lat, lon));
+            lon += spacing_deg;
+            col += 1;
+        }
+        lat += spacing_deg;
+        row += 1;
+    }
+    out
+}
+
+/// The ground segment for a bent-pipe experiment: `[src, dst, relays...]`.
+/// Source is GS index 0, destination index 1.
+pub fn bent_pipe_ground_segment(
+    src: GroundStation,
+    dst: GroundStation,
+    spacing_deg: f64,
+    margin_deg: f64,
+) -> Vec<GroundStation> {
+    let relays = relay_grid(&src, &dst, spacing_deg, margin_deg);
+    let mut out = Vec::with_capacity(relays.len() + 2);
+    out.push(src);
+    out.push(dst);
+    out.extend(relays);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn paris() -> GroundStation {
+        GroundStation::new("Paris", 48.8566, 2.3522)
+    }
+    fn moscow() -> GroundStation {
+        GroundStation::new("Moscow", 55.7558, 37.6173)
+    }
+
+    #[test]
+    fn grid_covers_bounding_box() {
+        let relays = relay_grid(&paris(), &moscow(), 5.0, 2.0);
+        assert!(!relays.is_empty());
+        for r in &relays {
+            assert!(r.latitude_deg >= 46.8 - 1e-9 && r.latitude_deg <= 57.8 + 1e-9);
+            assert!(r.longitude_deg >= 0.35 - 1e-9 && r.longitude_deg <= 39.7 + 1e-9);
+        }
+    }
+
+    #[test]
+    fn grid_density_scales_with_spacing() {
+        let coarse = relay_grid(&paris(), &moscow(), 10.0, 0.0).len();
+        let fine = relay_grid(&paris(), &moscow(), 2.5, 0.0).len();
+        assert!(fine > 4 * coarse, "coarse {coarse}, fine {fine}");
+    }
+
+    #[test]
+    fn relay_names_unique() {
+        let relays = relay_grid(&paris(), &moscow(), 4.0, 3.0);
+        let mut names: Vec<&str> = relays.iter().map(|r| r.name.as_str()).collect();
+        let before = names.len();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), before);
+    }
+
+    #[test]
+    fn ground_segment_puts_endpoints_first() {
+        let seg = bent_pipe_ground_segment(paris(), moscow(), 5.0, 2.0);
+        assert_eq!(seg[0].name, "Paris");
+        assert_eq!(seg[1].name, "Moscow");
+        assert!(seg.len() > 10);
+    }
+
+    #[test]
+    fn grid_clamps_polar_latitudes() {
+        let a = GroundStation::new("A", 86.0, 0.0);
+        let b = GroundStation::new("B", 80.0, 10.0);
+        let relays = relay_grid(&a, &b, 2.0, 10.0);
+        assert!(relays.iter().all(|r| r.latitude_deg <= 89.0));
+    }
+
+    #[test]
+    #[should_panic]
+    fn antimeridian_pair_rejected() {
+        let tokyo = GroundStation::new("Tokyo", 35.7, 139.7);
+        let la = GroundStation::new("LA", 34.05, -118.24);
+        relay_grid(&tokyo, &la, 5.0, 2.0);
+    }
+}

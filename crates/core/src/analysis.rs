@@ -1,0 +1,85 @@
+//! Distribution analysis shared by the figure harness.
+//!
+//! Thin, well-tested wrappers over [`hypatia_viz::csv`]'s ECDF machinery
+//! plus summary statistics used in `EXPERIMENTS.md` reporting.
+
+pub use hypatia_viz::csv::{ecdf, fraction_where, percentile};
+
+/// Summary statistics of a sample.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Summary {
+    /// Sample count (finite values only).
+    pub n: usize,
+    /// Minimum.
+    pub min: f64,
+    /// Median (nearest rank).
+    pub median: f64,
+    /// Mean.
+    pub mean: f64,
+    /// 90th percentile.
+    pub p90: f64,
+    /// Maximum.
+    pub max: f64,
+}
+
+/// Summarize a sample; `None` when no finite values exist.
+pub fn summarize(values: &[f64]) -> Option<Summary> {
+    let finite: Vec<f64> = values.iter().copied().filter(|v| v.is_finite()).collect();
+    if finite.is_empty() {
+        return None;
+    }
+    let n = finite.len();
+    let mean = finite.iter().sum::<f64>() / n as f64;
+    Some(Summary {
+        n,
+        min: percentile(&finite, 0.0)?,
+        median: percentile(&finite, 50.0)?,
+        mean,
+        p90: percentile(&finite, 90.0)?,
+        max: percentile(&finite, 100.0)?,
+    })
+}
+
+/// Format a [`Summary`] as a compact table row.
+pub fn summary_row(label: &str, s: &Summary) -> String {
+    format!(
+        "{label:<32} n={:<6} min={:<10.3} med={:<10.3} mean={:<10.3} p90={:<10.3} max={:.3}",
+        s.n, s.min, s.median, s.mean, s.p90, s.max
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn summarize_basic() {
+        let s = summarize(&[1.0, 2.0, 3.0, 4.0, 5.0]).unwrap();
+        assert_eq!(s.n, 5);
+        assert_eq!(s.min, 1.0);
+        assert_eq!(s.median, 3.0);
+        assert_eq!(s.mean, 3.0);
+        assert_eq!(s.max, 5.0);
+    }
+
+    #[test]
+    fn summarize_skips_nan() {
+        let s = summarize(&[f64::NAN, 2.0, 4.0]).unwrap();
+        assert_eq!(s.n, 2);
+        assert_eq!(s.mean, 3.0);
+    }
+
+    #[test]
+    fn summarize_empty_is_none() {
+        assert!(summarize(&[]).is_none());
+        assert!(summarize(&[f64::NAN]).is_none());
+    }
+
+    #[test]
+    fn row_formats() {
+        let s = summarize(&[1.0, 2.0]).unwrap();
+        let row = summary_row("test", &s);
+        assert!(row.starts_with("test"));
+        assert!(row.contains("n=2"));
+    }
+}

@@ -1,0 +1,25 @@
+//! Canned, parameterized runners for every experiment in the paper.
+//!
+//! Each module maps to a figure/table of the evaluation (the full index
+//! lives in `DESIGN.md`); the `hypatia-bench` crate wraps these in binaries
+//! that print the same rows/series the paper plots.
+//!
+//! | Module | Paper artefacts |
+//! |---|---|
+//! | [`scalability`] | Fig. 2 |
+//! | [`rtt_fluctuations`] | Fig. 3 |
+//! | [`tcp_single`] | Figs. 4, 5 |
+//! | [`pair_sweep`] | Figs. 6, 7, 8 |
+//! | [`granularity`] | Fig. 9 |
+//! | [`cross_traffic`] | Figs. 10, 14, 15 |
+//! | [`bent_pipe`] | Figs. 16–19 (Appendix A) |
+//! | [`gsl_selection`] | ablation: gateway vs user-terminal GSL policy (§3.1) |
+
+pub mod bent_pipe;
+pub mod cross_traffic;
+pub mod granularity;
+pub mod gsl_selection;
+pub mod pair_sweep;
+pub mod rtt_fluctuations;
+pub mod scalability;
+pub mod tcp_single;

@@ -1,0 +1,192 @@
+//! Fig. 2 — simulator scalability: slowdown vs achieved goodput.
+//!
+//! The paper's workload: Kuiper K1, the 100 most populous cities as GSes,
+//! a random permutation traffic matrix, and either long-running TCP flows
+//! or line-rate paced UDP; the line rate is swept to control goodput.
+//! "Slowdown" is wall-clock seconds per simulated second. Absolute numbers
+//! depend on the host (the paper used a 2.26 GHz Xeon L5520 core); the
+//! reproducible shape is slowdown growing ∝ goodput, with TCP costing
+//! roughly 2× UDP per delivered byte.
+
+use crate::scenario::Scenario;
+use hypatia_netsim::apps::{UdpSink, UdpSource};
+use hypatia_transport::{NewReno, TcpConfig, TcpSender, TcpSink};
+use hypatia_util::{DataRate, SimDuration, SimTime};
+use std::time::Instant;
+
+/// Workload type.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Workload {
+    /// Long-running TCP (NewReno) flows.
+    Tcp,
+    /// Line-rate paced UDP.
+    Udp,
+}
+
+impl Workload {
+    /// Display name.
+    pub fn name(self) -> &'static str {
+        match self {
+            Workload::Tcp => "TCP",
+            Workload::Udp => "UDP",
+        }
+    }
+}
+
+/// One measured point of Fig. 2.
+#[derive(Debug, Clone)]
+pub struct ScalabilityPoint {
+    /// Workload type.
+    pub workload: Workload,
+    /// Line rate used.
+    pub line_rate: DataRate,
+    /// Network-wide goodput achieved, Gbit/s.
+    pub goodput_gbps: f64,
+    /// Wall-clock seconds per simulated second.
+    pub slowdown: f64,
+    /// Events processed.
+    pub events: u64,
+}
+
+/// Run one scalability point: permutation traffic at `line_rate` for
+/// `virtual_duration` simulated seconds, measuring wall time.
+pub fn run_point(
+    scenario: &Scenario,
+    workload: Workload,
+    line_rate: DataRate,
+    virtual_duration: SimDuration,
+    seed: u64,
+) -> ScalabilityPoint {
+    let pairs = scenario.permutation_pairs(seed);
+    let mut sim_config = scenario.sim_config.clone();
+    sim_config.link_rate = line_rate;
+
+    let mut dests: Vec<_> = (0..scenario.constellation.num_ground_stations())
+        .map(|i| scenario.gs(i))
+        .collect();
+    dests.sort_unstable_by_key(|n| n.0);
+
+    let mut sim = hypatia_netsim::Simulator::new(
+        scenario.constellation.clone(),
+        sim_config,
+        dests,
+    );
+
+    let stop = SimTime::ZERO + virtual_duration;
+    match workload {
+        Workload::Udp => {
+            for (i, &(s, d)) in pairs.iter().enumerate() {
+                let (src, dst) = (scenario.gs(s), scenario.gs(d));
+                sim.add_app(dst, 40_000 + i as u16, Box::new(UdpSink::new()));
+                sim.add_app(
+                    src,
+                    20_000 + i as u16,
+                    Box::new(UdpSource::new(dst, i as u32, line_rate, 1440, stop)),
+                );
+            }
+        }
+        Workload::Tcp => {
+            let cfg = TcpConfig::default();
+            for (i, &(s, d)) in pairs.iter().enumerate() {
+                let (src, dst) = (scenario.gs(s), scenario.gs(d));
+                sim.add_app(dst, 40_000 + i as u16, Box::new(TcpSink::new(cfg.clone())));
+                sim.add_app(
+                    src,
+                    20_000 + i as u16,
+                    Box::new(TcpSender::new(
+                        dst,
+                        40_000 + i as u16,
+                        cfg.clone(),
+                        Box::new(NewReno::new()),
+                    )),
+                );
+            }
+        }
+    }
+
+    let wall_start = Instant::now();
+    sim.run_until(stop);
+    let wall = wall_start.elapsed().as_secs_f64();
+
+    let goodput_gbps =
+        sim.stats.payload_bytes_delivered as f64 * 8.0 / virtual_duration.secs_f64() / 1e9;
+    ScalabilityPoint {
+        workload,
+        line_rate,
+        goodput_gbps,
+        slowdown: wall / virtual_duration.secs_f64(),
+        events: sim.stats.events,
+    }
+}
+
+/// Sweep line rates for one workload (the full Fig. 2 series).
+pub fn sweep(
+    scenario: &Scenario,
+    workload: Workload,
+    line_rates: &[DataRate],
+    virtual_duration: SimDuration,
+    seed: u64,
+) -> Vec<ScalabilityPoint> {
+    line_rates
+        .iter()
+        .map(|&r| run_point(scenario, workload, r, virtual_duration, seed))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scenario::{ConstellationChoice, ScenarioBuilder};
+
+    fn scenario() -> Scenario {
+        ScenarioBuilder::new(ConstellationChoice::KuiperK1).top_cities(10).build()
+    }
+
+    #[test]
+    fn udp_point_achieves_goodput() {
+        let s = scenario();
+        let p = run_point(
+            &s,
+            Workload::Udp,
+            DataRate::from_mbps(1),
+            SimDuration::from_secs(2),
+            3,
+        );
+        // 10 flows at ≤1 Mbps each.
+        assert!(p.goodput_gbps > 0.0005, "goodput {} Gbps", p.goodput_gbps);
+        assert!(p.goodput_gbps < 0.011);
+        assert!(p.slowdown > 0.0);
+        assert!(p.events > 1000);
+    }
+
+    #[test]
+    fn tcp_point_achieves_goodput() {
+        let s = scenario();
+        let p = run_point(
+            &s,
+            Workload::Tcp,
+            DataRate::from_mbps(1),
+            SimDuration::from_secs(2),
+            3,
+        );
+        assert!(p.goodput_gbps > 0.0002, "goodput {} Gbps", p.goodput_gbps);
+    }
+
+    #[test]
+    fn goodput_scales_with_line_rate() {
+        let s = scenario();
+        let points = sweep(
+            &s,
+            Workload::Udp,
+            &[DataRate::from_kbps(256), DataRate::from_mbps(2)],
+            SimDuration::from_secs(2),
+            3,
+        );
+        assert!(
+            points[1].goodput_gbps > 3.0 * points[0].goodput_gbps,
+            "{} vs {}",
+            points[1].goodput_gbps,
+            points[0].goodput_gbps
+        );
+    }
+}

@@ -1,0 +1,122 @@
+//! The application interface.
+//!
+//! Applications (ping sources, UDP sources/sinks, TCP endpoints) attach to
+//! a node and a port. Handlers receive an [`AppCtx`] that *buffers* actions
+//! (packet sends, timers) which the simulator applies after the handler
+//! returns — this keeps the borrow structure simple and the event order
+//! deterministic.
+//!
+//! Timers cannot be cancelled; an application that needs cancellation
+//! encodes a generation counter into `timer_id` and ignores stale firings
+//! (this is how the TCP retransmission timer is built).
+
+use crate::packet::{Packet, Payload};
+use hypatia_constellation::NodeId;
+use hypatia_util::{SimDuration, SimTime};
+
+/// A buffered application action.
+#[derive(Debug, Clone)]
+pub enum AppAction {
+    /// Send a packet from this app's node/port.
+    Send {
+        /// Destination node.
+        dst: NodeId,
+        /// Destination port.
+        dst_port: u16,
+        /// Wire size, bytes.
+        size_bytes: u32,
+        /// Payload.
+        payload: Payload,
+    },
+    /// Request an [`Application::on_timer`] callback after `delay`.
+    Timer {
+        /// Relative delay.
+        delay: SimDuration,
+        /// Application-chosen id, echoed back on firing.
+        timer_id: u64,
+    },
+}
+
+/// Handler context: the current time, the app's own address, and the action
+/// buffer.
+#[derive(Debug)]
+pub struct AppCtx {
+    /// Current simulation time.
+    pub now: SimTime,
+    /// The node this application lives on.
+    pub node: NodeId,
+    /// The port this application is bound to.
+    pub port: u16,
+    pub(crate) actions: Vec<AppAction>,
+}
+
+impl AppCtx {
+    /// Create a context (public so application crates can unit-test their
+    /// handlers without a full simulator).
+    pub fn new(now: SimTime, node: NodeId, port: u16) -> Self {
+        AppCtx { now, node, port, actions: Vec::new() }
+    }
+
+    /// Send a packet to `(dst, dst_port)`.
+    pub fn send(&mut self, dst: NodeId, dst_port: u16, size_bytes: u32, payload: Payload) {
+        self.actions.push(AppAction::Send { dst, dst_port, size_bytes, payload });
+    }
+
+    /// Arrange an `on_timer(timer_id)` callback after `delay`.
+    pub fn set_timer(&mut self, delay: SimDuration, timer_id: u64) {
+        self.actions.push(AppAction::Timer { delay, timer_id });
+    }
+
+    /// Drain the buffered actions (used by the simulator and by tests).
+    pub fn take_actions(&mut self) -> Vec<AppAction> {
+        std::mem::take(&mut self.actions)
+    }
+}
+
+/// An application endpoint.
+///
+/// The `as_any` pair enables retrieving a concrete application (and its
+/// recorded results) back from the simulator after a run.
+pub trait Application: 'static {
+    /// Called once when the application is installed (typically sets the
+    /// first timer or sends the first packet).
+    fn on_start(&mut self, ctx: &mut AppCtx);
+
+    /// A packet addressed to this app's `(node, port)` arrived.
+    fn on_packet(&mut self, ctx: &mut AppCtx, packet: &Packet);
+
+    /// A previously-set timer fired.
+    fn on_timer(&mut self, ctx: &mut AppCtx, timer_id: u64);
+
+    /// Downcast support.
+    fn as_any(&self) -> &dyn std::any::Any;
+
+    /// Downcast support (mutable).
+    fn as_any_mut(&mut self) -> &mut dyn std::any::Any;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ctx_buffers_actions_in_order() {
+        let mut ctx = AppCtx::new(SimTime::from_secs(1), NodeId(3), 80);
+        ctx.set_timer(SimDuration::from_millis(10), 42);
+        ctx.send(NodeId(5), 99, 64, Payload::Ping { seq: 0 });
+        let actions = ctx.take_actions();
+        assert_eq!(actions.len(), 2);
+        assert!(matches!(actions[0], AppAction::Timer { timer_id: 42, .. }));
+        assert!(matches!(actions[1], AppAction::Send { dst: NodeId(5), dst_port: 99, .. }));
+        // Buffer is drained.
+        assert!(ctx.take_actions().is_empty());
+    }
+
+    #[test]
+    fn ctx_exposes_identity() {
+        let ctx = AppCtx::new(SimTime::from_millis(7), NodeId(1), 5);
+        assert_eq!(ctx.now, SimTime::from_millis(7));
+        assert_eq!(ctx.node, NodeId(1));
+        assert_eq!(ctx.port, 5);
+    }
+}

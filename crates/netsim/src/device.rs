@@ -1,0 +1,273 @@
+//! Network devices: a drop-tail queue in front of a fixed-rate transmitter.
+//!
+//! Two kinds mirror the paper's model: an **ISL device** is hard-wired to
+//! one peer satellite; a **GSL device** serves *all* of a node's
+//! ground↔satellite traffic through one queue (the paper's default of one
+//! GSL network device per node). Every queued packet records the next hop
+//! chosen when it was enqueued, so forwarding-state changes never reroute
+//! queued packets (lossless handoff semantics).
+
+use crate::packet::Packet;
+use hypatia_constellation::NodeId;
+use hypatia_util::{DataRate, SimDuration, SimTime};
+use std::collections::VecDeque;
+
+/// What the device is attached to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DeviceKind {
+    /// Inter-satellite link with a fixed peer.
+    Isl {
+        /// The peer satellite node.
+        peer: NodeId,
+    },
+    /// Ground–satellite device (peer chosen per packet).
+    Gsl,
+}
+
+/// A packet sitting in a device queue with its resolved next hop.
+#[derive(Debug, Clone, Copy)]
+pub struct QueuedPacket {
+    /// The packet.
+    pub packet: Packet,
+    /// The next hop assigned at enqueue time.
+    pub next_hop: NodeId,
+}
+
+/// Per-device counters.
+#[derive(Debug, Clone, Default)]
+pub struct DeviceStats {
+    /// Packets fully transmitted.
+    pub packets_tx: u64,
+    /// Bytes fully transmitted.
+    pub bytes_tx: u64,
+    /// Packets dropped because the queue was full.
+    pub drops: u64,
+    /// Cumulative busy (transmitting) time.
+    pub busy: SimDuration,
+    /// Busy time per utilization bucket, when tracking is enabled.
+    pub busy_per_bucket: Vec<SimDuration>,
+}
+
+/// A transmit device.
+#[derive(Debug)]
+pub struct Device {
+    /// ISL or GSL.
+    pub kind: DeviceKind,
+    /// Line rate.
+    pub rate: DataRate,
+    /// Max queued packets (excluding the one in transmission).
+    pub queue_capacity: usize,
+    queue: VecDeque<QueuedPacket>,
+    /// The packet currently being serialized, if any.
+    in_flight: Option<QueuedPacket>,
+    /// Counters.
+    pub stats: DeviceStats,
+    /// Utilization bucket width (None = no tracking).
+    bucket: Option<SimDuration>,
+}
+
+impl Device {
+    /// New idle device.
+    pub fn new(
+        kind: DeviceKind,
+        rate: DataRate,
+        queue_capacity: usize,
+        bucket: Option<SimDuration>,
+    ) -> Self {
+        Device {
+            kind,
+            rate,
+            queue_capacity,
+            queue: VecDeque::new(),
+            in_flight: None,
+            stats: DeviceStats::default(),
+            bucket,
+        }
+    }
+
+    /// Packets waiting (not counting the one in transmission).
+    pub fn queue_len(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// True when the transmitter is serializing a packet.
+    pub fn is_busy(&self) -> bool {
+        self.in_flight.is_some()
+    }
+
+    /// Offer a packet. Returns:
+    /// * `Ok(Some(duration))` — transmitter was idle, transmission started;
+    ///   `TxComplete` must be scheduled after `duration`;
+    /// * `Ok(None)` — queued behind others;
+    /// * `Err(packet)` — dropped, queue full.
+    pub fn enqueue(
+        &mut self,
+        packet: Packet,
+        next_hop: NodeId,
+        now: SimTime,
+    ) -> Result<Option<SimDuration>, Packet> {
+        let qp = QueuedPacket { packet, next_hop };
+        if self.in_flight.is_none() {
+            debug_assert!(self.queue.is_empty(), "idle transmitter with queued packets");
+            Ok(Some(self.start_tx(qp, now)))
+        } else if self.queue.len() < self.queue_capacity {
+            self.queue.push_back(qp);
+            Ok(None)
+        } else {
+            self.stats.drops += 1;
+            Err(packet)
+        }
+    }
+
+    /// Complete the in-flight transmission. Returns the transmitted packet
+    /// (with its next hop) and, if more packets wait, the serialization
+    /// delay of the next one (whose `TxComplete` the caller must schedule).
+    pub fn tx_complete(&mut self, now: SimTime) -> (QueuedPacket, Option<SimDuration>) {
+        let done = self.in_flight.take().expect("tx_complete on idle device");
+        self.stats.packets_tx += 1;
+        self.stats.bytes_tx += done.packet.size_bytes as u64;
+        let next = self.queue.pop_front().map(|qp| self.start_tx(qp, now));
+        (done, next)
+    }
+
+    fn start_tx(&mut self, qp: QueuedPacket, now: SimTime) -> SimDuration {
+        let d = self.rate.serialization_delay(qp.packet.size());
+        self.record_busy(now, d);
+        self.in_flight = Some(qp);
+        d
+    }
+
+    /// Account `d` of busy time starting at `now` into the bucket series.
+    fn record_busy(&mut self, now: SimTime, d: SimDuration) {
+        self.stats.busy += d;
+        let Some(bucket) = self.bucket else { return };
+        // Spread the busy interval across buckets it overlaps.
+        let mut start = now;
+        let mut remaining = d;
+        while !remaining.is_zero() {
+            let idx = (start.nanos() / bucket.nanos()) as usize;
+            if self.stats.busy_per_bucket.len() <= idx {
+                self.stats.busy_per_bucket.resize(idx + 1, SimDuration::ZERO);
+            }
+            let bucket_end = SimTime::from_nanos((idx as u64 + 1) * bucket.nanos());
+            let in_this = remaining.min(bucket_end.since(start));
+            self.stats.busy_per_bucket[idx] += in_this;
+            remaining -= in_this;
+            start += in_this;
+        }
+    }
+
+    /// Utilization (0..=1) of bucket `idx`, if tracked.
+    pub fn utilization(&self, idx: usize) -> Option<f64> {
+        let bucket = self.bucket?;
+        let busy = self.stats.busy_per_bucket.get(idx).copied().unwrap_or(SimDuration::ZERO);
+        Some(busy.secs_f64() / bucket.secs_f64())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::packet::{Packet, Payload};
+
+    fn pkt(id: u64, size: u32) -> Packet {
+        Packet {
+            id,
+            src: NodeId(0),
+            dst: NodeId(1),
+            src_port: 1,
+            dst_port: 2,
+            size_bytes: size,
+            payload: Payload::Ping { seq: id },
+            injected_at: SimTime::ZERO,
+            hops: 0,
+        }
+    }
+
+    fn dev(cap: usize) -> Device {
+        Device::new(DeviceKind::Gsl, DataRate::from_mbps(10), cap, None)
+    }
+
+    #[test]
+    fn idle_device_transmits_immediately() {
+        let mut d = dev(4);
+        let dur = d.enqueue(pkt(1, 1500), NodeId(9), SimTime::ZERO).unwrap();
+        // 1500 B at 10 Mbps = 1.2 ms.
+        assert_eq!(dur, Some(SimDuration::from_micros(1200)));
+        assert!(d.is_busy());
+        assert_eq!(d.queue_len(), 0);
+    }
+
+    #[test]
+    fn busy_device_queues_then_chains() {
+        let mut d = dev(4);
+        let t0 = SimTime::ZERO;
+        assert!(d.enqueue(pkt(1, 1500), NodeId(9), t0).unwrap().is_some());
+        assert_eq!(d.enqueue(pkt(2, 750), NodeId(9), t0).unwrap(), None);
+        assert_eq!(d.queue_len(), 1);
+
+        let t1 = SimTime::from_micros(1200);
+        let (done, next) = d.tx_complete(t1);
+        assert_eq!(done.packet.id, 1);
+        // Next packet (750 B) starts immediately: 0.6 ms.
+        assert_eq!(next, Some(SimDuration::from_micros(600)));
+        assert_eq!(d.queue_len(), 0);
+        assert!(d.is_busy());
+    }
+
+    #[test]
+    fn queue_overflow_drops() {
+        let mut d = dev(2);
+        let t = SimTime::ZERO;
+        assert!(d.enqueue(pkt(1, 100), NodeId(9), t).is_ok()); // in flight
+        assert!(d.enqueue(pkt(2, 100), NodeId(9), t).is_ok()); // queued
+        assert!(d.enqueue(pkt(3, 100), NodeId(9), t).is_ok()); // queued
+        let dropped = d.enqueue(pkt(4, 100), NodeId(9), t).unwrap_err();
+        assert_eq!(dropped.id, 4);
+        assert_eq!(d.stats.drops, 1);
+    }
+
+    #[test]
+    fn stats_count_transmissions() {
+        let mut d = dev(4);
+        d.enqueue(pkt(1, 1000), NodeId(9), SimTime::ZERO).unwrap();
+        let (_, next) = d.tx_complete(SimTime::from_micros(800));
+        assert!(next.is_none());
+        assert_eq!(d.stats.packets_tx, 1);
+        assert_eq!(d.stats.bytes_tx, 1000);
+        assert_eq!(d.stats.busy, SimDuration::from_micros(800));
+    }
+
+    #[test]
+    fn next_hop_preserved_through_queue() {
+        let mut d = dev(4);
+        d.enqueue(pkt(1, 100), NodeId(7), SimTime::ZERO).unwrap();
+        d.enqueue(pkt(2, 100), NodeId(8), SimTime::ZERO).unwrap();
+        let (first, _) = d.tx_complete(SimTime::from_micros(80));
+        assert_eq!(first.next_hop, NodeId(7));
+        let (second, _) = d.tx_complete(SimTime::from_micros(160));
+        assert_eq!(second.next_hop, NodeId(8));
+    }
+
+    #[test]
+    fn utilization_buckets_split_across_boundaries() {
+        let mut d = Device::new(
+            DeviceKind::Gsl,
+            DataRate::from_kbps(8), // 1 B/ms: sizes map to ms directly
+            10,
+            Some(SimDuration::from_millis(10)),
+        );
+        // 15 B at 8 kbps = 15 ms, starting at t = 5 ms: 5 ms in bucket 0,
+        // 10 ms in bucket 1.
+        d.enqueue(pkt(1, 15), NodeId(9), SimTime::from_millis(5)).unwrap();
+        assert!((d.utilization(0).unwrap() - 0.5).abs() < 1e-9);
+        assert!((d.utilization(1).unwrap() - 1.0).abs() < 1e-9);
+        assert_eq!(d.utilization(2).unwrap(), 0.0);
+    }
+
+    #[test]
+    #[should_panic]
+    fn tx_complete_on_idle_panics() {
+        dev(1).tx_complete(SimTime::ZERO);
+    }
+}

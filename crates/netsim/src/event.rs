@@ -1,0 +1,168 @@
+//! The discrete-event queue.
+//!
+//! Events are totally ordered by `(time, insertion sequence)`: two events at
+//! the same instant execute in the order they were scheduled. This, plus
+//! integer timestamps, makes runs bit-reproducible.
+
+use crate::packet::Packet;
+use hypatia_util::SimTime;
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+/// Something that happens at an instant.
+#[derive(Debug, Clone)]
+pub enum Event {
+    /// A device finished serializing its head-of-line packet.
+    TxComplete {
+        /// Owning node index.
+        node: u32,
+        /// Device index within the node.
+        device: u32,
+    },
+    /// A packet arrives at a node (propagation complete).
+    Arrival {
+        /// Receiving node index.
+        node: u32,
+        /// The packet.
+        packet: Packet,
+    },
+    /// Swap in the forwarding state of time-step `step`.
+    ForwardingUpdate {
+        /// Step index (t = step × granularity).
+        step: u64,
+    },
+    /// An application timer fires.
+    AppTimer {
+        /// Application index.
+        app: u32,
+        /// Application-chosen timer id.
+        timer_id: u64,
+    },
+}
+
+#[derive(Debug)]
+struct Scheduled {
+    at: SimTime,
+    seq: u64,
+    event: Event,
+}
+
+// Order by (time, seq) — BinaryHeap is a max-heap so we wrap in Reverse at
+// the call sites; implement Ord accordingly.
+impl PartialEq for Scheduled {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.seq == other.seq
+    }
+}
+impl Eq for Scheduled {}
+impl PartialOrd for Scheduled {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for Scheduled {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        (self.at, self.seq).cmp(&(other.at, other.seq))
+    }
+}
+
+/// The event queue.
+#[derive(Debug, Default)]
+pub struct EventQueue {
+    heap: BinaryHeap<Reverse<Scheduled>>,
+    seq: u64,
+}
+
+impl EventQueue {
+    /// An empty queue.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Schedule `event` at absolute time `at`.
+    pub fn schedule(&mut self, at: SimTime, event: Event) {
+        let seq = self.seq;
+        self.seq += 1;
+        self.heap.push(Reverse(Scheduled { at, seq, event }));
+    }
+
+    /// Pop the next event if any, returning `(time, event)`.
+    pub fn pop(&mut self) -> Option<(SimTime, Event)> {
+        self.heap.pop().map(|Reverse(s)| (s.at, s.event))
+    }
+
+    /// Time of the next event without removing it.
+    pub fn peek_time(&self) -> Option<SimTime> {
+        self.heap.peek().map(|Reverse(s)| s.at)
+    }
+
+    /// Number of pending events.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// True when no events are pending.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pops_in_time_order() {
+        let mut q = EventQueue::new();
+        q.schedule(SimTime::from_millis(30), Event::ForwardingUpdate { step: 3 });
+        q.schedule(SimTime::from_millis(10), Event::ForwardingUpdate { step: 1 });
+        q.schedule(SimTime::from_millis(20), Event::ForwardingUpdate { step: 2 });
+        let order: Vec<u64> = std::iter::from_fn(|| q.pop())
+            .map(|(_, e)| match e {
+                Event::ForwardingUpdate { step } => step,
+                _ => unreachable!(),
+            })
+            .collect();
+        assert_eq!(order, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn fifo_within_same_instant() {
+        let mut q = EventQueue::new();
+        let t = SimTime::from_secs(1);
+        for step in 0..10 {
+            q.schedule(t, Event::ForwardingUpdate { step });
+        }
+        let order: Vec<u64> = std::iter::from_fn(|| q.pop())
+            .map(|(_, e)| match e {
+                Event::ForwardingUpdate { step } => step,
+                _ => unreachable!(),
+            })
+            .collect();
+        assert_eq!(order, (0..10).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn peek_does_not_remove() {
+        let mut q = EventQueue::new();
+        q.schedule(SimTime::from_secs(5), Event::AppTimer { app: 0, timer_id: 7 });
+        assert_eq!(q.peek_time(), Some(SimTime::from_secs(5)));
+        assert_eq!(q.len(), 1);
+        assert!(q.pop().is_some());
+        assert!(q.is_empty());
+        assert_eq!(q.peek_time(), None);
+    }
+
+    #[test]
+    fn interleaved_schedule_and_pop() {
+        let mut q = EventQueue::new();
+        q.schedule(SimTime::from_secs(2), Event::AppTimer { app: 0, timer_id: 2 });
+        q.schedule(SimTime::from_secs(1), Event::AppTimer { app: 0, timer_id: 1 });
+        let (t1, _) = q.pop().unwrap();
+        assert_eq!(t1, SimTime::from_secs(1));
+        q.schedule(SimTime::from_millis(1500), Event::AppTimer { app: 0, timer_id: 15 });
+        let (t2, e2) = q.pop().unwrap();
+        assert_eq!(t2, SimTime::from_millis(1500));
+        assert!(matches!(e2, Event::AppTimer { timer_id: 15, .. }));
+    }
+}

@@ -1,0 +1,50 @@
+//! A deterministic packet-level discrete-event network simulator — the
+//! ns-3 substrate of the Hypatia reproduction.
+//!
+//! The paper implements its packet simulator as an ns-3 module with these
+//! satellite-specific semantics (§3.1–§3.2), all reproduced here:
+//!
+//! * **forwarding state** is recomputed at a configurable time-step
+//!   (default 100 ms) and swapped atomically at step boundaries;
+//! * **latencies stay continuous**: propagation delay of every transmission
+//!   is computed from live orbital geometry at transmit time, even between
+//!   forwarding updates;
+//! * **one GSL device per node** (default): all of a node's ground↔satellite
+//!   traffic serializes through a single queue, while each ISL has its own
+//!   device — this asymmetry is what produces Appendix A's bent-pipe
+//!   ACK-queueing effects;
+//! * **drop-tail queues** sized in packets;
+//! * **lossless GSL handoff**: packets already queued or in flight are
+//!   delivered along their assigned link; only new packets follow the new
+//!   forwarding state;
+//! * **pre-filled MAC/ARP state**: there is no address-resolution traffic.
+//!
+//! Determinism: integer-nanosecond timestamps, a total event order
+//! (time, insertion sequence), and no wall-clock or thread dependence make
+//! every run bit-reproducible.
+//!
+//! Applications (ping, UDP CBR, bursty on/off here; TCP in
+//! `hypatia-transport`) attach to nodes via the [`app::Application`] trait
+//! and a port demux.
+//!
+//! Extensions beyond the paper's model (all off by default): per-kind
+//! ISL/GSL rates, a deterministic GSL loss process (weather stand-in),
+//! loop-free multipath forwarding ([`SimConfig::with_multipath`]), and a
+//! bounded per-packet [`trace`].
+
+pub mod app;
+pub mod apps;
+pub mod config;
+pub mod device;
+pub mod event;
+pub mod node;
+pub mod packet;
+pub mod sim;
+pub mod stats;
+pub mod trace;
+
+pub use app::{AppCtx, Application};
+pub use config::SimConfig;
+pub use packet::{Packet, Payload, Segment};
+pub use sim::Simulator;
+pub use stats::SimStats;

@@ -1,0 +1,143 @@
+//! Nodes: device sets and the port demux.
+//!
+//! A satellite owns one device per ISL (hard-wired peer) plus one GSL
+//! device; a ground station owns just the GSL device. Forwarding picks the
+//! ISL device when the next hop is an ISL peer, the GSL device otherwise.
+
+use crate::device::{Device, DeviceKind};
+use hypatia_constellation::NodeId;
+use std::collections::HashMap;
+
+/// A node in the packet simulator.
+#[derive(Debug)]
+pub struct Node {
+    /// This node's id.
+    pub id: NodeId,
+    /// All devices owned by the node.
+    pub devices: Vec<Device>,
+    isl_device_of: HashMap<NodeId, usize>,
+    gsl_device: Option<usize>,
+    port_apps: HashMap<u16, u32>,
+}
+
+impl Node {
+    /// A node with no devices yet.
+    pub fn new(id: NodeId) -> Self {
+        Node {
+            id,
+            devices: Vec::new(),
+            isl_device_of: HashMap::new(),
+            gsl_device: None,
+            port_apps: HashMap::new(),
+        }
+    }
+
+    /// Attach a device; registers it in the peer/GSL lookup.
+    pub fn add_device(&mut self, device: Device) -> usize {
+        let idx = self.devices.len();
+        match device.kind {
+            DeviceKind::Isl { peer } => {
+                let prev = self.isl_device_of.insert(peer, idx);
+                assert!(prev.is_none(), "duplicate ISL device towards {peer}");
+            }
+            DeviceKind::Gsl => {
+                assert!(self.gsl_device.is_none(), "node already has a GSL device");
+                self.gsl_device = Some(idx);
+            }
+        }
+        self.devices.push(device);
+        idx
+    }
+
+    /// The device used to reach `next_hop`: the matching ISL device when one
+    /// exists, else the GSL device.
+    pub fn device_for(&self, next_hop: NodeId) -> Option<usize> {
+        self.isl_device_of.get(&next_hop).copied().or(self.gsl_device)
+    }
+
+    /// The GSL device index, if the node has one.
+    pub fn gsl_device(&self) -> Option<usize> {
+        self.gsl_device
+    }
+
+    /// ISL peers of this node.
+    pub fn isl_peers(&self) -> impl Iterator<Item = NodeId> + '_ {
+        self.isl_device_of.keys().copied()
+    }
+
+    /// Bind application `app` to `port`. Panics on double-bind.
+    pub fn bind_port(&mut self, port: u16, app: u32) {
+        let prev = self.port_apps.insert(port, app);
+        assert!(prev.is_none(), "port {port} already bound on {}", self.id);
+    }
+
+    /// The application bound to `port`.
+    pub fn app_on_port(&self, port: u16) -> Option<u32> {
+        self.port_apps.get(&port).copied()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hypatia_util::DataRate;
+
+    fn isl(peer: u32) -> Device {
+        Device::new(DeviceKind::Isl { peer: NodeId(peer) }, DataRate::from_mbps(10), 100, None)
+    }
+    fn gsl() -> Device {
+        Device::new(DeviceKind::Gsl, DataRate::from_mbps(10), 100, None)
+    }
+
+    #[test]
+    fn device_selection_prefers_isl() {
+        let mut n = Node::new(NodeId(0));
+        let i1 = n.add_device(isl(1));
+        let i2 = n.add_device(isl(2));
+        let g = n.add_device(gsl());
+        assert_eq!(n.device_for(NodeId(1)), Some(i1));
+        assert_eq!(n.device_for(NodeId(2)), Some(i2));
+        // Non-peer → GSL fallback.
+        assert_eq!(n.device_for(NodeId(99)), Some(g));
+        assert_eq!(n.gsl_device(), Some(g));
+    }
+
+    #[test]
+    fn no_gsl_no_fallback() {
+        let mut n = Node::new(NodeId(0));
+        n.add_device(isl(1));
+        assert_eq!(n.device_for(NodeId(5)), None);
+    }
+
+    #[test]
+    fn port_binding() {
+        let mut n = Node::new(NodeId(3));
+        n.bind_port(80, 7);
+        assert_eq!(n.app_on_port(80), Some(7));
+        assert_eq!(n.app_on_port(81), None);
+    }
+
+    #[test]
+    #[should_panic]
+    fn double_port_bind_panics() {
+        let mut n = Node::new(NodeId(3));
+        n.bind_port(80, 1);
+        n.bind_port(80, 2);
+    }
+
+    #[test]
+    #[should_panic]
+    fn second_gsl_panics() {
+        let mut n = Node::new(NodeId(0));
+        n.add_device(gsl());
+        n.add_device(gsl());
+    }
+
+    #[test]
+    #[should_panic]
+    fn duplicate_isl_peer_panics() {
+        let mut n = Node::new(NodeId(0));
+        n.add_device(isl(4));
+        n.add_device(isl(4));
+    }
+}

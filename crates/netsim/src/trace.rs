@@ -1,0 +1,120 @@
+//! Bounded per-packet event tracing.
+//!
+//! When enabled (`SimConfig::trace_limit > 0`), the simulator records one
+//! entry per packet lifecycle event up to the limit — enough to reconstruct
+//! the exact hop-by-hop journey of early packets (e.g. to drive a path
+//! animation, or to debug a forwarding anomaly) without unbounded memory
+//! growth on long runs.
+
+use hypatia_constellation::NodeId;
+use hypatia_util::SimTime;
+
+/// What happened to the packet.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TraceKind {
+    /// Application (or echo) injected the packet at its source node.
+    Inject,
+    /// The packet arrived at an intermediate or final node.
+    Arrive,
+    /// Delivered to the destination node.
+    Deliver,
+    /// Dropped: no route to the destination.
+    RoutingDrop,
+    /// Dropped: device queue full.
+    QueueDrop,
+    /// Dropped: lost on the GSL channel.
+    ChannelDrop,
+}
+
+/// One trace record.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TraceEntry {
+    /// Event time.
+    pub t: SimTime,
+    /// Node at which the event occurred.
+    pub node: NodeId,
+    /// The packet's id.
+    pub packet_id: u64,
+    /// Event kind.
+    pub kind: TraceKind,
+}
+
+/// A bounded trace buffer.
+#[derive(Debug, Default)]
+pub struct Trace {
+    entries: Vec<TraceEntry>,
+    limit: usize,
+    /// Events not recorded because the buffer was full.
+    pub truncated: u64,
+}
+
+impl Trace {
+    /// A trace keeping at most `limit` entries (0 disables tracing).
+    pub fn new(limit: usize) -> Self {
+        Trace { entries: Vec::new(), limit, truncated: 0 }
+    }
+
+    /// Is tracing active at all?
+    pub fn enabled(&self) -> bool {
+        self.limit > 0
+    }
+
+    /// Record an event (no-op once full; counts truncations).
+    pub fn record(&mut self, t: SimTime, node: NodeId, packet_id: u64, kind: TraceKind) {
+        if self.limit == 0 {
+            return;
+        }
+        if self.entries.len() < self.limit {
+            self.entries.push(TraceEntry { t, node, packet_id, kind });
+        } else {
+            self.truncated += 1;
+        }
+    }
+
+    /// All recorded entries, in event order.
+    pub fn entries(&self) -> &[TraceEntry] {
+        &self.entries
+    }
+
+    /// The journey of one packet: its entries in order.
+    pub fn journey(&self, packet_id: u64) -> Vec<TraceEntry> {
+        self.entries.iter().filter(|e| e.packet_id == packet_id).copied().collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_trace_records_nothing() {
+        let mut tr = Trace::new(0);
+        assert!(!tr.enabled());
+        tr.record(SimTime::ZERO, NodeId(1), 7, TraceKind::Inject);
+        assert!(tr.entries().is_empty());
+        assert_eq!(tr.truncated, 0);
+    }
+
+    #[test]
+    fn bounded_at_limit() {
+        let mut tr = Trace::new(3);
+        for i in 0..5 {
+            tr.record(SimTime::from_nanos(i), NodeId(0), i, TraceKind::Arrive);
+        }
+        assert_eq!(tr.entries().len(), 3);
+        assert_eq!(tr.truncated, 2);
+    }
+
+    #[test]
+    fn journey_filters_by_packet() {
+        let mut tr = Trace::new(10);
+        tr.record(SimTime::from_nanos(1), NodeId(0), 1, TraceKind::Inject);
+        tr.record(SimTime::from_nanos(2), NodeId(5), 2, TraceKind::Inject);
+        tr.record(SimTime::from_nanos(3), NodeId(1), 1, TraceKind::Arrive);
+        tr.record(SimTime::from_nanos(4), NodeId(2), 1, TraceKind::Deliver);
+        let j = tr.journey(1);
+        assert_eq!(j.len(), 3);
+        assert_eq!(j[0].kind, TraceKind::Inject);
+        assert_eq!(j[2].kind, TraceKind::Deliver);
+    }
+}

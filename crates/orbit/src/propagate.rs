@@ -1,0 +1,243 @@
+//! Orbit propagation: elements → inertial position/velocity at time `t`.
+//!
+//! Two fidelity levels, selectable per [`Propagator`]:
+//!
+//! * **Two-body Kepler** — exact for an ideal point-mass Earth. For the
+//!   circular shells of Table 1 this is the dominant term.
+//! * **Kepler + J2 secular** — adds the secular drift of the node (Ω̇),
+//!   perigee (ω̇) and mean anomaly (Ṁ correction) caused by Earth's
+//!   oblateness. This captures the physically meaningful part of SGP4 for
+//!   near-circular LEO over simulation horizons of hours. The paper's own
+//!   mobility model "adds a 1–3 km error per day", which it deems safely
+//!   ignorable for runs under a few hours; our J2 model is well inside
+//!   that envelope relative to full SGP4.
+
+use crate::kepler::{solve_kepler, true_anomaly, KeplerianElements};
+use hypatia_util::constants::{EARTH_J2, EARTH_RADIUS_KM};
+use hypatia_util::{SimTime, Vec3};
+use serde::{Deserialize, Serialize};
+
+/// Perturbation model applied on top of two-body motion.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize, Default)]
+pub enum PerturbationModel {
+    /// Pure two-body Keplerian motion.
+    TwoBody,
+    /// Two-body plus J2 secular rates (node regression, apsidal rotation,
+    /// mean-motion correction).
+    #[default]
+    J2Secular,
+}
+
+/// Inertial-frame state of a satellite.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct OrbitState {
+    /// Position in the ECI frame, km.
+    pub position_km: Vec3,
+    /// Velocity in the ECI frame, km/s.
+    pub velocity_km_per_s: Vec3,
+}
+
+/// A propagator binds elements (at epoch t = 0) to a perturbation model.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Propagator {
+    /// Elements at the simulation epoch.
+    pub elements: KeplerianElements,
+    /// Which perturbations to apply.
+    pub model: PerturbationModel,
+}
+
+impl Propagator {
+    /// A two-body propagator.
+    pub fn two_body(elements: KeplerianElements) -> Self {
+        Propagator { elements, model: PerturbationModel::TwoBody }
+    }
+
+    /// A J2-secular propagator (default fidelity).
+    pub fn j2(elements: KeplerianElements) -> Self {
+        Propagator { elements, model: PerturbationModel::J2Secular }
+    }
+
+    /// J2 secular rates `(Ω̇, ω̇, Ṁ_corr)` in rad/s.
+    fn j2_rates(&self) -> (f64, f64, f64) {
+        let el = &self.elements;
+        let n = el.mean_motion_rad_per_s();
+        let p = el.semi_latus_rectum_km();
+        let factor = 1.5 * EARTH_J2 * (EARTH_RADIUS_KM / p).powi(2) * n;
+        let cos_i = el.inclination_rad.cos();
+        let raan_dot = -factor * cos_i;
+        let argp_dot = factor * (2.0 - 2.5 * el.inclination_rad.sin().powi(2));
+        let sqrt_1_e2 = (1.0 - el.eccentricity * el.eccentricity).sqrt();
+        let m_dot_corr = factor * sqrt_1_e2 * (1.0 - 1.5 * el.inclination_rad.sin().powi(2));
+        (raan_dot, argp_dot, m_dot_corr)
+    }
+
+    /// Elements advanced to time `t` (secular drift applied; anomaly updated).
+    pub fn elements_at(&self, t: SimTime) -> KeplerianElements {
+        let dt = t.secs_f64();
+        let el = self.elements;
+        let n = el.mean_motion_rad_per_s();
+        let (raan_dot, argp_dot, m_dot_corr) = match self.model {
+            PerturbationModel::TwoBody => (0.0, 0.0, 0.0),
+            PerturbationModel::J2Secular => self.j2_rates(),
+        };
+        KeplerianElements {
+            raan_rad: hypatia_util::angle::wrap_two_pi(el.raan_rad + raan_dot * dt),
+            arg_perigee_rad: hypatia_util::angle::wrap_two_pi(el.arg_perigee_rad + argp_dot * dt),
+            mean_anomaly_rad: hypatia_util::angle::wrap_two_pi(
+                el.mean_anomaly_rad + (n + m_dot_corr) * dt,
+            ),
+            ..el
+        }
+    }
+
+    /// ECI state at simulation time `t`.
+    pub fn state_at(&self, t: SimTime) -> OrbitState {
+        let el = self.elements_at(t);
+        let e = el.eccentricity;
+        let e_anom = solve_kepler(el.mean_anomaly_rad, e);
+        let nu = true_anomaly(e_anom, e);
+        let p = el.semi_latus_rectum_km();
+        let r = p / (1.0 + e * nu.cos());
+
+        // Perifocal frame: x towards perigee, z along angular momentum.
+        let pos_pf = Vec3::new(r * nu.cos(), r * nu.sin(), 0.0);
+        let mu = hypatia_util::constants::EARTH_MU_KM3_PER_S2;
+        let h = (mu * p).sqrt();
+        let vel_pf = Vec3::new(-(mu / h) * nu.sin(), (mu / h) * (e + nu.cos()), 0.0);
+
+        // Perifocal → ECI: Rz(Ω) Rx(i) Rz(ω).
+        let rot = |v: Vec3| {
+            v.rotate_z(el.arg_perigee_rad)
+                .rotate_x(el.inclination_rad)
+                .rotate_z(el.raan_rad)
+        };
+        OrbitState { position_km: rot(pos_pf), velocity_km_per_s: rot(vel_pf) }
+    }
+
+    /// ECI position only (the common hot path).
+    pub fn position_at(&self, t: SimTime) -> Vec3 {
+        self.state_at(t).position_km
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hypatia_util::constants::{circular_orbit_velocity_km_per_s, EARTH_RADIUS_KM};
+    use hypatia_util::SimDuration;
+    use proptest::prelude::*;
+
+    fn starlink_sat() -> KeplerianElements {
+        KeplerianElements::circular(550.0, 53.0, 30.0, 45.0)
+    }
+
+    #[test]
+    fn circular_radius_is_constant() {
+        let prop = Propagator::two_body(starlink_sat());
+        for s in [0u64, 60, 600, 3000] {
+            let r = prop.position_at(SimTime::from_secs(s)).norm();
+            assert!((r - (EARTH_RADIUS_KM + 550.0)).abs() < 1e-6, "r = {r} at t = {s}");
+        }
+    }
+
+    #[test]
+    fn velocity_magnitude_matches_circular_formula() {
+        let prop = Propagator::two_body(starlink_sat());
+        let v = prop.state_at(SimTime::from_secs(100)).velocity_km_per_s.norm();
+        assert!((v - circular_orbit_velocity_km_per_s(550.0)).abs() < 1e-9, "v = {v}");
+    }
+
+    #[test]
+    fn returns_to_start_after_one_period() {
+        let el = starlink_sat();
+        let prop = Propagator::two_body(el);
+        let t_period = SimTime::from_secs_f64(el.period_s());
+        let p0 = prop.position_at(SimTime::ZERO);
+        let p1 = prop.position_at(t_period);
+        assert!(p0.distance(p1) < 1e-3, "drift {} km", p0.distance(p1));
+    }
+
+    #[test]
+    fn j2_node_regresses_for_prograde_orbit() {
+        // Prograde (i < 90°) orbits regress: Ω decreases.
+        let prop = Propagator::j2(starlink_sat());
+        let el_later = prop.elements_at(SimTime::from_secs(3600));
+        // Ω̇ ≈ -5°/day for Starlink-like shells → about -0.2° in an hour.
+        let drift =
+            hypatia_util::angle::wrap_pi(el_later.raan_rad - prop.elements.raan_rad);
+        assert!(drift < 0.0, "expected node regression, got {drift}");
+        assert!(drift > -0.02, "implausibly large drift {drift}");
+    }
+
+    #[test]
+    fn j2_node_advances_for_retrograde_orbit() {
+        // Telesat T1's i = 98.98° > 90° (sun-synchronous-like): Ω̇ > 0.
+        let el = KeplerianElements::circular(1015.0, 98.98, 0.0, 0.0);
+        let prop = Propagator::j2(el);
+        let el_later = prop.elements_at(SimTime::from_secs(3600));
+        let drift = hypatia_util::angle::wrap_pi(el_later.raan_rad - el.raan_rad);
+        assert!(drift > 0.0, "expected node advance, got {drift}");
+    }
+
+    #[test]
+    fn j2_and_two_body_agree_at_epoch() {
+        let el = starlink_sat();
+        let a = Propagator::two_body(el).position_at(SimTime::ZERO);
+        let b = Propagator::j2(el).position_at(SimTime::ZERO);
+        assert!(a.distance(b) < 1e-9);
+    }
+
+    #[test]
+    fn j2_two_body_divergence_is_small_over_200s() {
+        // Over a 200 s experiment (the paper's standard horizon), J2 vs
+        // two-body differ by well under a kilometre — supporting the claim
+        // that propagator fidelity does not drive the networking results.
+        let el = starlink_sat();
+        let t = SimTime::from_secs(200);
+        let a = Propagator::two_body(el).position_at(t);
+        let b = Propagator::j2(el).position_at(t);
+        assert!(a.distance(b) < 1.0, "divergence {} km", a.distance(b));
+    }
+
+    #[test]
+    fn inclination_bounds_z_extent() {
+        // A satellite can never exceed |z| = a sin(i).
+        let el = starlink_sat();
+        let prop = Propagator::j2(el);
+        let max_z = el.semi_major_axis_km * el.inclination_rad.sin();
+        let mut t = SimTime::ZERO;
+        for _ in 0..600 {
+            let z = prop.position_at(t).z.abs();
+            assert!(z <= max_z + 1e-6);
+            t += SimDuration::from_secs(10);
+        }
+    }
+
+    proptest! {
+        /// Energy (vis-viva) is conserved along a two-body trajectory.
+        #[test]
+        fn vis_viva_holds(h in 400.0f64..1500.0, i in 0.0f64..100.0,
+                          raan in 0.0f64..360.0, ma in 0.0f64..360.0,
+                          t_s in 0.0f64..6000.0) {
+            let el = KeplerianElements::circular(h, i, raan, ma);
+            let st = Propagator::two_body(el).state_at(SimTime::from_secs_f64(t_s));
+            let mu = hypatia_util::constants::EARTH_MU_KM3_PER_S2;
+            let energy = st.velocity_km_per_s.norm_sq() / 2.0 - mu / st.position_km.norm();
+            let expect = -mu / (2.0 * el.semi_major_axis_km);
+            prop_assert!((energy - expect).abs() < 1e-6);
+        }
+
+        /// Angular momentum direction stays normal to the orbital plane.
+        #[test]
+        fn angular_momentum_fixed(h in 400.0f64..1500.0, i in 1.0f64..99.0,
+                                  t_s in 0.0f64..6000.0) {
+            let el = KeplerianElements::circular(h, i, 42.0, 7.0);
+            let prop = Propagator::two_body(el);
+            let st0 = prop.state_at(SimTime::ZERO);
+            let st1 = prop.state_at(SimTime::from_secs_f64(t_s));
+            let h0 = st0.position_km.cross(st0.velocity_km_per_s);
+            let h1 = st1.position_km.cross(st1.velocity_km_per_s);
+            prop_assert!(h0.distance(h1) / h0.norm() < 1e-9);
+        }
+    }
+}

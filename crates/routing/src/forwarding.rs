@@ -1,0 +1,301 @@
+//! Forwarding state at a time-step, and lazy schedules over a run.
+//!
+//! The simulator consumes, per time-step, a map `(node, destination) →
+//! next hop` restricted to the destinations that actually terminate
+//! traffic. Any routing strategy expressible as static routes fits this
+//! shape (paper §3.1); the default is shortest-delay via per-destination
+//! Dijkstra trees.
+
+use crate::dijkstra::{shortest_path_tree, SpTree};
+use crate::graph::DelayGraph;
+use crate::multipath::{multipath_tree, MultipathTree};
+use hypatia_constellation::{Constellation, NodeId};
+use hypatia_util::{SimDuration, SimTime};
+
+/// The forwarding state of the whole network towards a set of destinations,
+/// valid for one time-step.
+#[derive(Debug, Clone)]
+pub struct ForwardingState {
+    /// The instant this state was computed for.
+    pub computed_at: SimTime,
+    /// The destinations, in the order given at computation time.
+    pub dests: Vec<NodeId>,
+    trees: Vec<SpTree>,
+}
+
+impl ForwardingState {
+    /// Next hop of `node` towards `dst`, or `None` when `dst` is currently
+    /// unreachable (or `node == dst`).
+    pub fn next_hop(&self, node: NodeId, dst: NodeId) -> Option<NodeId> {
+        let idx = self.dest_index(dst)?;
+        self.trees[idx].next_hop[node.index()].map(NodeId)
+    }
+
+    /// Shortest one-way delay from `node` to `dst` at computation time.
+    pub fn distance(&self, node: NodeId, dst: NodeId) -> Option<SimDuration> {
+        let idx = self.dest_index(dst)?;
+        self.trees[idx].distance_ns(node.0).map(SimDuration::from_nanos)
+    }
+
+    /// Full path from `node` to `dst` (inclusive), if reachable.
+    pub fn path(&self, node: NodeId, dst: NodeId) -> Option<Vec<NodeId>> {
+        let idx = self.dest_index(dst)?;
+        Some(self.trees[idx].path_from(node.0)?.into_iter().map(NodeId).collect())
+    }
+
+    /// The shortest-path tree towards `dst`, if it is a known destination.
+    pub fn tree(&self, dst: NodeId) -> Option<&SpTree> {
+        Some(&self.trees[self.dest_index(dst)?])
+    }
+
+    fn dest_index(&self, dst: NodeId) -> Option<usize> {
+        self.dests.iter().position(|&d| d == dst)
+    }
+}
+
+/// Compute the forwarding state of `constellation` at `t` towards `dests`.
+pub fn compute_forwarding_state(
+    constellation: &Constellation,
+    t: SimTime,
+    dests: &[NodeId],
+) -> ForwardingState {
+    let graph = DelayGraph::snapshot(constellation, t);
+    compute_forwarding_state_on(&graph, t, dests)
+}
+
+/// As [`compute_forwarding_state`] but reusing an existing snapshot graph.
+pub fn compute_forwarding_state_on(
+    graph: &DelayGraph,
+    t: SimTime,
+    dests: &[NodeId],
+) -> ForwardingState {
+    let trees = dests.iter().map(|d| shortest_path_tree(graph, d.0)).collect();
+    ForwardingState { computed_at: t, dests: dests.to_vec(), trees }
+}
+
+/// Multipath forwarding state: downhill alternates towards each
+/// destination (see [`crate::multipath`]), valid for one time-step.
+#[derive(Debug, Clone)]
+pub struct MultipathState {
+    /// The instant this state was computed for.
+    pub computed_at: SimTime,
+    /// The destinations, in computation order.
+    pub dests: Vec<NodeId>,
+    trees: Vec<MultipathTree>,
+}
+
+impl MultipathState {
+    /// Flow-stable next hop of `node` towards `dst` (falls back to the
+    /// shortest-path hop when no alternate qualifies).
+    pub fn next_hop(&self, node: NodeId, dst: NodeId, flow_hash: u64) -> Option<NodeId> {
+        let idx = self.dests.iter().position(|&d| d == dst)?;
+        self.trees[idx].pick(node.0, flow_hash).map(NodeId)
+    }
+
+    /// The multipath tree towards `dst`.
+    pub fn tree(&self, dst: NodeId) -> Option<&MultipathTree> {
+        let idx = self.dests.iter().position(|&d| d == dst)?;
+        Some(&self.trees[idx])
+    }
+}
+
+/// Compute multipath forwarding state at `t` towards `dests` with the
+/// given stretch bound.
+pub fn compute_multipath_state(
+    constellation: &Constellation,
+    t: SimTime,
+    dests: &[NodeId],
+    stretch: f64,
+) -> MultipathState {
+    let graph = DelayGraph::snapshot(constellation, t);
+    let trees = dests.iter().map(|d| multipath_tree(&graph, d.0, stretch)).collect();
+    MultipathState { computed_at: t, dests: dests.to_vec(), trees }
+}
+
+/// A lazily-evaluated schedule of forwarding states at a fixed granularity
+/// (paper default: 100 ms). States are computed on demand — storing every
+/// state of a constellation-scale run would cost gigabytes.
+pub struct ForwardingSchedule<'a> {
+    constellation: &'a Constellation,
+    dests: Vec<NodeId>,
+    /// Recomputation interval.
+    pub step: SimDuration,
+}
+
+impl<'a> ForwardingSchedule<'a> {
+    /// Create a schedule towards `dests` at granularity `step`.
+    pub fn new(constellation: &'a Constellation, dests: Vec<NodeId>, step: SimDuration) -> Self {
+        assert!(!step.is_zero(), "time-step must be positive");
+        ForwardingSchedule { constellation, dests, step }
+    }
+
+    /// The step index in force at time `t`.
+    pub fn step_index(&self, t: SimTime) -> u64 {
+        SimDuration::from_nanos(t.nanos()) / self.step
+    }
+
+    /// The instant at which step `k` takes effect.
+    pub fn step_time(&self, k: u64) -> SimTime {
+        SimTime::ZERO + self.step * k
+    }
+
+    /// Compute the state for step `k`.
+    pub fn state_for_step(&self, k: u64) -> ForwardingState {
+        compute_forwarding_state(self.constellation, self.step_time(k), &self.dests)
+    }
+
+    /// Compute the state in force at an arbitrary time `t`.
+    pub fn state_at(&self, t: SimTime) -> ForwardingState {
+        self.state_for_step(self.step_index(t))
+    }
+
+    /// The destinations this schedule routes towards.
+    pub fn dests(&self) -> &[NodeId] {
+        &self.dests
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hypatia_constellation::ground::GroundStation;
+    use hypatia_constellation::gsl::GslConfig;
+    use hypatia_constellation::isl::IslLayout;
+    use hypatia_constellation::shell::ShellSpec;
+
+    fn constellation() -> Constellation {
+        Constellation::build(
+            "fwd",
+            vec![ShellSpec::new("A", 550.0, 10, 10, 53.0)],
+            IslLayout::PlusGrid,
+            vec![
+                GroundStation::new("a", 5.0, 5.0),
+                GroundStation::new("b", -10.0, 140.0),
+            ],
+            GslConfig::new(10.0),
+        )
+    }
+
+    #[test]
+    fn next_hop_walk_reaches_destination() {
+        let c = constellation();
+        let dests = vec![c.gs_node(0), c.gs_node(1)];
+        let st = compute_forwarding_state(&c, SimTime::ZERO, &dests);
+        let (src, dst) = (c.gs_node(0), c.gs_node(1));
+        let mut cur = src;
+        let mut hops = 0;
+        while cur != dst {
+            cur = st.next_hop(cur, dst).expect("reachable");
+            hops += 1;
+            assert!(hops <= c.num_nodes(), "cycle");
+        }
+        assert!(hops >= 2, "GS→GS must traverse at least one satellite");
+    }
+
+    #[test]
+    fn path_matches_next_hop_walk() {
+        let c = constellation();
+        let dests = vec![c.gs_node(1)];
+        let st = compute_forwarding_state(&c, SimTime::from_secs(42), &dests);
+        let path = st.path(c.gs_node(0), c.gs_node(1)).unwrap();
+        assert_eq!(path.first(), Some(&c.gs_node(0)));
+        assert_eq!(path.last(), Some(&c.gs_node(1)));
+        for w in path.windows(2) {
+            assert_eq!(st.next_hop(w[0], c.gs_node(1)), Some(w[1]));
+        }
+    }
+
+    #[test]
+    fn unknown_destination_returns_none() {
+        let c = constellation();
+        let st = compute_forwarding_state(&c, SimTime::ZERO, &[c.gs_node(0)]);
+        assert_eq!(st.next_hop(c.gs_node(1), c.gs_node(1)), None);
+        assert_eq!(st.distance(NodeId(0), c.gs_node(1)), None);
+    }
+
+    #[test]
+    fn schedule_step_indexing() {
+        let c = constellation();
+        let sched =
+            ForwardingSchedule::new(&c, vec![c.gs_node(0)], SimDuration::from_millis(100));
+        assert_eq!(sched.step_index(SimTime::ZERO), 0);
+        assert_eq!(sched.step_index(SimTime::from_millis(99)), 0);
+        assert_eq!(sched.step_index(SimTime::from_millis(100)), 1);
+        assert_eq!(sched.step_index(SimTime::from_millis(250)), 2);
+        assert_eq!(sched.step_time(2), SimTime::from_millis(200));
+    }
+
+    #[test]
+    fn schedule_state_at_matches_step_state() {
+        let c = constellation();
+        let dests = vec![c.gs_node(0), c.gs_node(1)];
+        let sched = ForwardingSchedule::new(&c, dests, SimDuration::from_millis(100));
+        let a = sched.state_at(SimTime::from_millis(150));
+        let b = sched.state_for_step(1);
+        assert_eq!(a.computed_at, b.computed_at);
+        // Compare a few entries.
+        for node in 0..c.num_nodes() as u32 {
+            assert_eq!(
+                a.next_hop(NodeId(node), c.gs_node(1)),
+                b.next_hop(NodeId(node), c.gs_node(1))
+            );
+        }
+    }
+
+    /// Regression: in an ISL constellation, ground stations are endpoints —
+    /// a third GS between two endpoints must never appear as a relay, even
+    /// when bouncing through it would be geometrically shorter.
+    #[test]
+    fn ground_stations_never_relay_in_isl_constellations() {
+        use hypatia_constellation::presets;
+        let c = presets::starlink_s1(vec![
+            GroundStation::new("Paris", 48.8566, 2.3522),
+            GroundStation::new("Luanda", -8.8390, 13.2894),
+            GroundStation::new("Lagos", 6.5244, 3.3792), // right on the route
+        ]);
+        assert!(!c.gs_relay);
+        for secs in [0u64, 60, 120] {
+            let st = compute_forwarding_state(&c, SimTime::from_secs(secs), &[c.gs_node(1)]);
+            if let Some(path) = st.path(c.gs_node(0), c.gs_node(1)) {
+                for &node in &path[1..path.len() - 1] {
+                    assert!(
+                        c.is_satellite(node),
+                        "GS {node} used as relay at t={secs}: {path:?}"
+                    );
+                }
+            }
+        }
+    }
+
+    /// Bent-pipe constellations *do* relay through ground stations.
+    #[test]
+    fn bent_pipe_constellations_allow_gs_relay() {
+        use hypatia_constellation::presets;
+        let c = presets::kuiper_k1_bent_pipe(vec![
+            GroundStation::new("Paris", 48.8566, 2.3522),
+            GroundStation::new("Moscow", 55.7558, 37.6173),
+            GroundStation::new("relay", 52.0, 20.0),
+        ]);
+        assert!(c.gs_relay);
+        let st = compute_forwarding_state(&c, SimTime::ZERO, &[c.gs_node(1)]);
+        let path = st.path(c.gs_node(0), c.gs_node(1)).expect("bent-pipe path");
+        let interior_gses =
+            path[1..path.len() - 1].iter().filter(|&&n| !c.is_satellite(n)).count();
+        assert!(interior_gses >= 1, "expected a GS relay in {path:?}");
+    }
+
+    #[test]
+    fn distance_is_monotone_along_path() {
+        let c = constellation();
+        let dst = c.gs_node(1);
+        let st = compute_forwarding_state(&c, SimTime::ZERO, &[dst]);
+        if let Some(path) = st.path(c.gs_node(0), dst) {
+            let mut last = SimDuration::MAX;
+            for node in path {
+                let d = st.distance(node, dst).unwrap();
+                assert!(d < last, "distance must strictly decrease towards dst");
+                last = d;
+            }
+        }
+    }
+}

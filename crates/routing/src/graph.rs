@@ -1,0 +1,230 @@
+//! The delay-weighted snapshot graph.
+//!
+//! At a given instant the network is a graph whose vertices are satellites
+//! and ground stations and whose edges are the static ISLs plus the GSLs
+//! currently above the minimum elevation angle. Edge weights are one-way
+//! propagation delays in integer nanoseconds (distance / c), which makes
+//! shortest-delay routing identical to the paper's networkx computation.
+
+use hypatia_constellation::gsl::usable_satellites;
+use hypatia_constellation::{Constellation, NodeId};
+use hypatia_orbit::geodesy::propagation_delay_km;
+use hypatia_util::{SimDuration, SimTime, Vec3};
+
+/// A directed edge with a propagation-delay weight.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Edge {
+    /// Target node index.
+    pub to: u32,
+    /// One-way propagation delay, ns.
+    pub delay_ns: u64,
+}
+
+/// A snapshot graph: adjacency lists over the constellation's node ids.
+#[derive(Debug, Clone)]
+pub struct DelayGraph {
+    adj: Vec<Vec<Edge>>,
+    /// `transit[v]`: may `v` appear as an *interior* node of a path?
+    /// Satellites always may; ground stations only in bent-pipe
+    /// constellations (`Constellation::gs_relay`). Endpoints are exempt.
+    transit: Vec<bool>,
+    /// Positions used to build the snapshot (satellites first), for reuse.
+    pub positions: Vec<Vec3>,
+}
+
+impl DelayGraph {
+    /// Build the snapshot graph of `constellation` at time `t`.
+    pub fn snapshot(constellation: &Constellation, t: SimTime) -> DelayGraph {
+        let positions = constellation.positions_at(t);
+        Self::from_positions(constellation, t, positions)
+    }
+
+    /// Build from an already-computed position snapshot (satellites first,
+    /// then ground stations, as produced by `Constellation::positions_at`).
+    pub fn from_positions(
+        constellation: &Constellation,
+        t: SimTime,
+        positions: Vec<Vec3>,
+    ) -> DelayGraph {
+        assert_eq!(positions.len(), constellation.num_nodes(), "position snapshot size");
+        let n_sats = constellation.num_satellites();
+        let mut adj: Vec<Vec<Edge>> = vec![Vec::new(); constellation.num_nodes()];
+
+        // ISLs: static pairs, time-varying length.
+        for &(a, b) in &constellation.isls {
+            let d = positions[a as usize].distance(positions[b as usize]);
+            let delay = propagation_delay_km(d).nanos();
+            adj[a as usize].push(Edge { to: b, delay_ns: delay });
+            adj[b as usize].push(Edge { to: a, delay_ns: delay });
+        }
+
+        // GSLs: whatever the selection policy admits right now.
+        for (gs_idx, _gs) in constellation.ground_stations.iter().enumerate() {
+            let gs_node = constellation.gs_node(gs_idx).0;
+            let gs_pos = positions[n_sats + gs_idx];
+            for vis in usable_satellites(constellation, gs_pos, &positions[..n_sats], t) {
+                let delay = propagation_delay_km(vis.range_km).nanos();
+                adj[gs_node as usize].push(Edge { to: vis.sat_idx as u32, delay_ns: delay });
+                adj[vis.sat_idx].push(Edge { to: gs_node, delay_ns: delay });
+            }
+        }
+
+        let transit = (0..constellation.num_nodes())
+            .map(|i| constellation.may_transit(hypatia_constellation::NodeId(i as u32)))
+            .collect();
+        DelayGraph { adj, transit, positions }
+    }
+
+    /// Number of vertices.
+    pub fn num_nodes(&self) -> usize {
+        self.adj.len()
+    }
+
+    /// Number of directed edges.
+    pub fn num_edges(&self) -> usize {
+        self.adj.iter().map(Vec::len).sum()
+    }
+
+    /// Outgoing edges of `node`.
+    pub fn edges(&self, node: usize) -> &[Edge] {
+        &self.adj[node]
+    }
+
+    /// May `node` appear as an interior (transit) node of a path?
+    pub fn may_transit(&self, node: usize) -> bool {
+        self.transit[node]
+    }
+
+    /// The delay of the direct edge `a → b`, if one exists.
+    pub fn edge_delay(&self, a: usize, b: usize) -> Option<SimDuration> {
+        self.adj[a]
+            .iter()
+            .find(|e| e.to as usize == b)
+            .map(|e| SimDuration::from_nanos(e.delay_ns))
+    }
+
+    /// True if nodes `a` and `b` are directly linked.
+    pub fn has_edge(&self, a: usize, b: usize) -> bool {
+        self.adj[a].iter().any(|e| e.to as usize == b)
+    }
+
+    /// The current one-way delay between two *linked* constellation nodes
+    /// computed from live geometry at `t2` (possibly later than the snapshot
+    /// instant). This is how the packet simulator keeps latencies continuous
+    /// between forwarding updates.
+    pub fn live_delay(
+        constellation: &Constellation,
+        a: NodeId,
+        b: NodeId,
+        t2: SimTime,
+    ) -> SimDuration {
+        propagation_delay_km(constellation.distance_km(a, b, t2))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hypatia_constellation::ground::GroundStation;
+    use hypatia_constellation::gsl::GslConfig;
+    use hypatia_constellation::isl::IslLayout;
+    use hypatia_constellation::shell::ShellSpec;
+    use hypatia_constellation::presets;
+
+    fn tiny() -> Constellation {
+        Constellation::build(
+            "tiny",
+            vec![ShellSpec::new("A", 550.0, 3, 4, 53.0)],
+            IslLayout::PlusGrid,
+            vec![
+                GroundStation::new("eq", 0.0, 0.0),
+                GroundStation::new("mid", 40.0, 60.0),
+            ],
+            GslConfig::new(25.0),
+        )
+    }
+
+    #[test]
+    fn graph_has_symmetric_edges() {
+        let c = tiny();
+        let g = DelayGraph::snapshot(&c, SimTime::ZERO);
+        for u in 0..g.num_nodes() {
+            for e in g.edges(u) {
+                let back = g
+                    .edges(e.to as usize)
+                    .iter()
+                    .find(|r| r.to as usize == u)
+                    .expect("missing reverse edge");
+                assert_eq!(back.delay_ns, e.delay_ns, "asymmetric delay {u}<->{}", e.to);
+            }
+        }
+    }
+
+    #[test]
+    fn isl_edges_present_with_correct_delay() {
+        let c = tiny();
+        let t = SimTime::from_secs(10);
+        let g = DelayGraph::snapshot(&c, t);
+        let (a, b) = c.isls[0];
+        let expect = propagation_delay_km(c.distance_km(NodeId(a), NodeId(b), t));
+        assert_eq!(g.edge_delay(a as usize, b as usize), Some(expect));
+    }
+
+    #[test]
+    fn gs_edges_only_to_visible_satellites() {
+        let c = presets::kuiper_k1(vec![
+            GroundStation::new("Singapore", 1.3521, 103.8198),
+            GroundStation::new("NorthPole", 89.9, 0.0),
+        ]);
+        let g = DelayGraph::snapshot(&c, SimTime::ZERO);
+        let sg = c.gs_node(0).index();
+        let np = c.gs_node(1).index();
+        assert!(!g.edges(sg).is_empty(), "Singapore should have GSLs");
+        assert!(g.edges(np).is_empty(), "the pole must not reach K1");
+        // GSL delay sanity: at 630 km altitude the one-way delay is
+        // 2.1..4.2 ms-ish (range 630..1250 km).
+        for e in g.edges(sg) {
+            let ms = e.delay_ns as f64 / 1e6;
+            assert!((2.0..5.0).contains(&ms), "GSL delay {ms} ms");
+        }
+    }
+
+    #[test]
+    fn num_edges_counts_both_directions() {
+        let c = tiny();
+        let g = DelayGraph::snapshot(&c, SimTime::ZERO);
+        // 12 sats in +Grid → 24 undirected ISLs → 48 directed, plus GSLs.
+        assert!(g.num_edges() >= 48);
+        assert_eq!(g.num_edges() % 2, 0);
+    }
+
+    #[test]
+    fn live_delay_tracks_motion() {
+        let c = tiny();
+        let (a, b) = c.isls[0];
+        let d0 = DelayGraph::live_delay(&c, NodeId(a), NodeId(b), SimTime::ZERO);
+        let d1 = DelayGraph::live_delay(&c, NodeId(a), NodeId(b), SimTime::from_secs(30));
+        // Intra-orbit neighbours keep constant distance; inter-orbit vary.
+        // Either way the call must return a positive, finite delay.
+        assert!(d0 > SimDuration::ZERO && d1 > SimDuration::ZERO);
+    }
+
+    #[test]
+    fn edge_delays_change_over_time() {
+        let c = tiny();
+        let g0 = DelayGraph::snapshot(&c, SimTime::ZERO);
+        let g1 = DelayGraph::snapshot(&c, SimTime::from_secs(60));
+        // At least one ISL delay must differ (inter-orbit links vary as
+        // satellites converge towards higher latitudes).
+        let mut changed = false;
+        for &(a, b) in &c.isls {
+            let d0 = g0.edge_delay(a as usize, b as usize).unwrap();
+            if let Some(d1) = g1.edge_delay(a as usize, b as usize) {
+                if d0 != d1 {
+                    changed = true;
+                }
+            }
+        }
+        assert!(changed, "no ISL delay changed over 60 s");
+    }
+}

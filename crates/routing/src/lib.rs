@@ -1,0 +1,31 @@
+//! Time-stepped routing state for Hypatia.
+//!
+//! The paper (§3.1) computes "the forwarding state of satellites and ground
+//! stations at a configurable time granularity, with the default being
+//! 100 ms": at each step a delay-weighted graph is built from the live
+//! geometry and shortest-path forwarding state is derived; in between,
+//! latencies keep following satellite motion while the forwarding state is
+//! held fixed.
+//!
+//! * [`graph`] — the delay-weighted snapshot graph (ISLs + visible GSLs);
+//! * [`dijkstra`] — per-destination shortest-path trees (the scalable
+//!   default, exactly equivalent to the paper's Floyd–Warshall);
+//! * [`floyd_warshall`] — the paper's all-pairs algorithm, used for
+//!   validation and small topologies;
+//! * [`forwarding`] — forwarding state per time-step and lazy schedules;
+//! * [`path`] — path extraction, RTT evaluation, change tracking;
+//! * [`ksp`] — Yen's K shortest loopless paths (multipath/TE studies);
+//! * [`multipath`] — loop-free downhill-alternate forwarding (the §5.4
+//!   traffic-engineering direction, usable directly by the simulator).
+
+pub mod dijkstra;
+pub mod floyd_warshall;
+pub mod forwarding;
+pub mod graph;
+pub mod ksp;
+pub mod multipath;
+pub mod path;
+
+pub use forwarding::{compute_forwarding_state, ForwardingState};
+pub use graph::DelayGraph;
+pub use path::{extract_path, path_rtt_at, PairTracker};

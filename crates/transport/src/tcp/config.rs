@@ -1,0 +1,93 @@
+//! TCP configuration, defaulting to the ns-3 parameters the paper used.
+
+use hypatia_util::SimDuration;
+
+/// TCP endpoint parameters.
+#[derive(Debug, Clone)]
+pub struct TcpConfig {
+    /// Maximum segment size (payload bytes per segment). The paper's queue
+    /// sizing ("100 packets ≈ 1 BDP for 10 Mbps and 100 ms") corresponds to
+    /// ~1380-byte segments plus headers.
+    pub mss: u32,
+    /// Initial congestion window, segments (ns-3 default: 10).
+    pub initial_cwnd_segments: u32,
+    /// Duplicate-ACK threshold for fast retransmit.
+    pub dupack_threshold: u32,
+    /// Lower bound on the retransmission timeout (ns-3 default: 1 s).
+    pub min_rto: SimDuration,
+    /// RTO before any RTT sample exists (RFC6298 suggests 1 s in practice).
+    pub initial_rto: SimDuration,
+    /// Delayed ACKs enabled? (Paper: enabled; disabling removes the Fig. 3
+    /// RTT oscillation but changes nothing else.)
+    pub delayed_ack: bool,
+    /// ACK every `delack_count`-th in-order segment when delaying.
+    pub delack_count: u32,
+    /// Flush a pending delayed ACK after this timeout (ns-3 default 200 ms).
+    pub delack_timeout: SimDuration,
+    /// Total bytes to send; `None` = unbounded (long-running flow).
+    pub max_data: Option<u64>,
+}
+
+impl Default for TcpConfig {
+    fn default() -> Self {
+        TcpConfig {
+            mss: 1380,
+            initial_cwnd_segments: 10,
+            dupack_threshold: 3,
+            min_rto: SimDuration::from_secs(1),
+            initial_rto: SimDuration::from_secs(1),
+            delayed_ack: true,
+            delack_count: 2,
+            delack_timeout: SimDuration::from_millis(200),
+            max_data: None,
+        }
+    }
+}
+
+impl TcpConfig {
+    /// Builder-style: disable delayed ACKs.
+    pub fn without_delayed_ack(mut self) -> Self {
+        self.delayed_ack = false;
+        self
+    }
+
+    /// Builder-style: bound the flow to `bytes` of application data.
+    pub fn with_max_data(mut self, bytes: u64) -> Self {
+        self.max_data = Some(bytes);
+        self
+    }
+
+    /// Builder-style: set the MSS.
+    pub fn with_mss(mut self, mss: u32) -> Self {
+        assert!(mss > 0, "MSS must be positive");
+        self.mss = mss;
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_are_ns3_like() {
+        let c = TcpConfig::default();
+        assert_eq!(c.mss, 1380);
+        assert_eq!(c.initial_cwnd_segments, 10);
+        assert_eq!(c.dupack_threshold, 3);
+        assert_eq!(c.min_rto, SimDuration::from_secs(1));
+        assert!(c.delayed_ack);
+        assert!(c.max_data.is_none());
+    }
+
+    #[test]
+    fn builders() {
+        let c = TcpConfig::default()
+            .without_delayed_ack()
+            .with_max_data(1_000_000)
+            .with_mss(1000);
+        assert!(!c.delayed_ack);
+        assert_eq!(c.max_data, Some(1_000_000));
+        assert_eq!(c.mss, 1000);
+    }
+}

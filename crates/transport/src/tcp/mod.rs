@@ -1,0 +1,7 @@
+//! TCP: configuration, RTT estimation, congestion control, endpoints.
+
+pub mod cc;
+pub mod config;
+pub mod rtt;
+pub mod sender;
+pub mod sink;

@@ -1,0 +1,127 @@
+//! Gnuplot-ready CSV/TSV writers.
+//!
+//! The paper generated all plots with gnuplot from whitespace-separated
+//! series files. These helpers produce exactly that format, plus ECDFs
+//! (the `ECDF (pairs)` axes of Figs. 6–9).
+
+use std::fmt::Write as _;
+use std::io;
+use std::path::Path;
+
+/// Render `(x, y)` points as a two-column whitespace-separated series with
+/// a `#`-prefixed header.
+pub fn series_to_string(header: &str, points: &[(f64, f64)]) -> String {
+    let mut out = String::new();
+    writeln!(out, "# {header}").expect("string write");
+    for &(x, y) in points {
+        writeln!(out, "{x} {y}").expect("string write");
+    }
+    out
+}
+
+/// Write a series to a file, creating parent directories.
+pub fn write_series(path: &Path, header: &str, points: &[(f64, f64)]) -> io::Result<()> {
+    if let Some(parent) = path.parent() {
+        std::fs::create_dir_all(parent)?;
+    }
+    std::fs::write(path, series_to_string(header, points))
+}
+
+/// Empirical CDF of `values`: sorted `(value, fraction ≤ value)` points.
+/// Returns an empty vector for empty input.
+pub fn ecdf(values: &[f64]) -> Vec<(f64, f64)> {
+    let mut sorted: Vec<f64> = values.iter().copied().filter(|v| v.is_finite()).collect();
+    sorted.sort_by(f64::total_cmp);
+    let n = sorted.len();
+    sorted
+        .into_iter()
+        .enumerate()
+        .map(|(i, v)| (v, (i + 1) as f64 / n as f64))
+        .collect()
+}
+
+/// Percentile (0–100) via nearest-rank on a copy of `values`.
+pub fn percentile(values: &[f64], p: f64) -> Option<f64> {
+    assert!((0.0..=100.0).contains(&p), "percentile out of range: {p}");
+    let mut sorted: Vec<f64> = values.iter().copied().filter(|v| v.is_finite()).collect();
+    if sorted.is_empty() {
+        return None;
+    }
+    sorted.sort_by(f64::total_cmp);
+    let rank = ((p / 100.0) * sorted.len() as f64).ceil().max(1.0) as usize - 1;
+    Some(sorted[rank.min(sorted.len() - 1)])
+}
+
+/// The fraction of values that satisfy `pred` (e.g. "fraction of pairs with
+/// max/min RTT above 1.2").
+pub fn fraction_where(values: &[f64], pred: impl Fn(f64) -> bool) -> f64 {
+    if values.is_empty() {
+        return 0.0;
+    }
+    values.iter().filter(|&&v| pred(v)).count() as f64 / values.len() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn series_format() {
+        let s = series_to_string("time goodput", &[(0.0, 1.5), (1.0, 2.5)]);
+        let lines: Vec<&str> = s.lines().collect();
+        assert_eq!(lines[0], "# time goodput");
+        assert_eq!(lines[1], "0 1.5");
+        assert_eq!(lines[2], "1 2.5");
+    }
+
+    #[test]
+    fn ecdf_monotone_and_normalized() {
+        let points = ecdf(&[3.0, 1.0, 2.0, 2.0]);
+        assert_eq!(points.len(), 4);
+        assert_eq!(points[0].0, 1.0);
+        assert_eq!(points.last().unwrap().1, 1.0);
+        for w in points.windows(2) {
+            assert!(w[0].0 <= w[1].0);
+            assert!(w[0].1 <= w[1].1);
+        }
+    }
+
+    #[test]
+    fn ecdf_of_empty_is_empty() {
+        assert!(ecdf(&[]).is_empty());
+    }
+
+    #[test]
+    fn ecdf_filters_non_finite() {
+        // NaN and infinity are both dropped.
+        let points = ecdf(&[1.0, f64::NAN, 2.0, f64::INFINITY]);
+        assert_eq!(points.len(), 2);
+    }
+
+    #[test]
+    fn percentiles() {
+        let v: Vec<f64> = (1..=100).map(|i| i as f64).collect();
+        assert_eq!(percentile(&v, 50.0), Some(50.0));
+        assert_eq!(percentile(&v, 90.0), Some(90.0));
+        assert_eq!(percentile(&v, 100.0), Some(100.0));
+        assert_eq!(percentile(&v, 0.0), Some(1.0));
+        assert_eq!(percentile(&[], 50.0), None);
+    }
+
+    #[test]
+    fn fractions() {
+        let v = [1.0, 2.0, 3.0, 4.0];
+        assert_eq!(fraction_where(&v, |x| x > 2.0), 0.5);
+        assert_eq!(fraction_where(&[], |_| true), 0.0);
+    }
+
+    #[test]
+    fn write_series_creates_dirs() {
+        let dir = std::env::temp_dir().join("hypatia-viz-test");
+        let path = dir.join("nested").join("series.dat");
+        write_series(&path, "h", &[(1.0, 2.0)]).unwrap();
+        let content = std::fs::read_to_string(&path).unwrap();
+        assert!(content.contains("1 2"));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

@@ -1,0 +1,47 @@
+//! The sky from a ground station: who can I talk to right now?
+//!
+//! Renders the ground-observer view (paper Fig. 12) for a city of your
+//! choice over Kuiper K1, plus its connectivity windows over ten minutes.
+//!
+//! Run with: `cargo run --release --example ground_observer [city]`
+
+use hypatia::scenario::ConstellationChoice;
+use hypatia::util::{SimDuration, SimTime};
+use hypatia_constellation::ground::top_cities;
+use hypatia_viz::ground_view::{connectivity_windows, GroundView};
+
+fn main() {
+    let city = std::env::args().nth(1).unwrap_or_else(|| "Saint Petersburg".into());
+    let gses = top_cities(100);
+    let gs = gses
+        .iter()
+        .find(|g| g.name.eq_ignore_ascii_case(&city))
+        .unwrap_or_else(|| panic!("unknown city {city:?} — try e.g. \"Tokyo\""))
+        .clone();
+
+    let c = ConstellationChoice::KuiperK1.build(vec![gs.clone()]);
+    let view = GroundView::compute(&c, &gs, SimTime::ZERO);
+    println!("{}", view.render_ascii(100, 16));
+    let connectable = view.satellites.iter().filter(|s| s.connectable).count();
+    println!(
+        "{} satellites above the horizon, {} connectable (elevation >= {}°)\n",
+        view.satellites.len(),
+        connectable,
+        view.min_elevation_deg
+    );
+
+    println!("connectivity over the next 10 minutes (5 s granularity):");
+    let windows =
+        connectivity_windows(&c, &gs, SimDuration::from_secs(600), SimDuration::from_secs(5));
+    for w in &windows {
+        println!(
+            "  {:>6.0}s – {:>6.0}s : {}",
+            w.from.secs_f64(),
+            w.until.secs_f64(),
+            if w.connected { "connected" } else { "NO COVERAGE" }
+        );
+    }
+    if windows.iter().all(|w| w.connected) {
+        println!("  (continuously covered — try \"Saint Petersburg\" for gaps)");
+    }
+}

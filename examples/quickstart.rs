@@ -1,0 +1,56 @@
+//! Quickstart: ping across a LEO mega-constellation.
+//!
+//! Builds Kuiper's first shell (1,156 satellites), places ground stations
+//! at two cities, and measures ping RTTs through the moving constellation
+//! for ten simulated seconds.
+//!
+//! Run with: `cargo run --release --example quickstart`
+
+use hypatia::prelude::*;
+
+fn main() {
+    // 1. Ground segment: two cities from the built-in dataset.
+    let cities = hypatia::constellation::ground::top_cities(100);
+    let constellation =
+        std::sync::Arc::new(hypatia::constellation::presets::kuiper_k1(cities));
+    println!(
+        "built {}: {} satellites, {} ISLs, {} ground stations",
+        constellation.name,
+        constellation.num_satellites(),
+        constellation.isls.len(),
+        constellation.num_ground_stations()
+    );
+
+    // 2. Pick a pair and set up the simulator (defaults: 10 Mbit/s links,
+    //    100-packet queues, forwarding recomputed every 100 ms).
+    let src = constellation.gs_node(constellation.find_gs("Istanbul").unwrap());
+    let dst = constellation.gs_node(constellation.find_gs("Nairobi").unwrap());
+    let mut sim = Simulator::new(constellation.clone(), SimConfig::default(), vec![src, dst]);
+
+    // 3. Ping every 100 ms for 10 s.
+    let ping = sim.add_app(
+        src,
+        7,
+        Box::new(PingApp::new(dst, SimDuration::from_millis(100), SimTime::from_secs(10))),
+    );
+    sim.run_until(SimTime::from_secs(11));
+
+    // 4. Report.
+    let app: &PingApp = sim.app_as(ping).unwrap();
+    println!("\nIstanbul -> Nairobi over Kuiper K1:");
+    println!("  pings sent {}, received {}", app.sent(), app.received());
+    let rtts: Vec<f64> = app.rtts().iter().map(|&(_, r)| r.secs_f64() * 1e3).collect();
+    let min = rtts.iter().copied().fold(f64::INFINITY, f64::min);
+    let max = rtts.iter().copied().fold(0.0, f64::max);
+    println!("  RTT min {min:.1} ms, max {max:.1} ms");
+    println!(
+        "  geodesic (speed-of-light) RTT: {:.1} ms",
+        constellation.ground_stations[constellation.find_gs("Istanbul").unwrap()]
+            .geodesic_rtt(
+                &constellation.ground_stations[constellation.find_gs("Nairobi").unwrap()]
+            )
+            .secs_f64()
+            * 1e3
+    );
+    println!("  simulator processed {} events", sim.stats.events);
+}

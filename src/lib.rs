@@ -1,0 +1,1 @@
+//! Workspace-level test/example umbrella for Hypatia.
