@@ -1,0 +1,86 @@
+//! Micro-benchmark: the snapshot-routing pipeline (DESIGN.md §5).
+//!
+//! Three ways to compute the same sequence of forwarding states:
+//!
+//! * `serial_alloc` — the convenience API: fresh graph, scratch and state
+//!   allocated every time-step (what the sweeps did before the pipeline);
+//! * `serial_reuse` — one `SnapshotBuffers` + `DijkstraScratch` + output
+//!   state reused across all steps (CSR rebuild in place, zero steady-state
+//!   allocation);
+//! * `parallel_4` — the ordered worker pool fanning the same steps across
+//!   4 threads (`sweep_forwarding_states`), bit-identical output.
+//!
+//! The shell is reduced so one iteration stays in the tens of milliseconds;
+//! the relative ordering (reuse ≥ alloc, parallel ≈ reuse / threads) is
+//! what matters, and it is scale-independent.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use hypatia_constellation::ground::top_cities;
+use hypatia_constellation::gsl::GslConfig;
+use hypatia_constellation::isl::IslLayout;
+use hypatia_constellation::shell::ShellSpec;
+use hypatia_constellation::Constellation;
+use hypatia_routing::forwarding::{
+    compute_forwarding_state_into, compute_forwarding_state_on, ForwardingState,
+};
+use hypatia_routing::graph::{DelayGraph, SnapshotBuffers};
+use hypatia_routing::parallel::sweep_forwarding_states;
+use hypatia_routing::DijkstraScratch;
+use hypatia_util::{SimDuration, SimTime};
+use std::hint::black_box;
+
+fn kuiper_like(orbits: u32, per: u32, cities: usize) -> Constellation {
+    Constellation::build(
+        "bench",
+        vec![ShellSpec::new("K", 630.0, orbits, per, 51.9)],
+        IslLayout::PlusGrid,
+        top_cities(cities),
+        GslConfig::new(30.0),
+    )
+}
+
+fn bench_snapshot_pipeline(c: &mut Criterion) {
+    let mut group = c.benchmark_group("snapshot_pipeline");
+    group.sample_size(10);
+
+    let constellation = kuiper_like(16, 16, 20);
+    let dests: Vec<_> =
+        (0..constellation.num_ground_stations()).map(|i| constellation.gs_node(i)).collect();
+    let step = SimDuration::from_millis(100);
+    let times: Vec<SimTime> = (0..24).map(|k| SimTime::ZERO + step * k).collect();
+
+    group.bench_function("serial_alloc_24_steps", |b| {
+        b.iter(|| {
+            for &t in &times {
+                let graph = DelayGraph::snapshot(&constellation, t);
+                black_box(compute_forwarding_state_on(&graph, t, &dests));
+            }
+        })
+    });
+
+    group.bench_function("serial_reuse_24_steps", |b| {
+        let mut buffers = SnapshotBuffers::default();
+        let mut scratch = DijkstraScratch::new();
+        let mut state = ForwardingState::empty();
+        b.iter(|| {
+            for &t in &times {
+                let graph = buffers.snapshot(&constellation, t);
+                compute_forwarding_state_into(graph, t, &dests, &mut scratch, &mut state);
+                black_box(&state);
+            }
+        })
+    });
+
+    group.bench_function("parallel_4_24_steps", |b| {
+        b.iter(|| {
+            sweep_forwarding_states(&constellation, &times, &dests, 4, |_, state| {
+                black_box(&state);
+            })
+        })
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_snapshot_pipeline);
+criterion_main!(benches);

@@ -24,6 +24,7 @@ fn main() {
                 fine_step: SimDuration::from_millis(50),
                 coarse_multiples: vec![2, 20],
                 min_pair_distance_km: 500.0,
+                threads: 0,
             },
         )
     } else {
@@ -34,6 +35,7 @@ fn main() {
                 fine_step: SimDuration::from_millis(250),
                 coarse_multiples: vec![2, 20],
                 min_pair_distance_km: 500.0,
+                threads: 0,
             },
         )
     };

@@ -92,6 +92,7 @@ pub fn three_constellation_sweep(
                 duration: SimDuration::from_secs(200),
                 step: SimDuration::from_millis(100),
                 min_pair_distance_km: 500.0,
+                threads: 0,
             },
         )
     } else {
@@ -101,6 +102,7 @@ pub fn three_constellation_sweep(
                 duration: SimDuration::from_secs(200),
                 step: SimDuration::from_millis(500),
                 min_pair_distance_km: 500.0,
+                threads: 0,
             },
         )
     };

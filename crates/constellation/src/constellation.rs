@@ -187,9 +187,17 @@ impl Constellation {
     /// across all queries for one time-step.
     pub fn positions_at(&self, t: SimTime) -> Vec<Vec3> {
         let mut out = Vec::with_capacity(self.num_nodes());
+        self.positions_at_into(t, &mut out);
+        out
+    }
+
+    /// As [`Self::positions_at`], but writing into a caller-owned buffer so
+    /// per-time-step sweeps reuse one allocation across all steps.
+    pub fn positions_at_into(&self, t: SimTime, out: &mut Vec<Vec3>) {
+        out.clear();
+        out.reserve(self.num_nodes());
         out.extend((0..self.num_satellites()).map(|s| self.sat_position_ecef(s, t)));
         out.extend(self.ground_stations.iter().map(|g| g.position_ecef()));
-        out
     }
 
     /// Distance between two nodes at time `t`, km.

@@ -9,8 +9,7 @@
 //! * per-pair changes *missed* relative to the fine baseline (Fig. 9b).
 
 use hypatia_constellation::Constellation;
-use hypatia_routing::forwarding::compute_forwarding_state_on;
-use hypatia_routing::graph::DelayGraph;
+use hypatia_routing::parallel::sweep_forwarding_states;
 use hypatia_routing::path::satellites_of;
 use hypatia_util::time::TimeSteps;
 use hypatia_util::{SimDuration, SimTime};
@@ -29,6 +28,9 @@ pub struct GranularityConfig {
     pub coarse_multiples: Vec<u64>,
     /// Pair distance filter, km.
     pub min_pair_distance_km: f64,
+    /// Worker threads for the snapshot-routing pipeline (0 = all cores,
+    /// 1 = serial). Results are bit-identical for any value.
+    pub threads: usize,
 }
 
 impl Default for GranularityConfig {
@@ -38,6 +40,7 @@ impl Default for GranularityConfig {
             fine_step: SimDuration::from_millis(50),
             coarse_multiples: vec![2, 20],
             min_pair_distance_km: 500.0,
+            threads: 0,
         }
     }
 }
@@ -124,11 +127,13 @@ pub fn run(constellation: &Constellation, cfg: &GranularityConfig) -> Granularit
         }
     }
 
-    // hashes[pair][fine_step]
+    // hashes[pair][fine_step] — fine-step snapshots fan out across worker
+    // threads; hashing consumes the states in time order, so the series is
+    // identical to the serial loop's.
     let mut hashes: Vec<Vec<u64>> = vec![Vec::new(); pair_list.len()];
-    for t in TimeSteps::new(SimTime::ZERO, SimTime::ZERO + cfg.duration, cfg.fine_step) {
-        let graph = DelayGraph::snapshot(constellation, t);
-        let state = compute_forwarding_state_on(&graph, t, &dests);
+    let times: Vec<SimTime> =
+        TimeSteps::new(SimTime::ZERO, SimTime::ZERO + cfg.duration, cfg.fine_step).collect();
+    sweep_forwarding_states(constellation, &times, &dests, cfg.threads, |_, state| {
         for (p, &(src, dst)) in pair_list.iter().enumerate() {
             let h = state
                 .path(src, dst)
@@ -136,7 +141,7 @@ pub fn run(constellation: &Constellation, cfg: &GranularityConfig) -> Granularit
                 .unwrap_or(0);
             hashes[p].push(h);
         }
-    }
+    });
 
     let mut stats = Vec::new();
     let (fine_steps, fine_pairs) = changes_per_step(&hashes, 1);
@@ -178,8 +183,33 @@ mod tests {
                 fine_step: SimDuration::from_millis(500),
                 coarse_multiples: vec![2, 8],
                 min_pair_distance_km: 500.0,
+                threads: 0,
             },
         )
+    }
+
+    /// Thread count must not change the result (steps are independent and
+    /// consumed in order).
+    #[test]
+    fn parallel_granularity_bit_identical_to_serial() {
+        let c = presets::kuiper_k1(top_cities(4));
+        let run_with = |threads: usize| {
+            let r = run(
+                &c,
+                &GranularityConfig {
+                    duration: SimDuration::from_secs(20),
+                    fine_step: SimDuration::from_millis(500),
+                    coarse_multiples: vec![2, 4],
+                    min_pair_distance_km: 500.0,
+                    threads,
+                },
+            );
+            format!("{r:?}")
+        };
+        let serial = run_with(1);
+        for threads in [2, 4] {
+            assert_eq!(serial, run_with(threads), "thread count {threads} diverged");
+        }
     }
 
     #[test]

@@ -10,8 +10,7 @@
 //! * Fig. 8 — ECDFs of path changes, hop-count difference and ratio.
 
 use hypatia_constellation::Constellation;
-use hypatia_routing::forwarding::compute_forwarding_state_on;
-use hypatia_routing::graph::DelayGraph;
+use hypatia_routing::parallel::sweep_forwarding_states;
 use hypatia_routing::path::PairTracker;
 use hypatia_util::time::TimeSteps;
 use hypatia_util::{SimDuration, SimTime};
@@ -25,6 +24,10 @@ pub struct PairSweepConfig {
     pub step: SimDuration,
     /// Exclude pairs closer than this (paper: 500 km).
     pub min_pair_distance_km: f64,
+    /// Worker threads for the snapshot-routing pipeline (0 = all cores,
+    /// 1 = serial). Results are bit-identical for any value — time-steps
+    /// are independent and consumed in order.
+    pub threads: usize,
 }
 
 impl Default for PairSweepConfig {
@@ -33,6 +36,7 @@ impl Default for PairSweepConfig {
             duration: SimDuration::from_secs(200),
             step: SimDuration::from_millis(100),
             min_pair_distance_km: 500.0,
+            threads: 0,
         }
     }
 }
@@ -112,13 +116,16 @@ pub fn run(constellation: &Constellation, cfg: &PairSweepConfig) -> Vec<PairStat
         }
     }
 
-    for t in TimeSteps::new(SimTime::ZERO, SimTime::ZERO + cfg.duration, cfg.step) {
-        let graph = DelayGraph::snapshot(constellation, t);
-        let state = compute_forwarding_state_on(&graph, t, &dests);
+    // Snapshot + per-destination trees fan out across worker threads; the
+    // stateful trackers consume the states strictly in time order, so the
+    // result is identical to the serial loop for any thread count.
+    let times: Vec<SimTime> =
+        TimeSteps::new(SimTime::ZERO, SimTime::ZERO + cfg.duration, cfg.step).collect();
+    sweep_forwarding_states(constellation, &times, &dests, cfg.threads, |_, state| {
         for (_, _, tracker) in pairs.iter_mut() {
             tracker.observe(constellation, &state);
         }
-    }
+    });
 
     pairs
         .into_iter()
@@ -157,6 +164,7 @@ mod tests {
                 duration: SimDuration::from_secs(secs),
                 step: SimDuration::from_secs(step_s),
                 min_pair_distance_km: 500.0,
+                threads: 0,
             },
         )
     }
@@ -211,6 +219,32 @@ mod tests {
         );
     }
 
+    /// The headline determinism guarantee of the parallel pipeline: the
+    /// sweep's output is byte-identical to the serial sweep on Kuiper K1,
+    /// independent of the worker-thread count.
+    #[test]
+    fn parallel_sweep_bit_identical_to_serial() {
+        let c = presets::kuiper_k1(top_cities(8));
+        let sweep = |threads: usize| {
+            let stats = run(
+                &c,
+                &PairSweepConfig {
+                    duration: SimDuration::from_secs(10),
+                    step: SimDuration::from_secs(2),
+                    min_pair_distance_km: 500.0,
+                    threads,
+                },
+            );
+            // Debug formatting captures every field bit-for-bit (NaN
+            // included, which `==` on f64 would miss).
+            format!("{stats:?}")
+        };
+        let serial = sweep(1);
+        for threads in [2, 4, 8] {
+            assert_eq!(serial, sweep(threads), "thread count {threads} diverged");
+        }
+    }
+
     #[test]
     fn nearby_pairs_excluded() {
         // Guangzhou–Shenzhen–Dongguan–Foshan cluster is within 500 km; with
@@ -220,6 +254,7 @@ mod tests {
             duration: SimDuration::from_secs(2),
             step: SimDuration::from_secs(2),
             min_pair_distance_km: 500.0,
+            threads: 0,
         };
         let stats = run(&c, &cfg);
         assert!(stats.len() < 4950, "got {}", stats.len());

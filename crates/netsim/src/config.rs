@@ -40,6 +40,15 @@ pub struct SimConfig {
     /// detours up to 20% longer). `None` = single shortest path (paper
     /// default). Addresses the paper's §5.4 routing/TE takeaway.
     pub multipath_stretch: Option<f64>,
+    /// Background forwarding-state prefetch: number of worker threads that
+    /// compute upcoming time-steps while the event loop consumes the
+    /// current one (0 = compute inline, the default). States are consumed
+    /// strictly in step order, so the simulation is bit-identical for any
+    /// value — this is purely a wall-clock knob.
+    pub fstate_threads: usize,
+    /// How many forwarding-state steps may be computed ahead when
+    /// `fstate_threads > 0` (bounds prefetch memory).
+    pub fstate_prefetch: usize,
 }
 
 impl Default for SimConfig {
@@ -56,6 +65,8 @@ impl Default for SimConfig {
             loss_seed: 7,
             trace_limit: 0,
             multipath_stretch: None,
+            fstate_threads: 0,
+            fstate_prefetch: 4,
         }
     }
 }
@@ -123,6 +134,16 @@ impl SimConfig {
     /// Builder-style: enable per-packet tracing with the given buffer size.
     pub fn with_trace_limit(mut self, limit: usize) -> Self {
         self.trace_limit = limit;
+        self
+    }
+
+    /// Builder-style: compute forwarding states for upcoming steps on
+    /// `threads` background workers, at most `prefetch` steps ahead.
+    /// Results are identical to inline computation for any thread count.
+    pub fn with_fstate_prefetch(mut self, threads: usize, prefetch: usize) -> Self {
+        assert!(prefetch > 0 || threads == 0, "prefetch depth must be positive");
+        self.fstate_threads = threads;
+        self.fstate_prefetch = prefetch;
         self
     }
 

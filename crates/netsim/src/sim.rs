@@ -11,8 +11,10 @@ use crate::trace::{Trace, TraceKind};
 use hypatia_constellation::{Constellation, NodeId};
 use hypatia_orbit::geodesy::propagation_delay_km;
 use hypatia_routing::forwarding::{
-    compute_forwarding_state, compute_multipath_state, ForwardingState, MultipathState,
+    compute_forwarding_state, compute_multipath_state, compute_multipath_state_on,
+    ForwardingState, MultipathState,
 };
+use hypatia_routing::parallel::{Prefetcher, SnapshotWorker};
 use hypatia_util::rng::DetRng;
 use hypatia_util::SimTime;
 #[cfg(test)]
@@ -41,6 +43,11 @@ pub struct Simulator {
     fwd: ForwardingState,
     /// Multipath alternates (present when `multipath_stretch` is set).
     mp: Option<MultipathState>,
+    /// Background forwarding-state pipeline (present when
+    /// `config.fstate_threads > 0`): computes steps `k+1..k+P` while the
+    /// event loop consumes step `k`. Deterministic — states are identical
+    /// to inline computation and consumed strictly in step order.
+    fstate_prefetch: Option<Prefetcher<(ForwardingState, Option<MultipathState>)>>,
     next_packet_id: u64,
     /// Deterministic PRNG for the GSL loss process.
     loss_rng: DetRng,
@@ -95,6 +102,28 @@ impl Simulator {
             );
         }
 
+        // Background prefetch of upcoming forwarding steps (off for frozen
+        // networks, which never update forwarding at all).
+        let fstate_prefetch = (config.fstate_threads > 0 && !config.freeze_at_epoch).then(|| {
+            let constellation = constellation.clone();
+            let dests = dests.clone();
+            let step = config.fstate_step;
+            let stretch = config.multipath_stretch;
+            Prefetcher::spawn(
+                1,
+                config.fstate_threads,
+                config.fstate_prefetch,
+                SnapshotWorker::new,
+                move |worker: &mut SnapshotWorker, k| {
+                    let t = SimTime::ZERO + step * k;
+                    let fwd = worker.forwarding_state(&constellation, t, &dests);
+                    let mp = stretch
+                        .map(|s| compute_multipath_state_on(worker.buffers.graph(), t, &dests, s));
+                    (fwd, mp)
+                },
+            )
+        });
+
         let loss_rng = DetRng::new(config.loss_seed);
         let trace = Trace::new(config.trace_limit);
         Simulator {
@@ -107,6 +136,7 @@ impl Simulator {
             dests,
             fwd,
             mp,
+            fstate_prefetch,
             next_packet_id: 0,
             loss_rng,
             trace,
@@ -290,9 +320,16 @@ impl Simulator {
     fn forwarding_update(&mut self, step: u64) {
         let t = SimTime::ZERO + self.config.fstate_step * step;
         debug_assert_eq!(t, self.now, "forwarding update fired at the wrong time");
-        self.fwd = compute_forwarding_state(&self.constellation, t, &self.dests);
-        if let Some(stretch) = self.config.multipath_stretch {
-            self.mp = Some(compute_multipath_state(&self.constellation, t, &self.dests, stretch));
+        if let Some(prefetch) = &mut self.fstate_prefetch {
+            let (fwd, mp) = prefetch.take(step);
+            self.fwd = fwd;
+            self.mp = mp;
+        } else {
+            self.fwd = compute_forwarding_state(&self.constellation, t, &self.dests);
+            if let Some(stretch) = self.config.multipath_stretch {
+                self.mp =
+                    Some(compute_multipath_state(&self.constellation, t, &self.dests, stretch));
+            }
         }
         self.stats.forwarding_updates += 1;
         self.queue.schedule(
@@ -435,6 +472,35 @@ mod tests {
         let (b_rtts, b_events) = run();
         assert_eq!(a_rtts, b_rtts);
         assert_eq!(a_events, b_events);
+    }
+
+    /// The background forwarding-state pipeline is a pure wall-clock knob:
+    /// every observable of a run must be bit-identical to inline
+    /// computation, for any worker-thread count, with and without
+    /// multipath.
+    #[test]
+    fn prefetched_forwarding_is_bit_identical_to_inline() {
+        let c = constellation();
+        let (src, dst) = (c.gs_node(0), c.gs_node(1));
+        let run = |cfg: SimConfig| {
+            let mut sim = Simulator::new(c.clone(), cfg, vec![src, dst]);
+            let app = sim.add_app(
+                src,
+                100,
+                Box::new(PingApp::new(dst, SimDuration::from_millis(10), SimTime::from_secs(1))),
+            );
+            sim.run_until(SimTime::from_secs(2));
+            let ping: &PingApp = sim.app_as(app).unwrap();
+            (ping.rtts().to_vec(), sim.stats.events, sim.stats.forwarding_updates)
+        };
+        let inline = run(SimConfig::default());
+        for threads in [1, 2, 4] {
+            let prefetched = run(SimConfig::default().with_fstate_prefetch(threads, 4));
+            assert_eq!(inline, prefetched, "threads={threads}");
+        }
+        let mp_inline = run(SimConfig::default().with_multipath(1.3));
+        let mp_prefetched = run(SimConfig::default().with_multipath(1.3).with_fstate_prefetch(2, 4));
+        assert_eq!(mp_inline, mp_prefetched);
     }
 
     #[test]

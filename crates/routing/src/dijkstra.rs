@@ -30,19 +30,64 @@ pub struct SpTree {
     pub next_hop: Vec<Option<u32>>,
 }
 
+/// Reusable working memory for [`shortest_path_tree_into`]: the binary
+/// heap and the settled bitmap survive across calls, so a per-destination
+/// tree computation allocates nothing once the scratch has warmed up.
+#[derive(Debug, Default)]
+pub struct DijkstraScratch {
+    settled: Vec<bool>,
+    heap: BinaryHeap<Reverse<(u64, u32)>>,
+}
+
+impl DijkstraScratch {
+    /// Fresh, empty scratch.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+impl SpTree {
+    /// An empty tree, to be filled by [`shortest_path_tree_into`].
+    pub fn empty() -> Self {
+        SpTree { dst: 0, dist_ns: Vec::new(), next_hop: Vec::new() }
+    }
+}
+
 /// Compute the shortest-path tree towards `dst`.
 ///
 /// Because every edge in a [`DelayGraph`] is symmetric, running Dijkstra
 /// *from* `dst` yields distances *to* `dst`, and each settled node's parent
 /// is exactly its next hop towards `dst`.
 pub fn shortest_path_tree(graph: &DelayGraph, dst: u32) -> SpTree {
+    let mut scratch = DijkstraScratch::new();
+    let mut tree = SpTree::empty();
+    shortest_path_tree_into(graph, dst, &mut scratch, &mut tree);
+    tree
+}
+
+/// As [`shortest_path_tree`], but reusing both the caller's scratch and
+/// the output tree's buffers. Produces exactly the same tree.
+pub fn shortest_path_tree_into(
+    graph: &DelayGraph,
+    dst: u32,
+    scratch: &mut DijkstraScratch,
+    out: &mut SpTree,
+) {
     let n = graph.num_nodes();
     assert!((dst as usize) < n, "destination {dst} out of range");
-    let mut dist = vec![UNREACHABLE; n];
-    let mut next_hop: Vec<Option<u32>> = vec![None; n];
-    let mut settled = vec![false; n];
+    out.dst = dst;
+    out.dist_ns.clear();
+    out.dist_ns.resize(n, UNREACHABLE);
+    out.next_hop.clear();
+    out.next_hop.resize(n, None);
+    scratch.settled.clear();
+    scratch.settled.resize(n, false);
+    scratch.heap.clear();
 
-    let mut heap: BinaryHeap<Reverse<(u64, u32)>> = BinaryHeap::new();
+    let dist = &mut out.dist_ns;
+    let next_hop = &mut out.next_hop;
+    let settled = &mut scratch.settled;
+    let heap = &mut scratch.heap;
     dist[dst as usize] = 0;
     heap.push(Reverse((0, dst)));
 
@@ -75,8 +120,6 @@ pub fn shortest_path_tree(graph: &DelayGraph, dst: u32) -> SpTree {
             }
         }
     }
-
-    SpTree { dst, dist_ns: dist, next_hop }
 }
 
 impl SpTree {

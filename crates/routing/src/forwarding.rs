@@ -6,11 +6,24 @@
 //! shape (paper §3.1); the default is shortest-delay via per-destination
 //! Dijkstra trees.
 
-use crate::dijkstra::{shortest_path_tree, SpTree};
-use crate::graph::DelayGraph;
+use crate::dijkstra::{shortest_path_tree_into, DijkstraScratch, SpTree};
+use crate::graph::{DelayGraph, SnapshotBuffers};
 use crate::multipath::{multipath_tree, MultipathTree};
 use hypatia_constellation::{Constellation, NodeId};
 use hypatia_util::{SimDuration, SimTime};
+
+/// Sentinel in the dense destination lookup: "not a destination".
+const NOT_A_DEST: u32 = u32::MAX;
+
+/// Build the dense `NodeId → destination index` table used on the
+/// per-packet hot path (replaces an `O(dests)` linear scan).
+fn build_dest_lookup(dests: &[NodeId], num_nodes: usize) -> Vec<u32> {
+    let mut lookup = vec![NOT_A_DEST; num_nodes];
+    for (i, d) in dests.iter().enumerate() {
+        lookup[d.index()] = i as u32;
+    }
+    lookup
+}
 
 /// The forwarding state of the whole network towards a set of destinations,
 /// valid for one time-step.
@@ -21,9 +34,22 @@ pub struct ForwardingState {
     /// The destinations, in the order given at computation time.
     pub dests: Vec<NodeId>,
     trees: Vec<SpTree>,
+    /// Dense `node index → index into trees` (or [`NOT_A_DEST`]), built
+    /// once at construction so per-packet lookups are O(1).
+    dest_lookup: Vec<u32>,
 }
 
 impl ForwardingState {
+    /// An empty state, to be filled by [`compute_forwarding_state_into`].
+    pub fn empty() -> Self {
+        ForwardingState {
+            computed_at: SimTime::ZERO,
+            dests: Vec::new(),
+            trees: Vec::new(),
+            dest_lookup: Vec::new(),
+        }
+    }
+
     /// Next hop of `node` towards `dst`, or `None` when `dst` is currently
     /// unreachable (or `node == dst`).
     pub fn next_hop(&self, node: NodeId, dst: NodeId) -> Option<NodeId> {
@@ -48,8 +74,10 @@ impl ForwardingState {
         Some(&self.trees[self.dest_index(dst)?])
     }
 
+    #[inline]
     fn dest_index(&self, dst: NodeId) -> Option<usize> {
-        self.dests.iter().position(|&d| d == dst)
+        let idx = *self.dest_lookup.get(dst.index())?;
+        (idx != NOT_A_DEST).then_some(idx as usize)
     }
 }
 
@@ -69,8 +97,50 @@ pub fn compute_forwarding_state_on(
     t: SimTime,
     dests: &[NodeId],
 ) -> ForwardingState {
-    let trees = dests.iter().map(|d| shortest_path_tree(graph, d.0)).collect();
-    ForwardingState { computed_at: t, dests: dests.to_vec(), trees }
+    let mut scratch = DijkstraScratch::new();
+    let mut out = ForwardingState::empty();
+    compute_forwarding_state_into(graph, t, dests, &mut scratch, &mut out);
+    out
+}
+
+/// As [`compute_forwarding_state_on`] but writing into an existing state,
+/// reusing its tree buffers and the caller's Dijkstra scratch. Produces
+/// exactly the same state as the allocating path.
+pub fn compute_forwarding_state_into(
+    graph: &DelayGraph,
+    t: SimTime,
+    dests: &[NodeId],
+    scratch: &mut DijkstraScratch,
+    out: &mut ForwardingState,
+) {
+    out.computed_at = t;
+    out.dests.clear();
+    out.dests.extend_from_slice(dests);
+    out.trees.resize_with(dests.len(), SpTree::empty);
+    for (tree, d) in out.trees.iter_mut().zip(dests) {
+        shortest_path_tree_into(graph, d.0, scratch, tree);
+    }
+    out.dest_lookup.clear();
+    out.dest_lookup.resize(graph.num_nodes(), NOT_A_DEST);
+    for (i, d) in dests.iter().enumerate() {
+        out.dest_lookup[d.index()] = i as u32;
+    }
+}
+
+/// Compute a forwarding state reusing per-worker snapshot and Dijkstra
+/// buffers (the building block of the parallel pipeline: only the returned
+/// state itself is freshly allocated, because it is handed away).
+pub fn compute_forwarding_state_with(
+    buffers: &mut SnapshotBuffers,
+    scratch: &mut DijkstraScratch,
+    constellation: &Constellation,
+    t: SimTime,
+    dests: &[NodeId],
+) -> ForwardingState {
+    let graph = buffers.snapshot(constellation, t);
+    let mut out = ForwardingState::empty();
+    compute_forwarding_state_into(graph, t, dests, scratch, &mut out);
+    out
 }
 
 /// Multipath forwarding state: downhill alternates towards each
@@ -82,20 +152,27 @@ pub struct MultipathState {
     /// The destinations, in computation order.
     pub dests: Vec<NodeId>,
     trees: Vec<MultipathTree>,
+    /// Dense `node index → index into trees` (or [`NOT_A_DEST`]).
+    dest_lookup: Vec<u32>,
 }
 
 impl MultipathState {
     /// Flow-stable next hop of `node` towards `dst` (falls back to the
     /// shortest-path hop when no alternate qualifies).
     pub fn next_hop(&self, node: NodeId, dst: NodeId, flow_hash: u64) -> Option<NodeId> {
-        let idx = self.dests.iter().position(|&d| d == dst)?;
+        let idx = self.dest_index(dst)?;
         self.trees[idx].pick(node.0, flow_hash).map(NodeId)
     }
 
     /// The multipath tree towards `dst`.
     pub fn tree(&self, dst: NodeId) -> Option<&MultipathTree> {
-        let idx = self.dests.iter().position(|&d| d == dst)?;
-        Some(&self.trees[idx])
+        Some(&self.trees[self.dest_index(dst)?])
+    }
+
+    #[inline]
+    fn dest_index(&self, dst: NodeId) -> Option<usize> {
+        let idx = *self.dest_lookup.get(dst.index())?;
+        (idx != NOT_A_DEST).then_some(idx as usize)
     }
 }
 
@@ -108,8 +185,19 @@ pub fn compute_multipath_state(
     stretch: f64,
 ) -> MultipathState {
     let graph = DelayGraph::snapshot(constellation, t);
-    let trees = dests.iter().map(|d| multipath_tree(&graph, d.0, stretch)).collect();
-    MultipathState { computed_at: t, dests: dests.to_vec(), trees }
+    compute_multipath_state_on(&graph, t, dests, stretch)
+}
+
+/// As [`compute_multipath_state`] but reusing an existing snapshot graph.
+pub fn compute_multipath_state_on(
+    graph: &DelayGraph,
+    t: SimTime,
+    dests: &[NodeId],
+    stretch: f64,
+) -> MultipathState {
+    let trees = dests.iter().map(|d| multipath_tree(graph, d.0, stretch)).collect();
+    let dest_lookup = build_dest_lookup(dests, graph.num_nodes());
+    MultipathState { computed_at: t, dests: dests.to_vec(), trees, dest_lookup }
 }
 
 /// A lazily-evaluated schedule of forwarding states at a fixed granularity

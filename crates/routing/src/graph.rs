@@ -20,10 +20,16 @@ pub struct Edge {
     pub delay_ns: u64,
 }
 
-/// A snapshot graph: adjacency lists over the constellation's node ids.
+/// A snapshot graph in compressed-sparse-row form: one flat edge array
+/// plus per-node offsets. A single allocation-free layout makes snapshot
+/// rebuilds cheap (see [`SnapshotBuffers`]) and keeps Dijkstra's inner
+/// loop on contiguous memory.
 #[derive(Debug, Clone)]
 pub struct DelayGraph {
-    adj: Vec<Vec<Edge>>,
+    /// `offsets[v]..offsets[v+1]` indexes `edges` for node `v`.
+    offsets: Vec<u32>,
+    /// All directed edges, grouped by source node.
+    edges: Vec<Edge>,
     /// `transit[v]`: may `v` appear as an *interior* node of a path?
     /// Satellites always may; ground stations only in bent-pipe
     /// constellations (`Constellation::gs_relay`). Endpoints are exempt.
@@ -32,11 +38,110 @@ pub struct DelayGraph {
     pub positions: Vec<Vec3>,
 }
 
+/// Reusable scratch for building [`DelayGraph`] snapshots without
+/// per-step allocation: the position buffer, the unsorted edge staging
+/// area, and the CSR fill cursors all persist across calls.
+#[derive(Debug, Default)]
+pub struct SnapshotBuffers {
+    /// Staging: `(source, edge)` pairs before the counting sort.
+    pairs: Vec<(u32, Edge)>,
+    /// Per-node write cursor during the counting sort.
+    cursor: Vec<u32>,
+    graph: DelayGraph,
+}
+
+impl SnapshotBuffers {
+    /// Fresh, empty buffers.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Build the snapshot of `constellation` at `t`, reusing every buffer
+    /// from the previous call. The returned graph is identical to
+    /// [`DelayGraph::snapshot`]'s.
+    pub fn snapshot(&mut self, constellation: &Constellation, t: SimTime) -> &DelayGraph {
+        constellation.positions_at_into(t, &mut self.graph.positions);
+        self.rebuild(constellation, t);
+        &self.graph
+    }
+
+    /// The graph built by the last [`Self::snapshot`] call.
+    pub fn graph(&self) -> &DelayGraph {
+        &self.graph
+    }
+
+    /// Consume the buffers, keeping the built graph.
+    pub fn into_graph(self) -> DelayGraph {
+        self.graph
+    }
+
+    /// Rebuild `self.graph`'s edges from `self.graph.positions` (already
+    /// filled for time `t`).
+    fn rebuild(&mut self, constellation: &Constellation, t: SimTime) {
+        let g = &mut self.graph;
+        let n = constellation.num_nodes();
+        assert_eq!(g.positions.len(), n, "position snapshot size");
+        let n_sats = constellation.num_satellites();
+        let positions = &g.positions;
+
+        // Stage every directed edge, then counting-sort by source node.
+        // The staging order (ISLs first, then GSLs in ground-station
+        // order) matches the old nested-Vec construction, and the sort is
+        // stable, so per-node adjacency order is unchanged.
+        self.pairs.clear();
+        for &(a, b) in &constellation.isls {
+            let d = positions[a as usize].distance(positions[b as usize]);
+            let delay = propagation_delay_km(d).nanos();
+            self.pairs.push((a, Edge { to: b, delay_ns: delay }));
+            self.pairs.push((b, Edge { to: a, delay_ns: delay }));
+        }
+        for (gs_idx, _gs) in constellation.ground_stations.iter().enumerate() {
+            let gs_node = constellation.gs_node(gs_idx).0;
+            let gs_pos = positions[n_sats + gs_idx];
+            for vis in usable_satellites(constellation, gs_pos, &positions[..n_sats], t) {
+                let delay = propagation_delay_km(vis.range_km).nanos();
+                self.pairs.push((gs_node, Edge { to: vis.sat_idx as u32, delay_ns: delay }));
+                self.pairs.push((vis.sat_idx as u32, Edge { to: gs_node, delay_ns: delay }));
+            }
+        }
+
+        g.offsets.clear();
+        g.offsets.resize(n + 1, 0);
+        for &(src, _) in &self.pairs {
+            g.offsets[src as usize + 1] += 1;
+        }
+        for v in 0..n {
+            g.offsets[v + 1] += g.offsets[v];
+        }
+        self.cursor.clear();
+        self.cursor.extend_from_slice(&g.offsets[..n]);
+        g.edges.clear();
+        g.edges.resize(self.pairs.len(), Edge { to: 0, delay_ns: 0 });
+        for &(src, edge) in &self.pairs {
+            let at = self.cursor[src as usize];
+            g.edges[at as usize] = edge;
+            self.cursor[src as usize] = at + 1;
+        }
+
+        g.transit.clear();
+        g.transit.extend(
+            (0..n).map(|i| constellation.may_transit(hypatia_constellation::NodeId(i as u32))),
+        );
+    }
+}
+
+impl Default for DelayGraph {
+    fn default() -> Self {
+        DelayGraph { offsets: vec![0], edges: Vec::new(), transit: Vec::new(), positions: Vec::new() }
+    }
+}
+
 impl DelayGraph {
     /// Build the snapshot graph of `constellation` at time `t`.
     pub fn snapshot(constellation: &Constellation, t: SimTime) -> DelayGraph {
-        let positions = constellation.positions_at(t);
-        Self::from_positions(constellation, t, positions)
+        let mut buffers = SnapshotBuffers::new();
+        buffers.snapshot(constellation, t);
+        buffers.into_graph()
     }
 
     /// Build from an already-computed position snapshot (satellites first,
@@ -46,58 +151,37 @@ impl DelayGraph {
         t: SimTime,
         positions: Vec<Vec3>,
     ) -> DelayGraph {
-        assert_eq!(positions.len(), constellation.num_nodes(), "position snapshot size");
-        let n_sats = constellation.num_satellites();
-        let mut adj: Vec<Vec<Edge>> = vec![Vec::new(); constellation.num_nodes()];
-
-        // ISLs: static pairs, time-varying length.
-        for &(a, b) in &constellation.isls {
-            let d = positions[a as usize].distance(positions[b as usize]);
-            let delay = propagation_delay_km(d).nanos();
-            adj[a as usize].push(Edge { to: b, delay_ns: delay });
-            adj[b as usize].push(Edge { to: a, delay_ns: delay });
-        }
-
-        // GSLs: whatever the selection policy admits right now.
-        for (gs_idx, _gs) in constellation.ground_stations.iter().enumerate() {
-            let gs_node = constellation.gs_node(gs_idx).0;
-            let gs_pos = positions[n_sats + gs_idx];
-            for vis in usable_satellites(constellation, gs_pos, &positions[..n_sats], t) {
-                let delay = propagation_delay_km(vis.range_km).nanos();
-                adj[gs_node as usize].push(Edge { to: vis.sat_idx as u32, delay_ns: delay });
-                adj[vis.sat_idx].push(Edge { to: gs_node, delay_ns: delay });
-            }
-        }
-
-        let transit = (0..constellation.num_nodes())
-            .map(|i| constellation.may_transit(hypatia_constellation::NodeId(i as u32)))
-            .collect();
-        DelayGraph { adj, transit, positions }
+        let mut buffers = SnapshotBuffers::new();
+        buffers.graph.positions = positions;
+        buffers.rebuild(constellation, t);
+        buffers.into_graph()
     }
 
     /// Number of vertices.
     pub fn num_nodes(&self) -> usize {
-        self.adj.len()
+        self.offsets.len() - 1
     }
 
     /// Number of directed edges.
     pub fn num_edges(&self) -> usize {
-        self.adj.iter().map(Vec::len).sum()
+        self.edges.len()
     }
 
     /// Outgoing edges of `node`.
+    #[inline]
     pub fn edges(&self, node: usize) -> &[Edge] {
-        &self.adj[node]
+        &self.edges[self.offsets[node] as usize..self.offsets[node + 1] as usize]
     }
 
     /// May `node` appear as an interior (transit) node of a path?
+    #[inline]
     pub fn may_transit(&self, node: usize) -> bool {
         self.transit[node]
     }
 
     /// The delay of the direct edge `a → b`, if one exists.
     pub fn edge_delay(&self, a: usize, b: usize) -> Option<SimDuration> {
-        self.adj[a]
+        self.edges(a)
             .iter()
             .find(|e| e.to as usize == b)
             .map(|e| SimDuration::from_nanos(e.delay_ns))
@@ -105,7 +189,7 @@ impl DelayGraph {
 
     /// True if nodes `a` and `b` are directly linked.
     pub fn has_edge(&self, a: usize, b: usize) -> bool {
-        self.adj[a].iter().any(|e| e.to as usize == b)
+        self.edges(a).iter().any(|e| e.to as usize == b)
     }
 
     /// The current one-way delay between two *linked* constellation nodes

@@ -16,7 +16,10 @@
 //! * [`path`] — path extraction, RTT evaluation, change tracking;
 //! * [`ksp`] — Yen's K shortest loopless paths (multipath/TE studies);
 //! * [`multipath`] — loop-free downhill-alternate forwarding (the §5.4
-//!   traffic-engineering direction, usable directly by the simulator).
+//!   traffic-engineering direction, usable directly by the simulator);
+//! * [`parallel`] — the deterministic parallel snapshot pipeline: ordered
+//!   fan-out of independent time-steps across worker threads, plus the
+//!   bounded-prefetch schedule the packet simulator consumes.
 
 pub mod dijkstra;
 pub mod floyd_warshall;
@@ -24,8 +27,11 @@ pub mod forwarding;
 pub mod graph;
 pub mod ksp;
 pub mod multipath;
+pub mod parallel;
 pub mod path;
 
+pub use dijkstra::DijkstraScratch;
 pub use forwarding::{compute_forwarding_state, ForwardingState};
-pub use graph::DelayGraph;
+pub use graph::{DelayGraph, SnapshotBuffers};
+pub use parallel::{Prefetcher, SnapshotWorker};
 pub use path::{extract_path, path_rtt_at, PairTracker};

@@ -1,0 +1,44 @@
+#!/usr/bin/env bash
+# Benchmark the snapshot-routing pipeline and emit BENCH_routing.json.
+#
+# Runs the Criterion bench `snapshot_pipeline` (serial allocating vs
+# CSR+scratch reuse vs 4-thread parallel sweep, see
+# crates/bench/benches/snapshot_pipeline.rs) and condenses the results
+# into a small machine-readable JSON file with the speedups the design
+# targets: parallel ≥ 2x at 4 threads, reuse ≥ alloc.
+#
+# Usage: scripts/bench_routing.sh [output.json]
+
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+out="${1:-BENCH_routing.json}"
+
+raw=$(cargo bench -p hypatia-bench --bench snapshot_pipeline -- --output-format bencher 2>&1)
+echo "$raw"
+
+# Bencher lines look like:
+#   test snapshot_pipeline/serial_alloc_24_steps ... bench: 12345678 ns/iter (+/- 99)
+echo "$raw" | python3 -c '
+import json, re, sys
+
+ns = {}
+for line in sys.stdin:
+    m = re.match(r"test\s+(\S+)\s+\.\.\.\s+bench:\s+([\d,]+)\s+ns/iter", line)
+    if m:
+        ns[m.group(1).split("/")[-1]] = int(m.group(2).replace(",", ""))
+
+def ratio(a, b):
+    return round(ns[a] / ns[b], 3) if a in ns and b in ns and ns[b] else None
+
+result = {
+    "bench": "snapshot_pipeline",
+    "ns_per_iter": ns,
+    "speedup_reuse_over_alloc": ratio("serial_alloc_24_steps", "serial_reuse_24_steps"),
+    "speedup_parallel4_over_alloc": ratio("serial_alloc_24_steps", "parallel_4_24_steps"),
+    "speedup_parallel4_over_reuse": ratio("serial_reuse_24_steps", "parallel_4_24_steps"),
+}
+json.dump(result, open(sys.argv[1], "w"), indent=2)
+print()
+print(f"wrote {sys.argv[1]}: {json.dumps(result)}")
+' "$out"
