@@ -20,10 +20,7 @@ fn constellation() -> Arc<Constellation> {
         "bench",
         vec![ShellSpec::new("K", 630.0, 12, 12, 51.9)],
         IslLayout::PlusGrid,
-        vec![
-            GroundStation::new("a", 10.0, 10.0),
-            GroundStation::new("b", -5.0, 60.0),
-        ],
+        vec![GroundStation::new("a", 10.0, 10.0), GroundStation::new("b", -5.0, 60.0)],
         GslConfig::new(10.0),
     ))
 }
@@ -71,11 +68,7 @@ fn bench_packet_sim(c: &mut Criterion) {
             );
             let cfg = TcpConfig::default();
             sim.add_app(dst, 80, Box::new(TcpSink::new(cfg.clone())));
-            sim.add_app(
-                src,
-                70,
-                Box::new(TcpSender::new(dst, 80, cfg, Box::new(NewReno::new()))),
-            );
+            sim.add_app(src, 70, Box::new(TcpSender::new(dst, 80, cfg, Box::new(NewReno::new()))));
             sim.run_until(SimTime::from_secs(2));
             black_box(sim.stats.events)
         })

@@ -43,11 +43,7 @@ fn bench_propagation(c: &mut Criterion) {
         let mut t = 0u64;
         b.iter(|| {
             t += 1;
-            black_box(constellation.distance_km(
-                NodeId(a),
-                NodeId(b_node),
-                SimTime::from_millis(t),
-            ))
+            black_box(constellation.distance_km(NodeId(a), NodeId(b_node), SimTime::from_millis(t)))
         })
     });
 

@@ -6,66 +6,10 @@
 //! four controllers. The hypothesis, which the run quantifies: BBR's
 //! windowed RTprop expires and re-learns a lengthened path, so its
 //! late-run throughput stays high where Vegas's collapses.
-
-use hypatia::experiments::tcp_single::{run, CcKind};
-use hypatia::scenario::{ConstellationChoice, ScenarioBuilder};
-use hypatia_bench::{banner, BenchArgs};
-use hypatia_util::SimDuration;
+//!
+//! Thin shim: the implementation lives in the shared experiment registry
+//! (`hypatia::figures`) and runs through `hypatia::runner`.
 
 fn main() {
-    let args = BenchArgs::parse();
-    banner("Extension", "BBR vs NewReno/Vegas/CUBIC over LEO dynamics", &args);
-
-    let duration = if args.full {
-        SimDuration::from_secs(200)
-    } else {
-        SimDuration::from_secs(60)
-    };
-    let scenario =
-        ScenarioBuilder::new(ConstellationChoice::KuiperK1).top_cities(100).build();
-    let (src, dst) = ("Rio de Janeiro", "Saint Petersburg");
-    println!("flow: {src} -> {dst}, {:.0} s\n", duration.secs_f64());
-
-    println!(
-        "{:<9} {:>10} {:>16} {:>9} {:>9}",
-        "CC", "goodput", "2nd-half tput", "fast rtx", "RTOs"
-    );
-    let half = duration.secs_f64() / 2.0;
-    let mut late = Vec::new();
-    for cc in [CcKind::NewReno, CcKind::Vegas, CcKind::Cubic, CcKind::Bbr] {
-        let r = run(&scenario, src, dst, cc, duration);
-        let late_pts: Vec<f64> = r
-            .throughput_series
-            .iter()
-            .filter(|&&(t, _)| t >= half)
-            .map(|&(_, m)| m)
-            .collect();
-        let late_mean = late_pts.iter().sum::<f64>() / late_pts.len().max(1) as f64;
-        println!(
-            "{:<9} {:>7.2}Mb {:>13.2}Mb {:>9} {:>9}",
-            cc.name(),
-            r.goodput_mbps(duration),
-            late_mean,
-            r.fast_retransmits,
-            r.timeouts
-        );
-        let slug = cc.name().to_lowercase();
-        args.write_series(
-            &format!("ext_bbr_study_{slug}_throughput.dat"),
-            "t_s mbps",
-            &r.throughput_series,
-        );
-        late.push((cc, late_mean));
-    }
-
-    let vegas = late.iter().find(|(c, _)| *c == CcKind::Vegas).unwrap().1;
-    let bbr = late.iter().find(|(c, _)| *c == CcKind::Bbr).unwrap().1;
-    println!();
-    println!(
-        "late-run throughput — BBR {bbr:.2} vs Vegas {vegas:.2} Mbps: BBR sustains {}",
-        if bbr > vegas { "HOLDS" } else { "DIFFERS (check scale/params)" }
-    );
-    println!("Mechanism: BBR's RTprop is a 10 s windowed minimum, so a path-RTT");
-    println!("increase ages out; Vegas's baseRTT is a lifetime minimum and the");
-    println!("inflated RTT reads as permanent congestion (paper Fig. 5).");
+    hypatia_bench::run_figure("ext_bbr_study");
 }

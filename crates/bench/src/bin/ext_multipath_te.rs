@@ -4,70 +4,10 @@
 //! cross-traffic workload (Fig. 10's permutation TCP matrix) with single
 //! shortest-path forwarding and with downhill-alternate multipath
 //! (stretch 1.2), then compare hotspot utilization and total goodput.
-
-use hypatia::experiments::cross_traffic::{run, CrossTrafficConfig};
-use hypatia::scenario::{ConstellationChoice, ScenarioBuilder};
-use hypatia_bench::{banner, BenchArgs};
-use hypatia_netsim::SimConfig;
-use hypatia_util::{DataRate, SimDuration, SimTime};
-use hypatia_viz::util_viz::{isl_utilization_map, summarize, top_hotspots};
+//!
+//! Thin shim: the implementation lives in the shared experiment registry
+//! (`hypatia::figures`) and runs through `hypatia::runner`.
 
 fn main() {
-    let args = BenchArgs::parse();
-    banner("Extension", "Loop-free multipath vs single-path TE (Kuiper K1)", &args);
-
-    let (cities, duration) = if args.full {
-        (100, SimDuration::from_secs(200))
-    } else {
-        (30, SimDuration::from_secs(60))
-    };
-    let snapshot_sec = duration.secs_f64() as u64 - 10;
-
-    let scenario = ScenarioBuilder::new(ConstellationChoice::KuiperK1)
-        .top_cities(cities)
-        .sim_config(
-            SimConfig::default()
-                .with_link_rate(DataRate::from_mbps(10))
-                .with_utilization_bucket(SimDuration::from_secs(1)),
-        )
-        .build();
-
-    println!(
-        "{:<22} {:>10} {:>12} {:>12} {:>14}",
-        "forwarding", "goodput", "mean util", "links >90%", "active links"
-    );
-    let mut rows = Vec::new();
-    for (label, stretch) in [("single shortest path", None), ("multipath (1.2x)", Some(1.2))] {
-        eprintln!("  running {label}...");
-        let r = run(
-            &scenario,
-            "Tokyo",
-            "Sao Paulo",
-            &CrossTrafficConfig { duration, seed: 1, frozen: false, multipath_stretch: stretch },
-        );
-        let map = isl_utilization_map(&r.sim, snapshot_sec as usize, SimTime::from_secs(snapshot_sec));
-        let s = summarize(&map);
-        let hot = map.iter().filter(|l| l.utilization > 0.9).count();
-        println!(
-            "{:<22} {:>7.1}Mb {:>12.4} {:>12} {:>14}",
-            label, r.total_goodput_mbps, s.mean, hot, s.active_links
-        );
-        let _ = top_hotspots(&map, 1);
-        rows.push((label, r.total_goodput_mbps, hot, s.active_links));
-    }
-
-    println!();
-    let (sp, mp) = (&rows[0], &rows[1]);
-    println!(
-        "multipath spreads load over {} vs {} links and changes >90%-utilized links {} -> {}",
-        mp.3, sp.3, sp.2, mp.2
-    );
-    println!(
-        "goodput: {:.1} -> {:.1} Mbit/s ({})",
-        sp.1,
-        mp.1,
-        if mp.1 >= sp.1 * 0.95 { "no tax" } else { "note: stretch costs some goodput" }
-    );
-    println!("Takeaway: downhill alternates add loop-free capacity exactly where");
-    println!("the paper's Fig. 15 shows shortest-path concentration.");
+    hypatia_bench::run_figure("ext_multipath_te");
 }

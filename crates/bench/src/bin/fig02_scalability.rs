@@ -4,76 +4,10 @@
 //! traffic, TCP and UDP, line rates swept from 1 Mbit/s to 10 Gbit/s, on
 //! one core. We report the same series; absolute slowdown depends on the
 //! host CPU, the shape (slowdown ∝ goodput; TCP ≈ 2× UDP) is the result.
-
-use hypatia::experiments::scalability::{sweep, Workload};
-use hypatia::scenario::{ConstellationChoice, ScenarioBuilder};
-use hypatia_bench::{banner, BenchArgs};
-use hypatia_util::{DataRate, SimDuration};
+//!
+//! Thin shim: the implementation lives in the shared experiment registry
+//! (`hypatia::figures`) and runs through `hypatia::runner`.
 
 fn main() {
-    let args = BenchArgs::parse();
-    banner("Fig. 2", "Scalability: slowdown vs goodput (TCP and UDP)", &args);
-
-    let (cities, virtual_secs, rates): (usize, u64, Vec<DataRate>) = if args.full {
-        (
-            100,
-            1,
-            vec![
-                DataRate::from_mbps(1),
-                DataRate::from_mbps(10),
-                DataRate::from_mbps(25),
-                DataRate::from_mbps(100),
-                DataRate::from_mbps(250),
-                DataRate::from_gbps(1),
-                DataRate::from_gbps(10),
-            ],
-        )
-    } else {
-        (
-            30,
-            1,
-            vec![DataRate::from_mbps(1), DataRate::from_mbps(10), DataRate::from_mbps(25)],
-        )
-    };
-
-    let scenario = ScenarioBuilder::new(ConstellationChoice::KuiperK1)
-        .top_cities(cities)
-        .build();
-    let duration = SimDuration::from_secs(virtual_secs);
-
-    println!(
-        "{:<9} {:>12} {:>16} {:>14} {:>14}",
-        "workload", "line rate", "goodput (Gbps)", "slowdown (x)", "events"
-    );
-    for workload in [Workload::Udp, Workload::Tcp] {
-        let points = sweep(&scenario, workload, &rates, duration, 2020);
-        let series: Vec<(f64, f64)> =
-            points.iter().map(|p| (p.goodput_gbps, p.slowdown)).collect();
-        for p in &points {
-            println!(
-                "{:<9} {:>12} {:>16.4} {:>14.1} {:>14}",
-                p.workload.name(),
-                format!("{}", p.line_rate),
-                p.goodput_gbps,
-                p.slowdown,
-                p.events
-            );
-        }
-        args.write_series(
-            &format!("fig02_slowdown_{}.dat", workload.name().to_lowercase()),
-            "goodput_gbps slowdown",
-            &series,
-        );
-        // The paper's key observation: slowdown grows with goodput.
-        if points.len() >= 2 {
-            let first = &points[0];
-            let last = &points[points.len() - 1];
-            println!(
-                "  -> {}: goodput x{:.1} => slowdown x{:.1}",
-                workload.name(),
-                last.goodput_gbps / first.goodput_gbps,
-                last.slowdown / first.slowdown
-            );
-        }
-    }
+    hypatia_bench::run_figure("fig02_scalability");
 }

@@ -4,64 +4,10 @@
 //! Prints the min/max computed RTT, the disconnection time (the
 //! St. Petersburg outage), and the ping-vs-computed agreement, and writes
 //! both series per pair.
-
-use hypatia::experiments::rtt_fluctuations::{run, RttFluctuationConfig};
-use hypatia::scenario::{ConstellationChoice, ScenarioBuilder};
-use hypatia_bench::{banner, BenchArgs};
-use hypatia_util::SimDuration;
+//!
+//! Thin shim: the implementation lives in the shared experiment registry
+//! (`hypatia::figures`) and runs through `hypatia::runner`.
 
 fn main() {
-    let args = BenchArgs::parse();
-    banner("Fig. 3", "RTT fluctuations: pings vs computed (Kuiper K1)", &args);
-
-    let cfg = if args.full {
-        RttFluctuationConfig {
-            duration: SimDuration::from_secs(200),
-            ping_interval: SimDuration::from_millis(1),
-        }
-    } else {
-        RttFluctuationConfig {
-            duration: SimDuration::from_secs(60),
-            ping_interval: SimDuration::from_millis(20),
-        }
-    };
-
-    let pairs = [
-        ("Rio de Janeiro", "Saint Petersburg", "rio_stpetersburg"),
-        ("Manila", "Dalian", "manila_dalian"),
-        ("Istanbul", "Nairobi", "istanbul_nairobi"),
-    ];
-
-    let scenario =
-        ScenarioBuilder::new(ConstellationChoice::KuiperK1).top_cities(100).build();
-
-    println!(
-        "{:<36} {:>10} {:>10} {:>8} {:>12} {:>12}",
-        "pair", "min (ms)", "max (ms)", "ratio", "outage (s)", "pings rx/tx"
-    );
-    for (src, dst, slug) in pairs {
-        let r = run(&scenario, src, dst, &cfg);
-        println!(
-            "{:<36} {:>10.1} {:>10.1} {:>8.2} {:>12.1} {:>7}/{}",
-            format!("{src} -> {dst}"),
-            r.min_computed_ms,
-            r.max_computed_ms,
-            r.max_computed_ms / r.min_computed_ms,
-            r.disconnected_seconds,
-            r.received,
-            r.sent
-        );
-        args.write_series(&format!("fig03_{slug}_pings.dat"), "t_s rtt_ms", &r.ping_series);
-        args.write_series(
-            &format!("fig03_{slug}_computed.dat"),
-            "t_s rtt_ms",
-            &r.computed_series,
-        );
-    }
-    println!();
-    println!("Paper's qualitative checks:");
-    println!("  * Manila–Dalian RTT varies ~2x over time (paper: 25–48 ms).");
-    println!("  * Istanbul–Nairobi varies between ~47–70 ms.");
-    println!("  * Rio–St.Petersburg shows a disconnection window (St. Petersburg");
-    println!("    has no visible Kuiper satellite at sufficient elevation).");
+    hypatia_bench::run_figure("fig03_rtt_fluctuations");
 }

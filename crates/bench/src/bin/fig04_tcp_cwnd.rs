@@ -3,58 +3,10 @@
 //! NewReno on the paper's three pairs, 10 Mbit/s links, 100-packet queues.
 //! The window should oscillate between BDP and BDP+Q; reordering after
 //! path shortenings cuts it without loss.
-
-use hypatia::experiments::tcp_single::{run, CcKind};
-use hypatia::scenario::{ConstellationChoice, ScenarioBuilder};
-use hypatia_bench::{banner, BenchArgs};
-use hypatia_util::SimDuration;
+//!
+//! Thin shim: the implementation lives in the shared experiment registry
+//! (`hypatia::figures`) and runs through `hypatia::runner`.
 
 fn main() {
-    let args = BenchArgs::parse();
-    banner("Fig. 4", "TCP (NewReno) cwnd evolution vs BDP+Q (Kuiper K1)", &args);
-
-    let duration = if args.full {
-        SimDuration::from_secs(200)
-    } else {
-        SimDuration::from_secs(40)
-    };
-
-    let scenario =
-        ScenarioBuilder::new(ConstellationChoice::KuiperK1).top_cities(100).build();
-
-    let pairs = [
-        ("Rio de Janeiro", "Saint Petersburg", "rio_stpetersburg"),
-        ("Manila", "Dalian", "manila_dalian"),
-        ("Istanbul", "Nairobi", "istanbul_nairobi"),
-    ];
-
-    println!(
-        "{:<36} {:>9} {:>10} {:>9} {:>9} {:>12}",
-        "pair", "goodput", "fast rtx", "RTOs", "reorder", "cwnd range"
-    );
-    for (src, dst, slug) in pairs {
-        let r = run(&scenario, src, dst, CcKind::NewReno, duration);
-        let max_cwnd = r.cwnd_series.iter().map(|&(_, w)| w).fold(0.0, f64::max);
-        let min_cwnd =
-            r.cwnd_series.iter().map(|&(_, w)| w).fold(f64::INFINITY, f64::min);
-        println!(
-            "{:<36} {:>7.2}Mb {:>10} {:>9} {:>9} {:>5.0}-{:.0}pk",
-            format!("{src} -> {dst}"),
-            r.goodput_mbps(duration),
-            r.fast_retransmits,
-            r.timeouts,
-            r.reordered_arrivals,
-            min_cwnd,
-            max_cwnd
-        );
-        args.write_series(&format!("fig04_{slug}_cwnd.dat"), "t_s cwnd_pkts", &r.cwnd_series);
-        args.write_series(
-            &format!("fig04_{slug}_bdpq.dat"),
-            "t_s bdp_plus_q_pkts",
-            &r.bdp_plus_q_series,
-        );
-    }
-    println!();
-    println!("Check: cwnd peaks should track the BDP+Q overlay; cuts without");
-    println!("RTOs when the path shortens are reordering-induced (paper §4.2).");
+    hypatia_bench::run_figure("fig04_cwnd_bdp");
 }

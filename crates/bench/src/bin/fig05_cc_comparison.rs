@@ -5,75 +5,10 @@
 //! Vegas tracks the computed RTT with a near-empty queue until the path
 //! lengthens, then misreads the latency jump as congestion and its
 //! throughput collapses for the rest of the run.
-
-use hypatia::experiments::tcp_single::{run, CcKind};
-use hypatia::scenario::{ConstellationChoice, ScenarioBuilder};
-use hypatia_bench::{banner, BenchArgs};
-use hypatia_util::SimDuration;
+//!
+//! Thin shim: the implementation lives in the shared experiment registry
+//! (`hypatia::figures`) and runs through `hypatia::runner`.
 
 fn main() {
-    let args = BenchArgs::parse();
-    banner("Fig. 5", "NewReno vs Vegas on Rio de Janeiro -> St. Petersburg", &args);
-
-    let duration = if args.full {
-        SimDuration::from_secs(200)
-    } else {
-        SimDuration::from_secs(60)
-    };
-
-    let scenario =
-        ScenarioBuilder::new(ConstellationChoice::KuiperK1).top_cities(100).build();
-    let (src, dst) = ("Rio de Janeiro", "Saint Petersburg");
-
-    let mut results = Vec::new();
-    for cc in [CcKind::NewReno, CcKind::Vegas] {
-        let r = run(&scenario, src, dst, cc, duration);
-        let slug = cc.name().to_lowercase();
-        args.write_series(&format!("fig05_{slug}_rtt.dat"), "t_s rtt_ms", &r.rtt_series);
-        args.write_series(&format!("fig05_{slug}_cwnd.dat"), "t_s cwnd_pkts", &r.cwnd_series);
-        args.write_series(
-            &format!("fig05_{slug}_throughput.dat"),
-            "t_s mbps",
-            &r.throughput_series,
-        );
-        results.push(r);
-    }
-
-    println!();
-    println!(
-        "{:<9} {:>12} {:>12} {:>10} {:>10}",
-        "CC", "goodput", "mean RTT", "fast rtx", "RTOs"
-    );
-    for r in &results {
-        let mean_rtt = if r.rtt_series.is_empty() {
-            f64::NAN
-        } else {
-            r.rtt_series.iter().map(|&(_, x)| x).sum::<f64>() / r.rtt_series.len() as f64
-        };
-        println!(
-            "{:<9} {:>9.2}Mb {:>9.1}ms {:>10} {:>10}",
-            r.cc.name(),
-            r.goodput_mbps(duration),
-            mean_rtt,
-            r.fast_retransmits,
-            r.timeouts
-        );
-    }
-
-    // Second-half throughput comparison — Vegas's collapse shows up here.
-    let half = duration.secs_f64() / 2.0;
-    let late_tput = |r: &hypatia::experiments::tcp_single::TcpSingleResult| {
-        let pts: Vec<f64> = r
-            .throughput_series
-            .iter()
-            .filter(|&&(t, _)| t >= half)
-            .map(|&(_, m)| m)
-            .collect();
-        pts.iter().sum::<f64>() / pts.len().max(1) as f64
-    };
-    let (nr, vg) = (late_tput(&results[0]), late_tput(&results[1]));
-    println!();
-    println!("Second-half mean throughput: NewReno {nr:.2} Mbps, Vegas {vg:.2} Mbps");
-    println!("Paper's qualitative check: after a path-RTT increase, Vegas stays low");
-    println!("while NewReno recovers (loss-based ignores baseline RTT shifts).");
+    hypatia_bench::run_figure("fig05_rates_rtt");
 }

@@ -4,58 +4,10 @@
 //! every constellation; Telesat lowest despite the fewest satellites
 //! (its 10° minimum elevation admits many more GSL options); Starlink
 //! above Kuiper (22 vs 34 satellites per orbit forces zig-zag paths).
-
-use hypatia::analysis::{fraction_where, percentile};
-use hypatia_bench::{banner, three_constellation_sweep, BenchArgs};
-use hypatia_viz::csv::ecdf;
+//!
+//! Thin shim: the implementation lives in the shared experiment registry
+//! (`hypatia::figures`) and runs through `hypatia::runner`.
 
 fn main() {
-    let args = BenchArgs::parse();
-    banner("Fig. 6", "Max RTT over time vs geodesic RTT (ECDF across pairs)", &args);
-
-    let sweeps = three_constellation_sweep(&args);
-
-    println!(
-        "{:<14} {:>7} {:>12} {:>12} {:>16}",
-        "constellation", "pairs", "median (x)", "p90 (x)", "frac below 2x"
-    );
-    for (name, stats) in &sweeps {
-        let stretches: Vec<f64> =
-            stats.iter().map(|s| s.rtt_stretch()).filter(|v| v.is_finite()).collect();
-        let slug = name.to_lowercase().replace(' ', "_");
-        args.write_series(
-            &format!("fig06_stretch_ecdf_{slug}.dat"),
-            "max_rtt_over_geodesic ecdf",
-            &ecdf(&stretches),
-        );
-        println!(
-            "{:<14} {:>7} {:>12.2} {:>12.2} {:>16.2}",
-            name,
-            stretches.len(),
-            percentile(&stretches, 50.0).unwrap_or(f64::NAN),
-            percentile(&stretches, 90.0).unwrap_or(f64::NAN),
-            fraction_where(&stretches, |v| v < 2.0)
-        );
-    }
-
-    println!();
-    println!("Paper's qualitative checks:");
-    println!("  * every constellation: >80% of pairs below 2x geodesic;");
-    println!("  * ordering of medians: Telesat < Kuiper < Starlink.");
-    let medians: Vec<f64> = sweeps
-        .iter()
-        .map(|(_, stats)| {
-            let v: Vec<f64> =
-                stats.iter().map(|s| s.rtt_stretch()).filter(|x| x.is_finite()).collect();
-            percentile(&v, 50.0).unwrap_or(f64::NAN)
-        })
-        .collect();
-    let ordering_holds = medians[0] <= medians[1] && medians[1] <= medians[2];
-    println!(
-        "  measured medians: Telesat {:.2}, Kuiper {:.2}, Starlink {:.2} -> ordering {}",
-        medians[0],
-        medians[1],
-        medians[2],
-        if ordering_holds { "HOLDS" } else { "DIFFERS (check scale/params)" }
-    );
+    hypatia_bench::run_figure("fig06_rtt_stretch_ecdf");
 }

@@ -3,56 +3,10 @@
 //!
 //! Expected shape: Starlink S1 sees the largest variations (~10 ms median
 //! delta; >30% of pairs with max ≥ 1.2× min); Telesat the smallest.
-
-use hypatia::analysis::{fraction_where, percentile};
-use hypatia_bench::{banner, three_constellation_sweep, BenchArgs};
-use hypatia_viz::csv::ecdf;
+//!
+//! Thin shim: the implementation lives in the shared experiment registry
+//! (`hypatia::figures`) and runs through `hypatia::runner`.
 
 fn main() {
-    let args = BenchArgs::parse();
-    banner("Fig. 7", "RTTs and variations therein (ECDFs across pairs)", &args);
-
-    let sweeps = three_constellation_sweep(&args);
-
-    println!(
-        "{:<14} {:>12} {:>14} {:>14} {:>20}",
-        "constellation", "med max(ms)", "med delta(ms)", "med ratio", "frac ratio>1.2"
-    );
-    for (name, stats) in &sweeps {
-        let maxes: Vec<f64> =
-            stats.iter().map(|s| s.max_rtt_ms).filter(|v| v.is_finite()).collect();
-        let deltas: Vec<f64> =
-            stats.iter().map(|s| s.rtt_delta_ms()).filter(|v| v.is_finite()).collect();
-        let ratios: Vec<f64> =
-            stats.iter().map(|s| s.rtt_ratio()).filter(|v| v.is_finite()).collect();
-
-        let slug = name.to_lowercase().replace(' ', "_");
-        args.write_series(&format!("fig07a_max_rtt_{slug}.dat"), "max_rtt_ms ecdf", &ecdf(&maxes));
-        args.write_series(
-            &format!("fig07b_rtt_delta_{slug}.dat"),
-            "max_minus_min_ms ecdf",
-            &ecdf(&deltas),
-        );
-        args.write_series(
-            &format!("fig07c_rtt_ratio_{slug}.dat"),
-            "max_over_min ecdf",
-            &ecdf(&ratios),
-        );
-
-        println!(
-            "{:<14} {:>12.1} {:>14.1} {:>14.3} {:>20.2}",
-            name,
-            percentile(&maxes, 50.0).unwrap_or(f64::NAN),
-            percentile(&deltas, 50.0).unwrap_or(f64::NAN),
-            percentile(&ratios, 50.0).unwrap_or(f64::NAN),
-            fraction_where(&ratios, |v| v >= 1.2),
-        );
-    }
-
-    println!();
-    println!("Paper's qualitative checks:");
-    println!("  * Starlink S1 shows both higher and more variable RTTs than Kuiper K1;");
-    println!("  * Telesat T1's variations are smallest (low min elevation keeps");
-    println!("    the same satellites reachable longer);");
-    println!("  * for Starlink, >30% of pairs see max RTT at least 1.2x the min.");
+    hypatia_bench::run_figure("fig07_rtt_cdfs");
 }

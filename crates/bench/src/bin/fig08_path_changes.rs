@@ -5,71 +5,10 @@
 //! Expected shape: Telesat's paths change less than Kuiper's/Starlink's
 //! (median 2 vs 4 changes over 200 s in the paper); Starlink shows the
 //! largest hop-count spreads (>1/3 of pairs with ≥2 extra hops).
-
-use hypatia::analysis::percentile;
-use hypatia_bench::{banner, three_constellation_sweep, BenchArgs};
-use hypatia_viz::csv::ecdf;
+//!
+//! Thin shim: the implementation lives in the shared experiment registry
+//! (`hypatia::figures`) and runs through `hypatia::runner`.
 
 fn main() {
-    let args = BenchArgs::parse();
-    banner("Fig. 8", "Path structure changes (ECDFs across pairs)", &args);
-
-    let sweeps = three_constellation_sweep(&args);
-
-    println!(
-        "{:<14} {:>12} {:>14} {:>14}",
-        "constellation", "med changes", "med hop delta", "med hop ratio"
-    );
-    for (name, stats) in &sweeps {
-        let changes: Vec<f64> = stats.iter().map(|s| s.path_changes as f64).collect();
-        let hop_deltas: Vec<f64> = stats.iter().map(|s| s.hop_delta() as f64).collect();
-        let hop_ratios: Vec<f64> =
-            stats.iter().map(|s| s.hop_ratio()).filter(|v| v.is_finite()).collect();
-
-        let slug = name.to_lowercase().replace(' ', "_");
-        args.write_series(
-            &format!("fig08a_path_changes_{slug}.dat"),
-            "path_changes ecdf",
-            &ecdf(&changes),
-        );
-        args.write_series(
-            &format!("fig08b_hop_delta_{slug}.dat"),
-            "max_minus_min_hops ecdf",
-            &ecdf(&hop_deltas),
-        );
-        args.write_series(
-            &format!("fig08c_hop_ratio_{slug}.dat"),
-            "max_over_min_hops ecdf",
-            &ecdf(&hop_ratios),
-        );
-
-        println!(
-            "{:<14} {:>12.1} {:>14.1} {:>14.3}",
-            name,
-            percentile(&changes, 50.0).unwrap_or(f64::NAN),
-            percentile(&hop_deltas, 50.0).unwrap_or(f64::NAN),
-            percentile(&hop_ratios, 50.0).unwrap_or(f64::NAN),
-        );
-    }
-
-    // The headline comparison: Telesat changes less than the dense shells.
-    let med_changes: Vec<f64> = sweeps
-        .iter()
-        .map(|(_, stats)| {
-            let v: Vec<f64> = stats.iter().map(|s| s.path_changes as f64).collect();
-            percentile(&v, 50.0).unwrap_or(f64::NAN)
-        })
-        .collect();
-    println!();
-    println!(
-        "median path changes — Telesat {:.0}, Kuiper {:.0}, Starlink {:.0}: Telesat-lowest {}",
-        med_changes[0],
-        med_changes[1],
-        med_changes[2],
-        if med_changes[0] <= med_changes[1] && med_changes[0] <= med_changes[2] {
-            "HOLDS"
-        } else {
-            "DIFFERS (check scale/params)"
-        }
-    );
+    hypatia_bench::run_figure("fig08_path_hop_cdfs");
 }

@@ -4,85 +4,10 @@
 //! step of 50 ms and misses changes for a negligible share of pairs
 //! (~0.4%); 1000 ms misses one or more changes for a substantial share
 //! (~6%).
-
-use hypatia::experiments::granularity::{run, GranularityConfig};
-use hypatia::scenario::ConstellationChoice;
-use hypatia_bench::{banner, BenchArgs};
-use hypatia_constellation::ground::top_cities;
-use hypatia_util::SimDuration;
-use hypatia_viz::csv::ecdf;
+//!
+//! Thin shim: the implementation lives in the shared experiment registry
+//! (`hypatia::figures`) and runs through `hypatia::runner`.
 
 fn main() {
-    let args = BenchArgs::parse();
-    banner("Fig. 9", "Time-step granularity for forwarding updates (Kuiper K1)", &args);
-
-    let (cities, cfg) = if args.full {
-        (
-            100,
-            GranularityConfig {
-                duration: SimDuration::from_secs(200),
-                fine_step: SimDuration::from_millis(50),
-                coarse_multiples: vec![2, 20],
-                min_pair_distance_km: 500.0,
-                threads: 0,
-            },
-        )
-    } else {
-        (
-            20,
-            GranularityConfig {
-                duration: SimDuration::from_secs(60),
-                fine_step: SimDuration::from_millis(250),
-                coarse_multiples: vec![2, 20],
-                min_pair_distance_km: 500.0,
-                threads: 0,
-            },
-        )
-    };
-
-    let c = ConstellationChoice::KuiperK1.build(top_cities(cities));
-    let r = run(&c, &cfg);
-
-    println!("pairs analysed: {}", r.pairs);
-    println!(
-        "{:>12} {:>16} {:>18} {:>18}",
-        "step (ms)", "total changes", "frac miss >=1", "frac miss >=2"
-    );
-    for s in &r.stats {
-        println!(
-            "{:>12} {:>16} {:>18.4} {:>18.4}",
-            s.step.millis(),
-            s.total_changes(),
-            s.fraction_missing_at_least(1),
-            s.fraction_missing_at_least(2)
-        );
-        let slug = format!("{}ms", s.step.millis());
-        let per_step: Vec<f64> = s.changes_per_step.iter().map(|&c| c as f64).collect();
-        args.write_series(
-            &format!("fig09a_changes_per_step_{slug}.dat"),
-            "changes_in_step ecdf",
-            &ecdf(&per_step),
-        );
-        let missed: Vec<f64> = s.missed_per_pair.iter().map(|&m| m as f64).collect();
-        args.write_series(
-            &format!("fig09b_missed_per_pair_{slug}.dat"),
-            "missed_changes ecdf",
-            &ecdf(&missed),
-        );
-    }
-
-    let fine = r.stats[0].total_changes() as f64;
-    println!();
-    for s in &r.stats[1..] {
-        let factor = s.step.nanos() as f64 / r.stats[0].step.nanos() as f64;
-        println!(
-            "step x{factor:.0}: observed {:.2}x the per-step change count (ideal {factor:.0}x), \
-             missed {:.1}% of fine-grained changes",
-            s.total_changes() as f64 / (fine / factor).max(1.0),
-            (1.0 - s.total_changes() as f64 / fine.max(1.0)) * 100.0
-        );
-    }
-    println!();
-    println!("Paper's conclusion: 100 ms is a good compromise; 1000 ms misses");
-    println!("a substantial number of changes for some pairs.");
+    hypatia_bench::run_figure("fig09_timestep");
 }

@@ -5,62 +5,10 @@
 //! network, path changes shift the cross-traffic mix and leave substantial
 //! capacity unused (paper: >1/3 of capacity unused for 31% of the time,
 //! vs 11% if frozen at t = 0).
-
-use hypatia::experiments::cross_traffic::{run, CrossTrafficConfig};
-use hypatia::scenario::{ConstellationChoice, ScenarioBuilder};
-use hypatia_bench::{banner, BenchArgs};
-use hypatia_netsim::SimConfig;
-use hypatia_util::{DataRate, SimDuration};
+//!
+//! Thin shim: the implementation lives in the shared experiment registry
+//! (`hypatia::figures`) and runs through `hypatia::runner`.
 
 fn main() {
-    let args = BenchArgs::parse();
-    banner("Fig. 10", "Unused bandwidth with cross-traffic (Kuiper K1)", &args);
-
-    let (cities, duration, pair) = if args.full {
-        (100, SimDuration::from_secs(200), ("Rio de Janeiro", "Saint Petersburg"))
-    } else {
-        // Reduced: fewer flows and a shorter horizon. Rio–Moscow is a
-        // long, churning route that stays connected (unlike St.Petersburg)
-        // so the series has no gaps.
-        (30, SimDuration::from_secs(100), ("Rio de Janeiro", "Moscow"))
-    };
-
-    let scenario = ScenarioBuilder::new(ConstellationChoice::KuiperK1)
-        .top_cities(cities)
-        .sim_config(
-            SimConfig::default()
-                .with_link_rate(DataRate::from_mbps(10))
-                .with_utilization_bucket(SimDuration::from_secs(1)),
-        )
-        .build();
-
-    println!("observed pair: {} -> {}", pair.0, pair.1);
-    let mut rows = Vec::new();
-    for frozen in [false, true] {
-        let label = if frozen { "frozen(t=0)" } else { "dynamic" };
-        eprintln!("  running {label} network...");
-        let r = run(&scenario, pair.0, pair.1, &CrossTrafficConfig { duration, seed: 1, frozen, multipath_stretch: None });
-        let frac = r.fraction_time_unused_above(1.0 / 3.0);
-        println!(
-            "{label:<12}: flows={:<4} total goodput {:>7.1} Mbps, \
-             time with >1/3 capacity unused: {:>5.1}%",
-            r.flows,
-            r.total_goodput_mbps,
-            frac * 100.0
-        );
-        args.write_series(
-            &format!("fig10_unused_{}.dat", if frozen { "frozen" } else { "dynamic" }),
-            "t_s unused_mbps",
-            &r.unused_bandwidth_series,
-        );
-        rows.push((label, frac));
-    }
-
-    println!();
-    println!(
-        "Paper's qualitative check: dynamic ({:.1}%) > frozen ({:.1}%) — {}",
-        rows[0].1 * 100.0,
-        rows[1].1 * 100.0,
-        if rows[0].1 >= rows[1].1 { "HOLDS" } else { "DIFFERS (check scale/params)" }
-    );
+    hypatia_bench::run_figure("fig10_unused_bandwidth");
 }

@@ -5,62 +5,10 @@
 //! tropics) that capture the figure's visual point: Telesat's 98.98°
 //! inclination covers the poles, the others concentrate density at the
 //! latitudes where people live.
-
-use hypatia::scenario::ConstellationChoice;
-use hypatia_bench::{banner, BenchArgs};
-use hypatia_orbit::frames::ecef_to_geodetic;
-use hypatia_util::SimTime;
-use hypatia_viz::czml::{constellation_czml, to_json_string, CzmlOptions};
+//!
+//! Thin shim: the implementation lives in the shared experiment registry
+//! (`hypatia::figures`) and runs through `hypatia::runner`.
 
 fn main() {
-    let args = BenchArgs::parse();
-    banner("Fig. 11", "Constellation trajectories (CZML export)", &args);
-
-    let opts = if args.full {
-        CzmlOptions {
-            sample_interval: hypatia_util::SimDuration::from_secs(10),
-            duration: hypatia_util::SimDuration::from_secs(6000),
-            pixel_size: 3,
-        }
-    } else {
-        CzmlOptions::default()
-    };
-
-    for choice in [
-        ConstellationChoice::TelesatT1,
-        ConstellationChoice::KuiperK1,
-        ConstellationChoice::StarlinkS1,
-    ] {
-        let c = choice.build(vec![]);
-        let czml = constellation_czml(&c, &opts);
-        let slug = choice.name().to_lowercase().replace(' ', "_");
-        args.write_text(&format!("fig11_{slug}.czml"), &to_json_string(&czml));
-
-        // Latitude histogram at t = 0 — the figure's visual takeaway.
-        let mut polar = 0usize; // |lat| > 60°
-        let mut temperate = 0usize; // 30° < |lat| <= 60°
-        let mut tropical = 0usize; // |lat| <= 30°
-        for i in 0..c.num_satellites() {
-            let lat = ecef_to_geodetic(c.sat_position_ecef(i, SimTime::ZERO)).latitude_deg.abs();
-            if lat > 60.0 {
-                polar += 1;
-            } else if lat > 30.0 {
-                temperate += 1;
-            } else {
-                tropical += 1;
-            }
-        }
-        println!(
-            "{:<14} {:>5} sats | polar(>60°): {:>4}  temperate(30-60°): {:>4}  tropical(<=30°): {:>4}",
-            choice.name(),
-            c.num_satellites(),
-            polar,
-            temperate,
-            tropical
-        );
-    }
-
-    println!();
-    println!("Check: only Telesat T1 places satellites above 60° latitude;");
-    println!("Kuiper/Starlink concentrate where the population lives.");
+    hypatia_bench::run_figure("fig11_constellation_czml");
 }

@@ -4,65 +4,10 @@
 //! sky panoramas (azimuth × elevation, `#` connectable / `.` below the
 //! minimum elevation), and reports the connectivity windows behind the
 //! Fig. 3(a) outage.
-
-use hypatia::scenario::ConstellationChoice;
-use hypatia_bench::{banner, BenchArgs};
-use hypatia_constellation::GroundStation;
-use hypatia_util::SimDuration;
-use hypatia_viz::ground_view::{connectivity_windows, GroundView};
+//!
+//! Thin shim: the implementation lives in the shared experiment registry
+//! (`hypatia::figures`) and runs through `hypatia::runner`.
 
 fn main() {
-    let args = BenchArgs::parse();
-    banner("Fig. 12", "Ground observer view: St. Petersburg over Kuiper K1", &args);
-
-    let gs = GroundStation::new("Saint Petersburg", 59.9311, 30.3609);
-    let c = ConstellationChoice::KuiperK1.build(vec![gs.clone()]);
-
-    let horizon = if args.full {
-        SimDuration::from_secs(1200)
-    } else {
-        SimDuration::from_secs(600)
-    };
-    let windows = connectivity_windows(&c, &gs, horizon, SimDuration::from_secs(5));
-
-    println!("connectivity windows over {:.0} s:", horizon.secs_f64());
-    for w in &windows {
-        println!(
-            "  {:>7.1}s – {:>7.1}s : {}",
-            w.from.secs_f64(),
-            w.until.secs_f64(),
-            if w.connected { "CONNECTED" } else { "no satellite above 30°" }
-        );
-    }
-    let disconnected: f64 = windows
-        .iter()
-        .filter(|w| !w.connected)
-        .map(|w| w.until.since(w.from).secs_f64())
-        .sum();
-    println!(
-        "total disconnected: {disconnected:.0} s ({:.0}% of horizon)",
-        disconnected / horizon.secs_f64() * 100.0
-    );
-
-    // Render one connected and one disconnected snapshot, as in the figure.
-    let connected_at = windows.iter().find(|w| w.connected).map(|w| w.from);
-    let disconnected_at = windows.iter().find(|w| !w.connected).map(|w| w.from);
-    for (label, at) in [("connected", connected_at), ("disconnected", disconnected_at)] {
-        match at {
-            Some(t) => {
-                let view = GroundView::compute(&c, &gs, t);
-                let art = view.render_ascii(100, 16);
-                println!("\n--- {label} snapshot ---\n{art}");
-                args.write_text(&format!("fig12_{label}.txt"), &art);
-                args.write_text(
-                    &format!("fig12_{label}.json"),
-                    &serde_json::to_string_pretty(&view.to_json()).expect("json"),
-                );
-            }
-            None => println!("\n(no {label} instant within the horizon)"),
-        }
-    }
-
-    println!("Check: St. Petersburg (59.93°N) is intermittently reachable from");
-    println!("K1's 51.9°-inclination shell — the Fig. 3(a) outage mechanism.");
+    hypatia_bench::run_figure("fig12_ground_view");
 }

@@ -4,71 +4,10 @@
 //! Finds the instants of maximum and minimum RTT across the horizon and
 //! exports both path geometries (the paper's 117 ms vs 85 ms snapshots,
 //! where the long path needs 9 zig-zag hops to exit the orbit vs 6).
-
-use hypatia::scenario::ConstellationChoice;
-use hypatia_bench::{banner, BenchArgs};
-use hypatia_constellation::ground::top_cities;
-use hypatia_routing::forwarding::compute_forwarding_state;
-use hypatia_util::time::TimeSteps;
-use hypatia_util::{SimDuration, SimTime};
-use hypatia_viz::path_viz::PathSnapshot;
+//!
+//! Thin shim: the implementation lives in the shared experiment registry
+//! (`hypatia::figures`) and runs through `hypatia::runner`.
 
 fn main() {
-    let args = BenchArgs::parse();
-    banner("Fig. 13", "Shortest-path changes over time: Paris -> Luanda (Starlink S1)", &args);
-
-    let (duration, step) = if args.full {
-        (SimDuration::from_secs(200), SimDuration::from_millis(100))
-    } else {
-        (SimDuration::from_secs(120), SimDuration::from_secs(1))
-    };
-
-    let c = ConstellationChoice::StarlinkS1.build(top_cities(100));
-    let src = c.gs_node(c.find_gs("Paris").expect("Paris"));
-    let dst = c.gs_node(c.find_gs("Luanda").expect("Luanda"));
-
-    let mut best: Option<(SimTime, f64)> = None;
-    let mut worst: Option<(SimTime, f64)> = None;
-    for t in TimeSteps::new(SimTime::ZERO, SimTime::ZERO + duration, step) {
-        let state = compute_forwarding_state(&c, t, &[dst]);
-        if let Some(d) = state.distance(src, dst) {
-            let ms = 2.0 * d.secs_f64() * 1e3;
-            if best.is_none() || ms < best.unwrap().1 {
-                best = Some((t, ms));
-            }
-            if worst.is_none() || ms > worst.unwrap().1 {
-                worst = Some((t, ms));
-            }
-        }
-    }
-
-    for (label, inst) in [("max_rtt", worst), ("min_rtt", best)] {
-        let (t, ms) = inst.expect("Paris–Luanda should be connected");
-        let state = compute_forwarding_state(&c, t, &[dst]);
-        let path = state.path(src, dst).expect("connected at extreme instant");
-        let snap = PathSnapshot::capture(&c, &path, t);
-        println!(
-            "{label}: t={:.1}s RTT {:.1} ms, {} hops, {:.0} km",
-            t.secs_f64(),
-            ms,
-            snap.hops(),
-            snap.length_km()
-        );
-        println!("  {}", snap.describe());
-        args.write_text(
-            &format!("fig13_paris_luanda_{label}.json"),
-            &serde_json::to_string_pretty(&snap.to_json()).expect("json"),
-        );
-    }
-
-    let (wt, wms) = worst.unwrap();
-    let (bt, bms) = best.unwrap();
-    println!();
-    println!(
-        "RTT range {bms:.1}–{wms:.1} ms (paper: 85–117 ms) at t={:.0}s/{:.0}s",
-        bt.secs_f64(),
-        wt.secs_f64()
-    );
-    println!("Check: north-south paths ride one orbit as long as possible; the");
-    println!("slow snapshot needs more zig-zag hops to exit towards the destination.");
+    hypatia_bench::run_figure("fig13_path_viz");
 }

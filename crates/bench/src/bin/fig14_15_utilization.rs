@@ -4,106 +4,10 @@
 //! instants, showing congestion shifting even with static input traffic.
 //! Fig. 15: the constellation-wide utilization map with its hotspots (the
 //! paper highlights the trans-Atlantic corridor).
-
-use hypatia::experiments::cross_traffic::{run, CrossTrafficConfig};
-use hypatia::scenario::{ConstellationChoice, ScenarioBuilder};
-use hypatia_bench::{banner, BenchArgs};
-use hypatia_netsim::SimConfig;
-use hypatia_routing::forwarding::compute_forwarding_state;
-use hypatia_util::{DataRate, SimDuration, SimTime};
-use hypatia_viz::util_viz::{
-    isl_utilization_map, mean_utilization_in_lon_band, summarize, to_json, top_hotspots,
-};
+//!
+//! Thin shim: the implementation lives in the shared experiment registry
+//! (`hypatia::figures`) and runs through `hypatia::runner`.
 
 fn main() {
-    let args = BenchArgs::parse();
-    banner("Figs. 14/15", "Congestion shifts and constellation-wide utilization", &args);
-
-    // Chicago–Zhengzhou (the paper's pair) needs the full city set; the
-    // reduced run observes a transatlantic pair from the top 30.
-    let (cities, duration, snapshots, observed) = if args.full {
-        (100, SimDuration::from_secs(200), (10u64, 150u64), ("Chicago", "Zhengzhou"))
-    } else {
-        (30, SimDuration::from_secs(60), (10u64, 50u64), ("New York", "Moscow"))
-    };
-
-    let scenario = ScenarioBuilder::new(ConstellationChoice::KuiperK1)
-        .top_cities(cities)
-        .sim_config(
-            SimConfig::default()
-                .with_link_rate(DataRate::from_mbps(10))
-                .with_utilization_bucket(SimDuration::from_secs(1)),
-        )
-        .build();
-
-    println!("observed pair: {} -> {}", observed.0, observed.1);
-    let r = run(
-        &scenario,
-        observed.0,
-        observed.1,
-        &CrossTrafficConfig { duration, seed: 1, frozen: false, multipath_stretch: None },
-    );
-    println!("flows: {}, total goodput {:.1} Mbps", r.flows, r.total_goodput_mbps);
-
-    // Fig. 14: the observed path's per-link utilization at two instants.
-    let src = scenario.gs_by_name(observed.0);
-    let dst = scenario.gs_by_name(observed.1);
-    for (label, sec) in [("early", snapshots.0), ("late", snapshots.1)] {
-        let t = SimTime::from_secs(sec);
-        let state = compute_forwarding_state(&scenario.constellation, t, &[dst]);
-        match state.path(src, dst) {
-            Some(path) => {
-                print!("t={sec:>4}s path utilization per hop:");
-                let mut utils = Vec::new();
-                for w in path.windows(2) {
-                    let node = &r.sim.nodes()[w[0].index()];
-                    let dev = node.device_for(w[1]).expect("device");
-                    let u = node.devices[dev].utilization(sec as usize).unwrap_or(0.0);
-                    utils.push(((w[0].0 as f64), u));
-                    print!(" {:.2}", u);
-                }
-                println!();
-                args.write_series(
-                    &format!("fig14_path_util_t{sec}.dat"),
-                    "hop_node utilization",
-                    &utils,
-                );
-                let _ = label;
-            }
-            None => println!("t={sec}s: pair disconnected"),
-        }
-    }
-
-    // Fig. 15: global map + hotspots at the late snapshot.
-    let t = SimTime::from_secs(snapshots.1);
-    let map = isl_utilization_map(&r.sim, snapshots.1 as usize, t);
-    let summary = summarize(&map);
-    println!();
-    println!(
-        "global ISL utilization: {} directed links, {} active, mean {:.3}, max {:.2}",
-        summary.links, summary.active_links, summary.mean, summary.max
-    );
-    args.write_text(
-        "fig15_utilization_map.json",
-        &serde_json::to_string_pretty(&to_json(&map)).expect("json"),
-    );
-
-    println!("top hotspots (sat -> sat @ lat/lon, utilization):");
-    for h in top_hotspots(&map, 10) {
-        println!(
-            "  {:>5} -> {:<5} @ ({:>6.1}, {:>7.1})  {:.2}",
-            h.from_sat, h.to_sat, h.from_lat_lon.0, h.from_lat_lon.1, h.utilization
-        );
-    }
-
-    // The paper's trans-Atlantic observation, quantified: mean utilization
-    // over the Atlantic longitude band vs the Pacific one.
-    let atlantic = mean_utilization_in_lon_band(&map, -60.0, 0.0).unwrap_or(0.0);
-    let pacific = mean_utilization_in_lon_band(&map, 160.0, 180.0).unwrap_or(0.0);
-    println!();
-    println!(
-        "mean utilization — Atlantic band (60W..0): {atlantic:.3}, \
-         Pacific band (160E..180): {pacific:.3} -> Atlantic hotter: {}",
-        if atlantic > pacific { "HOLDS" } else { "DIFFERS (check scale/params)" }
-    );
+    hypatia_bench::run_figure("fig14_15_utilization");
 }

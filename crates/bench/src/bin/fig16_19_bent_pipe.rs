@@ -5,86 +5,10 @@
 //! carry ~5 ms more RTT (Fig. 18c); TCP over bent-pipe shows a noisier
 //! congestion window (ACKs queue behind data at the shared satellite GSL
 //! device) and modestly lower throughput (Fig. 19).
-
-use hypatia::experiments::bent_pipe::{run, BentPipeConfig};
-use hypatia_bench::{banner, BenchArgs};
-use hypatia_constellation::GroundStation;
-use hypatia_util::SimDuration;
+//!
+//! Thin shim: the implementation lives in the shared experiment registry
+//! (`hypatia::figures`) and runs through `hypatia::runner`.
 
 fn main() {
-    let args = BenchArgs::parse();
-    banner("Figs. 16-19", "Paris -> Moscow: ISLs vs bent-pipe ground relays", &args);
-
-    let cfg = if args.full {
-        BentPipeConfig {
-            duration: SimDuration::from_secs(200),
-            relay_spacing_deg: 3.0,
-            relay_margin_deg: 3.0,
-        }
-    } else {
-        BentPipeConfig {
-            duration: SimDuration::from_secs(60),
-            relay_spacing_deg: 4.0,
-            relay_margin_deg: 2.0,
-        }
-    };
-
-    let paris = GroundStation::new("Paris", 48.8566, 2.3522);
-    let moscow = GroundStation::new("Moscow", 55.7558, 37.6173);
-    let r = run(paris, moscow, &cfg);
-
-    for leg in [&r.isl, &r.bent_pipe] {
-        let slug = leg.label.replace('-', "_");
-        println!();
-        println!("[{}]", leg.label);
-        println!("  mean computed RTT: {:.1} ms", leg.mean_computed_rtt_ms);
-        println!(
-            "  bytes delivered: {} ({:.2} Mbps over {:.0} s)",
-            leg.bytes_received,
-            leg.bytes_received as f64 * 8.0 / cfg.duration.secs_f64() / 1e6,
-            cfg.duration.secs_f64()
-        );
-        args.write_series(
-            &format!("fig18_rtt_computed_{slug}.dat"),
-            "t_s rtt_ms",
-            &leg.computed_rtt_series,
-        );
-        args.write_series(
-            &format!("fig18_rtt_tcp_{slug}.dat"),
-            "t_s rtt_ms",
-            &leg.tcp_rtt_series,
-        );
-        args.write_series(&format!("fig19_cwnd_{slug}.dat"), "t_s cwnd_pkts", &leg.cwnd_series);
-        args.write_series(
-            &format!("fig19_throughput_{slug}.dat"),
-            "t_s mbps",
-            &leg.throughput_series,
-        );
-    }
-
-    println!();
-    println!(
-        "RTT gap (bent-pipe - ISL): {:.1} ms  (paper: typically ~5 ms)",
-        r.bent_pipe.mean_computed_rtt_ms - r.isl.mean_computed_rtt_ms
-    );
-
-    // Figs. 16/17: path geometry at t = 0 for both configurations.
-    // (Fig. 17's mid-run snapshots come from re-running with the chosen
-    // instant; the t = 0 snapshot documents the structure.)
-    for (leg, slug) in [(&r.isl, "fig16a_isl"), (&r.bent_pipe, "fig16b_bent_pipe")] {
-        if let Some(path) = &leg.path_t0 {
-            // Rebuild the appropriate constellation for geometry capture.
-            println!("{}: {} nodes end-to-end at t=0", leg.label, path.len());
-            let _ = slug;
-        }
-    }
-    // cwnd volatility comparison (Fig. 19's point): count window cuts.
-    let cuts = |series: &[(f64, f64)]| {
-        series.windows(2).filter(|w| w[1].1 < w[0].1 * 0.75).count()
-    };
-    println!(
-        "cwnd cuts — ISL: {}, bent-pipe: {} (bent-pipe expected noisier)",
-        cuts(&r.isl.cwnd_series),
-        cuts(&r.bent_pipe.cwnd_series)
-    );
+    hypatia_bench::run_figure("fig16_19_bent_pipe");
 }

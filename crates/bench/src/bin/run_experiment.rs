@@ -1,0 +1,136 @@
+//! Generic entry point: run any registered experiment from its spec.
+//!
+//! ```text
+//! run_experiment <name> [--full] [--out <dir>] [--set key=value]...
+//! run_experiment --spec <file.json> [--out <dir>] [--set key=value]...
+//! run_experiment --list
+//! run_experiment <name> [--full] [--set ...] --print-spec
+//! ```
+//!
+//! `--list` prints every registered experiment. `--print-spec` prints the
+//! resolved spec as JSON (after `--full` and `--set`) without running it —
+//! the output is loadable again via `--spec`.
+
+use hypatia::runner::{ExperimentRunner, RunError};
+use hypatia::spec::ExperimentSpec;
+use hypatia_bench::apply_sets;
+use std::path::PathBuf;
+use std::process::exit;
+
+struct Cli {
+    name: Option<String>,
+    spec_file: Option<PathBuf>,
+    full: bool,
+    out_dir: PathBuf,
+    sets: Vec<(String, String)>,
+    list: bool,
+    print_spec: bool,
+}
+
+const USAGE: &str = "usage: run_experiment <name> [--full] [--out <dir>] [--set key=value]...
+       run_experiment --spec <file.json> [--out <dir>] [--set key=value]...
+       run_experiment --list
+       run_experiment <name> --print-spec";
+
+fn parse_cli() -> Result<Cli, String> {
+    let mut cli = Cli {
+        name: None,
+        spec_file: None,
+        full: false,
+        out_dir: PathBuf::from("results"),
+        sets: Vec::new(),
+        list: false,
+        print_spec: false,
+    };
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--full" => cli.full = true,
+            "--list" => cli.list = true,
+            "--print-spec" => cli.print_spec = true,
+            "--out" => {
+                cli.out_dir =
+                    PathBuf::from(args.next().ok_or("--out requires a directory argument")?);
+            }
+            "--spec" => {
+                cli.spec_file =
+                    Some(PathBuf::from(args.next().ok_or("--spec requires a file argument")?));
+            }
+            "--set" => {
+                let kv = args.next().ok_or("--set requires key=value")?;
+                let (k, v) = kv
+                    .split_once('=')
+                    .ok_or_else(|| format!("--set expects key=value, got {kv:?}"))?;
+                cli.sets.push((k.to_string(), v.to_string()));
+            }
+            "--help" | "-h" => {
+                println!("{USAGE}");
+                exit(0);
+            }
+            other if !other.starts_with('-') && cli.name.is_none() => {
+                cli.name = Some(other.to_string());
+            }
+            other => return Err(format!("unknown argument: {other}")),
+        }
+    }
+    Ok(cli)
+}
+
+fn resolve_spec(cli: &Cli, runner: &ExperimentRunner) -> Result<ExperimentSpec, String> {
+    let mut spec = match (&cli.spec_file, &cli.name) {
+        (Some(path), _) => {
+            let text = std::fs::read_to_string(path)
+                .map_err(|e| format!("cannot read {}: {e}", path.display()))?;
+            ExperimentSpec::from_json(&text).map_err(|e| e.to_string())?
+        }
+        (None, Some(name)) => runner.spec(name, cli.full).map_err(|e| e.to_string())?,
+        (None, None) => return Err(format!("missing experiment name\n{USAGE}")),
+    };
+    apply_sets(&mut spec, &cli.sets).map_err(|e| e.to_string())?;
+    Ok(spec)
+}
+
+fn main() {
+    let cli = match parse_cli() {
+        Ok(cli) => cli,
+        Err(msg) => {
+            eprintln!("error: {msg}");
+            exit(2);
+        }
+    };
+
+    let runner = ExperimentRunner::new();
+    if cli.list {
+        println!("registered experiments:");
+        for name in runner.names() {
+            let title = runner.get(&name).map(|e| e.title()).unwrap_or("");
+            println!("  {name:<28} {title}");
+        }
+        return;
+    }
+
+    let spec = match resolve_spec(&cli, &runner) {
+        Ok(spec) => spec,
+        Err(msg) => {
+            eprintln!("error: {msg}");
+            exit(2);
+        }
+    };
+    if cli.print_spec {
+        println!("{}", spec.to_json_string());
+        return;
+    }
+
+    match runner.run(spec, cli.out_dir) {
+        Ok(manifest) => println!("done: {}", manifest.display()),
+        Err(RunError::UnknownExperiment { name, available }) => {
+            eprintln!("error: unknown experiment {name:?}");
+            eprintln!("available: {}", available.join(", "));
+            exit(2);
+        }
+        Err(e) => {
+            eprintln!("error: {e}");
+            exit(2);
+        }
+    }
+}

@@ -2,32 +2,10 @@
 //!
 //! Regenerates the paper's table from the encoded FCC/ITU filing values
 //! and verifies the per-constellation satellite totals.
-
-use hypatia::constellation::presets;
+//!
+//! Thin shim: the implementation lives in the shared experiment registry
+//! (`hypatia::figures`) and runs through `hypatia::runner`.
 
 fn main() {
-    println!("Table 1: Shell configurations (from FCC/ITU filings)");
-    println!();
-    println!("{:<10} {:<6} {:>8} {:>8} {:>12} {:>8}", "Const.", "shell", "h (km)", "orbits", "sats/orbit", "incl.");
-    let groups = [
-        ("Starlink", presets::starlink_shells()),
-        ("Kuiper", presets::kuiper_shells()),
-        ("Telesat", presets::telesat_shells()),
-    ];
-    for (name, shells) in &groups {
-        let mut total = 0;
-        for s in shells {
-            println!(
-                "{:<10} {:<6} {:>8} {:>8} {:>12} {:>7}°",
-                name, s.name, s.altitude_km, s.num_orbits, s.sats_per_orbit, s.inclination_deg
-            );
-            total += s.num_satellites();
-        }
-        println!("{:<10} total satellites: {total}", name);
-        println!();
-    }
-    println!("Minimum elevation angles: Starlink {}°, Kuiper {}°, Telesat {}°",
-        presets::STARLINK_MIN_ELEVATION_DEG,
-        presets::KUIPER_MIN_ELEVATION_DEG,
-        presets::TELESAT_MIN_ELEVATION_DEG);
+    hypatia_bench::run_figure("table1_constellations");
 }

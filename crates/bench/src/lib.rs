@@ -1,4 +1,12 @@
-//! Shared plumbing for the figure-regeneration binaries.
+//! Shared driver for the figure-regeneration binaries.
+//!
+//! Every figure binary is a thin shim over the experiment registry in
+//! [`hypatia::runner`]: it names its experiment and calls [`run_figure`],
+//! which parses the common CLI, materializes the registered
+//! [`ExperimentSpec`](hypatia::spec::ExperimentSpec) at the requested
+//! scale, applies `--set` overrides, and executes through the shared
+//! [`ExperimentRunner`](hypatia::runner::ExperimentRunner) — ending with
+//! the run's `manifest.json`.
 //!
 //! Every binary accepts:
 //!
@@ -7,7 +15,11 @@
 //!   preserves the qualitative result finishes in minutes on one core.
 //! * `--out <dir>` — where to write gnuplot-ready data files (default
 //!   `results/`).
+//! * `--set key=value` — override any spec field (repeatable), e.g.
+//!   `--set duration_s=30 --set "pairs=Paris:Moscow"`.
 
+use hypatia::runner::{ExperimentRunner, RunError};
+use hypatia::spec::ExperimentSpec;
 use std::path::PathBuf;
 
 /// Parsed common CLI options.
@@ -17,30 +29,43 @@ pub struct BenchArgs {
     pub full: bool,
     /// Output directory for series files.
     pub out_dir: PathBuf,
+    /// `--set key=value` spec overrides, in order.
+    pub sets: Vec<(String, String)>,
+}
+
+impl Default for BenchArgs {
+    fn default() -> Self {
+        BenchArgs { full: false, out_dir: PathBuf::from("results"), sets: Vec::new() }
+    }
 }
 
 impl BenchArgs {
     /// Parse from `std::env::args`.
     pub fn parse() -> BenchArgs {
-        let mut full = false;
-        let mut out_dir = PathBuf::from("results");
+        let mut parsed = BenchArgs::default();
         let mut args = std::env::args().skip(1);
         while let Some(a) = args.next() {
             match a.as_str() {
-                "--full" => full = true,
+                "--full" => parsed.full = true,
                 "--out" => {
-                    out_dir = PathBuf::from(
-                        args.next().expect("--out requires a directory argument"),
-                    );
+                    parsed.out_dir =
+                        PathBuf::from(args.next().expect("--out requires a directory argument"));
+                }
+                "--set" => {
+                    let kv = args.next().expect("--set requires key=value");
+                    match kv.split_once('=') {
+                        Some((k, v)) => parsed.sets.push((k.to_string(), v.to_string())),
+                        None => panic!("--set expects key=value, got {kv:?}"),
+                    }
                 }
                 "--help" | "-h" => {
-                    eprintln!("options: [--full] [--out <dir>]");
+                    eprintln!("options: [--full] [--out <dir>] [--set key=value ...]");
                     std::process::exit(0);
                 }
                 other => panic!("unknown argument: {other}"),
             }
         }
-        BenchArgs { full, out_dir }
+        parsed
     }
 
     /// Banner for the scale in use.
@@ -51,75 +76,6 @@ impl BenchArgs {
             "scale: reduced (pass --full for paper parameters)"
         }
     }
-
-    /// Write a two-column series under the output directory.
-    pub fn write_series(&self, name: &str, header: &str, points: &[(f64, f64)]) {
-        let path = self.out_dir.join(name);
-        hypatia_viz::csv::write_series(&path, header, points)
-            .unwrap_or_else(|e| panic!("writing {}: {e}", path.display()));
-        println!("  wrote {}", path.display());
-    }
-
-    /// Write arbitrary text (JSON/CZML documents, ASCII art) under the
-    /// output directory.
-    pub fn write_text(&self, name: &str, content: &str) {
-        let path = self.out_dir.join(name);
-        if let Some(parent) = path.parent() {
-            std::fs::create_dir_all(parent).expect("create output dir");
-        }
-        std::fs::write(&path, content)
-            .unwrap_or_else(|e| panic!("writing {}: {e}", path.display()));
-        println!("  wrote {}", path.display());
-    }
-}
-
-/// The three-constellation pair sweep shared by Figs. 6, 7 and 8.
-///
-/// Returns `(constellation name, per-pair statistics)` for Telesat T1,
-/// Kuiper K1 and Starlink S1 — the paper's comparison set.
-pub fn three_constellation_sweep(
-    args: &BenchArgs,
-) -> Vec<(&'static str, Vec<hypatia::experiments::pair_sweep::PairStats>)> {
-    use hypatia::experiments::pair_sweep::{run, PairSweepConfig};
-    use hypatia::scenario::ConstellationChoice;
-    use hypatia_constellation::ground::top_cities;
-    use hypatia_util::SimDuration;
-
-    let (cities, cfg) = if args.full {
-        (
-            100,
-            PairSweepConfig {
-                duration: SimDuration::from_secs(200),
-                step: SimDuration::from_millis(100),
-                min_pair_distance_km: 500.0,
-                threads: 0,
-            },
-        )
-    } else {
-        (
-            40,
-            PairSweepConfig {
-                duration: SimDuration::from_secs(200),
-                step: SimDuration::from_millis(500),
-                min_pair_distance_km: 500.0,
-                threads: 0,
-            },
-        )
-    };
-
-    let choices = [
-        ("Telesat T1", ConstellationChoice::TelesatT1),
-        ("Kuiper K1", ConstellationChoice::KuiperK1),
-        ("Starlink S1", ConstellationChoice::StarlinkS1),
-    ];
-    choices
-        .into_iter()
-        .map(|(name, choice)| {
-            eprintln!("  sweeping {name} ({cities} cities)...");
-            let c = choice.build(top_cities(cities));
-            (name, run(&c, &cfg))
-        })
-        .collect()
 }
 
 /// Print a figure banner.
@@ -130,15 +86,74 @@ pub fn banner(figure: &str, title: &str, args: &BenchArgs) {
     println!("==============================================================");
 }
 
+/// Entry point shared by all figure binaries: parse the common CLI and
+/// drive `name` through the registry. Exits with status 2 on failure.
+pub fn run_figure(name: &str) {
+    let args = BenchArgs::parse();
+    drive(name, &args);
+}
+
+/// Run `name` with pre-parsed arguments. Exits with status 2 on failure.
+pub fn drive(name: &str, args: &BenchArgs) {
+    if let Err(e) = try_drive(name, args) {
+        eprintln!("error: {e}");
+        std::process::exit(2);
+    }
+}
+
+/// The fallible driver: spec lookup, `--set` overrides, banner, run.
+/// Returns the manifest path.
+pub fn try_drive(name: &str, args: &BenchArgs) -> Result<PathBuf, RunError> {
+    let runner = ExperimentRunner::new();
+    let exp = runner.get(name)?;
+    if let Some(label) = exp.label() {
+        banner(label, exp.title(), args);
+    }
+    let mut spec = exp.spec(args.full);
+    apply_sets(&mut spec, &args.sets)?;
+    runner.run(spec, args.out_dir.clone())
+}
+
+/// Apply `--set` overrides to a spec, in order.
+pub fn apply_sets(spec: &mut ExperimentSpec, sets: &[(String, String)]) -> Result<(), RunError> {
+    for (key, value) in sets {
+        spec.set(key, value)?;
+    }
+    Ok(())
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
 
     #[test]
     fn scale_notes() {
-        let a = BenchArgs { full: false, out_dir: PathBuf::from("results") };
+        let a = BenchArgs::default();
         assert!(a.scale_note().contains("reduced"));
-        let b = BenchArgs { full: true, out_dir: PathBuf::from("x") };
+        let b = BenchArgs { full: true, ..BenchArgs::default() };
         assert!(b.scale_note().contains("FULL"));
+    }
+
+    #[test]
+    fn sets_apply_in_order() {
+        let runner = ExperimentRunner::new();
+        let mut spec = runner.spec("fig03_rtt_fluctuations", false).unwrap();
+        apply_sets(
+            &mut spec,
+            &[
+                ("duration_s".to_string(), "10".to_string()),
+                ("duration_s".to_string(), "20".to_string()),
+            ],
+        )
+        .unwrap();
+        assert_eq!(spec.duration, hypatia_util::SimDuration::from_secs(20));
+    }
+
+    #[test]
+    fn bad_set_is_a_spec_error() {
+        let runner = ExperimentRunner::new();
+        let mut spec = runner.spec("fig03_rtt_fluctuations", false).unwrap();
+        let err = apply_sets(&mut spec, &[("cc".to_string(), "tahoe".to_string())]).unwrap_err();
+        assert!(err.to_string().contains("tahoe"), "{err}");
     }
 }

@@ -17,9 +17,7 @@ use hypatia_util::{SimTime, Vec3};
 use serde::{Deserialize, Serialize};
 
 /// Identifier of a node (satellite or ground station) in a constellation.
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
 pub struct NodeId(pub u32);
 
 impl NodeId {
@@ -245,10 +243,7 @@ mod tests {
 
     fn small() -> Constellation {
         let shell = ShellSpec::new("T", 550.0, 4, 5, 53.0);
-        let gses = vec![
-            GroundStation::new("A", 0.0, 0.0),
-            GroundStation::new("B", 45.0, 90.0),
-        ];
+        let gses = vec![GroundStation::new("A", 0.0, 0.0), GroundStation::new("B", 45.0, 90.0)];
         Constellation::build("Test", vec![shell], IslLayout::PlusGrid, gses, GslConfig::new(25.0))
     }
 
@@ -271,8 +266,8 @@ mod tests {
         let t = SimTime::from_secs(77);
         let snap = c.positions_at(t);
         assert_eq!(snap.len(), 22);
-        for i in 0..22 {
-            assert!(snap[i].distance(c.node_position_ecef(NodeId(i as u32), t)) < 1e-12);
+        for (i, p) in snap.iter().enumerate() {
+            assert!(p.distance(c.node_position_ecef(NodeId(i as u32), t)) < 1e-12);
         }
     }
 
@@ -282,9 +277,7 @@ mod tests {
         let t0 = SimTime::ZERO;
         let t1 = t0 + SimDuration::from_secs(10);
         assert!(c.distance_km(c.sat_node(0), c.sat_node(0), t0) < 1e-12);
-        let sat_moved = c
-            .sat_position_ecef(0, t0)
-            .distance(c.sat_position_ecef(0, t1));
+        let sat_moved = c.sat_position_ecef(0, t0).distance(c.sat_position_ecef(0, t1));
         assert!(sat_moved > 10.0, "satellite moved only {sat_moved} km in 10 s");
         let gs0 = c.node_position_ecef(c.gs_node(0), t0);
         let gs1 = c.node_position_ecef(c.gs_node(0), t1);
@@ -304,11 +297,11 @@ mod tests {
         assert_eq!(tles.len(), 20);
         // Spot-check a round trip.
         let t5 = &tles[5];
-        let parsed =
-            Tle::parse(t5.name.clone(), &t5.format_line1(), &t5.format_line2()).unwrap();
+        let parsed = Tle::parse(t5.name.clone(), &t5.format_line1(), &t5.format_line2()).unwrap();
         let orig = &c.satellites[5].propagator.elements;
-        assert!((parsed.to_elements().perigee_altitude_km() - orig.perigee_altitude_km()).abs()
-            < 0.1);
+        assert!(
+            (parsed.to_elements().perigee_altitude_km() - orig.perigee_altitude_km()).abs() < 0.1
+        );
     }
 
     #[test]

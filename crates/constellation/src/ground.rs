@@ -28,12 +28,7 @@ impl GroundStation {
     /// A surface ground station.
     pub fn new(name: impl Into<String>, latitude_deg: f64, longitude_deg: f64) -> Self {
         assert!((-90.0..=90.0).contains(&latitude_deg), "bad latitude");
-        GroundStation {
-            name: name.into(),
-            latitude_deg,
-            longitude_deg,
-            altitude_km: 0.0,
-        }
+        GroundStation { name: name.into(), latitude_deg, longitude_deg, altitude_km: 0.0 }
     }
 
     /// Geodetic position.
@@ -177,10 +172,7 @@ pub const CITIES: [(&str, f64, f64, u32); 100] = [
 /// The `n` most populous cities as ground stations (n ≤ 100).
 pub fn top_cities(n: usize) -> Vec<GroundStation> {
     assert!(n <= CITIES.len(), "only {} cities available", CITIES.len());
-    CITIES[..n]
-        .iter()
-        .map(|&(name, lat, lon, _)| GroundStation::new(name, lat, lon))
-        .collect()
+    CITIES[..n].iter().map(|&(name, lat, lon, _)| GroundStation::new(name, lat, lon)).collect()
 }
 
 /// All 100 cities (the paper's standard ground segment).
@@ -273,11 +265,7 @@ mod tests {
         // (6378.135 km) radii, decreasing with |latitude|.
         for gs in world_cities_100() {
             let r = gs.position_ecef().norm();
-            assert!(
-                (6356.0..=6378.2).contains(&r),
-                "{} radius {r}",
-                gs.name
-            );
+            assert!((6356.0..=6378.2).contains(&r), "{} radius {r}", gs.name);
         }
         let equatorial = GroundStation::new("eq", 0.0, 0.0).position_ecef().norm();
         let polarish = GroundStation::new("hi", 80.0, 0.0).position_ecef().norm();

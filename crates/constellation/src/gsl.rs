@@ -35,19 +35,13 @@ pub struct GslConfig {
 impl GslConfig {
     /// Config with the default (all-visible) selection.
     pub fn new(min_elevation_deg: f64) -> Self {
-        assert!(
-            (0.0..=90.0).contains(&min_elevation_deg),
-            "bad min elevation {min_elevation_deg}"
-        );
+        assert!((0.0..=90.0).contains(&min_elevation_deg), "bad min elevation {min_elevation_deg}");
         GslConfig { min_elevation_deg, selection: GslSelection::default() }
     }
 
     /// Nearest-only variant.
     pub fn nearest_only(min_elevation_deg: f64) -> Self {
-        GslConfig {
-            selection: GslSelection::NearestOnly,
-            ..GslConfig::new(min_elevation_deg)
-        }
+        GslConfig { selection: GslSelection::NearestOnly, ..GslConfig::new(min_elevation_deg) }
     }
 }
 
@@ -83,11 +77,7 @@ pub fn visible_satellites(
         .collect();
 
     let mut out = Vec::new();
-    for (idx, (sat, &pos)) in constellation
-        .satellites
-        .iter()
-        .zip(sat_positions.iter())
-        .enumerate()
+    for (idx, (sat, &pos)) in constellation.satellites.iter().zip(sat_positions.iter()).enumerate()
     {
         let range = gs_pos.distance(pos);
         if range > shell_max_range[sat.shell] + 1e-9 {
@@ -118,11 +108,7 @@ pub fn usable_satellites(
 
 /// Check visibility of one specific satellite from one GS (for handoff and
 /// forwarding-validity checks in the packet simulator).
-pub fn gs_sees_sat(
-    constellation: &Constellation,
-    gs_pos: Vec3,
-    sat_pos: Vec3,
-) -> bool {
+pub fn gs_sees_sat(constellation: &Constellation, gs_pos: Vec3, sat_pos: Vec3) -> bool {
     is_visible(gs_pos, sat_pos, constellation.gsl.min_elevation_deg)
 }
 
@@ -254,9 +240,7 @@ mod tests {
         let sats = c.positions_at(t);
         let fast = visible_satellites(&c, gs.position_ecef(), &sats[..c.num_satellites()], t);
         let slow: Vec<usize> = (0..c.num_satellites())
-            .filter(|&i| {
-                elevation_deg(gs.position_ecef(), sats[i]) >= c.gsl.min_elevation_deg
-            })
+            .filter(|&i| elevation_deg(gs.position_ecef(), sats[i]) >= c.gsl.min_elevation_deg)
             .collect();
         let fast_ids: Vec<usize> = fast.iter().map(|v| v.sat_idx).collect();
         let mut fast_sorted = fast_ids.clone();

@@ -40,10 +40,7 @@ pub fn kuiper_shells() -> Vec<ShellSpec> {
 
 /// Telesat shells T1–T2 (Table 1).
 pub fn telesat_shells() -> Vec<ShellSpec> {
-    vec![
-        ShellSpec::new("T1", 1015.0, 27, 13, 98.98),
-        ShellSpec::new("T2", 1325.0, 40, 33, 50.88),
-    ]
+    vec![ShellSpec::new("T1", 1015.0, 27, 13, 98.98), ShellSpec::new("T2", 1325.0, 40, 33, 50.88)]
 }
 
 /// Starlink S1 only — the first planned deployment, used throughout §5.
@@ -175,6 +172,7 @@ mod tests {
     }
 
     #[test]
+    #[allow(clippy::assertions_on_constants)]
     fn min_elevations_ordered_telesat_lowest() {
         assert!(TELESAT_MIN_ELEVATION_DEG < STARLINK_MIN_ELEVATION_DEG);
         assert!(STARLINK_MIN_ELEVATION_DEG < KUIPER_MIN_ELEVATION_DEG);

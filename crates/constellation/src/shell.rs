@@ -65,8 +65,7 @@ impl ShellSpec {
         assert!(idx_in_orbit < self.sats_per_orbit, "satellite {idx_in_orbit} out of range");
         let raan_deg = 360.0 * orbit as f64 / self.num_orbits as f64;
         let base_ma = 360.0 * idx_in_orbit as f64 / self.sats_per_orbit as f64;
-        let phase_ma =
-            self.phase_factor * 360.0 * orbit as f64 / self.num_satellites() as f64;
+        let phase_ma = self.phase_factor * 360.0 * orbit as f64 / self.num_satellites() as f64;
         KeplerianElements::circular(
             self.altitude_km,
             self.inclination_deg,

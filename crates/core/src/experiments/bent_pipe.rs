@@ -80,7 +80,8 @@ fn run_leg(
     let mut computed = Vec::new();
     let mut sum = 0.0;
     let mut connected = 0usize;
-    for t in TimeSteps::new(SimTime::ZERO, SimTime::ZERO + duration, scenario.sim_config.fstate_step)
+    for t in
+        TimeSteps::new(SimTime::ZERO, SimTime::ZERO + duration, scenario.sim_config.fstate_step)
     {
         let state = compute_forwarding_state(&scenario.constellation, t, &[dst]);
         let ms = state.distance(src, dst).map_or(f64::NAN, |d| 2.0 * d.secs_f64() * 1e3);
@@ -90,15 +91,18 @@ fn run_leg(
         }
         computed.push((t.secs_f64(), ms));
     }
-    let path_t0 = compute_forwarding_state(&scenario.constellation, SimTime::ZERO, &[dst])
-        .path(src, dst);
+    let path_t0 =
+        compute_forwarding_state(&scenario.constellation, SimTime::ZERO, &[dst]).path(src, dst);
 
     // TCP leg.
     let mut sim = scenario.simulator(vec![src, dst]);
     let cfg = TcpConfig::default();
     let sink_idx = sim.add_app(dst, 80, Box::new(TcpSink::new(cfg.clone())));
-    let sender_idx =
-        sim.add_app(src, 70, Box::new(TcpSender::new(dst, 80, cfg.clone(), CcKind::NewReno.build())));
+    let sender_idx = sim.add_app(
+        src,
+        70,
+        Box::new(TcpSender::new(dst, 80, cfg.clone(), CcKind::NewReno.build())),
+    );
     sim.run_until(SimTime::ZERO + duration);
     let sender: &TcpSender = sim.app_as(sender_idx).expect("sender");
     let sink: &TcpSink = sim.app_as(sink_idx).expect("sink");
@@ -136,38 +140,22 @@ pub fn run(
 
     // Leg 1: standard ISL constellation, endpoints only.
     let isl_scenario = crate::scenario::Scenario {
-        constellation: Arc::new(ConstellationChoice::KuiperK1.build(vec![
-            src_city.clone(),
-            dst_city.clone(),
-        ])),
+        constellation: Arc::new(
+            ConstellationChoice::KuiperK1.build(vec![src_city.clone(), dst_city.clone()]),
+        ),
         sim_config: hypatia_netsim::SimConfig::default(),
     };
-    let isl = run_leg(
-        &isl_scenario,
-        "ISL",
-        isl_scenario.gs(0),
-        isl_scenario.gs(1),
-        cfg.duration,
-    );
+    let isl = run_leg(&isl_scenario, "ISL", isl_scenario.gs(0), isl_scenario.gs(1), cfg.duration);
 
     // Leg 2: no ISLs; add the relay grid.
-    let ground = bent_pipe_ground_segment(
-        src_city,
-        dst_city,
-        cfg.relay_spacing_deg,
-        cfg.relay_margin_deg,
-    );
+    let ground =
+        bent_pipe_ground_segment(src_city, dst_city, cfg.relay_spacing_deg, cfg.relay_margin_deg);
     let bp_scenario = crate::scenario::Scenario {
         constellation: Arc::new(ConstellationChoice::KuiperK1BentPipe.build(ground)),
         sim_config: hypatia_netsim::SimConfig::default(),
     };
-    let bent_pipe = run_leg(
-        &bp_scenario,
-        "bent-pipe",
-        bp_scenario.gs(0),
-        bp_scenario.gs(1),
-        cfg.duration,
-    );
+    let bent_pipe =
+        run_leg(&bp_scenario, "bent-pipe", bp_scenario.gs(0), bp_scenario.gs(1), cfg.duration);
 
     BentPipeResult { isl, bent_pipe }
 }

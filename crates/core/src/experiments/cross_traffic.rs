@@ -12,7 +12,7 @@
 //! purpose — keeping the observed pair's first and last hop uncongested —
 //! and ours is time-invariant, hence reproducible independent of geometry.
 
-use crate::scenario::Scenario;
+use crate::scenario::{Scenario, UnknownCityError};
 use hypatia_constellation::NodeId;
 use hypatia_netsim::Simulator;
 use hypatia_routing::forwarding::compute_forwarding_state;
@@ -84,13 +84,13 @@ pub fn run(
     src_name: &str,
     dst_name: &str,
     cfg: &CrossTrafficConfig,
-) -> CrossTrafficResult {
+) -> Result<CrossTrafficResult, UnknownCityError> {
     let bucket = scenario
         .sim_config
         .utilization_bucket
         .expect("cross-traffic needs utilization tracking enabled");
-    let observed_src = scenario.gs_by_name(src_name);
-    let observed_dst = scenario.gs_by_name(dst_name);
+    let observed_src = scenario.gs_by_name(src_name)?;
+    let observed_dst = scenario.gs_by_name(dst_name)?;
 
     // Traffic matrix: permutation pairs, minus those touching the observed
     // pair's ground stations, plus the observed pair itself.
@@ -112,8 +112,7 @@ pub fn run(
         sim_config.freeze_at_epoch = true;
     }
     sim_config.multipath_stretch = cfg.multipath_stretch;
-    let mut sim =
-        Simulator::new(scenario.constellation.clone(), sim_config, dests);
+    let mut sim = Simulator::new(scenario.constellation.clone(), sim_config, dests);
 
     let tcp_cfg = TcpConfig::default();
     for (i, &(s, d)) in flows.iter().enumerate() {
@@ -151,12 +150,12 @@ pub fn run(
     let total_goodput_mbps =
         sim.stats.payload_bytes_delivered as f64 * 8.0 / cfg.duration.secs_f64() / 1e6;
 
-    CrossTrafficResult {
+    Ok(CrossTrafficResult {
         sim,
         unused_bandwidth_series: series,
         total_goodput_mbps,
         flows: flows.len(),
-    }
+    })
 }
 
 #[cfg(test)]
@@ -191,14 +190,14 @@ mod tests {
         let s = scenario(10);
         let mut cfg = quick_cfg();
         cfg.multipath_stretch = Some(1.2);
-        let r = run(&s, "Tokyo", "Sao Paulo", &cfg);
+        let r = run(&s, "Tokyo", "Sao Paulo", &cfg).expect("known cities");
         assert!(r.total_goodput_mbps > 5.0, "multipath goodput {}", r.total_goodput_mbps);
     }
 
     #[test]
     fn observed_pair_series_has_one_point_per_second() {
         let s = scenario(10);
-        let r = run(&s, "Tokyo", "Sao Paulo", &quick_cfg());
+        let r = run(&s, "Tokyo", "Sao Paulo", &quick_cfg()).expect("known cities");
         assert_eq!(r.unused_bandwidth_series.len(), 10);
         for &(_, u) in &r.unused_bandwidth_series {
             assert!(u.is_nan() || (-0.01..=10.01).contains(&u), "unused {u}");
@@ -209,7 +208,7 @@ mod tests {
     #[test]
     fn cross_traffic_consumes_bandwidth() {
         let s = scenario(10);
-        let r = run(&s, "Tokyo", "Sao Paulo", &quick_cfg());
+        let r = run(&s, "Tokyo", "Sao Paulo", &quick_cfg()).expect("known cities");
         assert!(r.total_goodput_mbps > 5.0, "goodput {}", r.total_goodput_mbps);
         // Some second must see congestion (unused < capacity).
         let min_unused = r
@@ -226,7 +225,7 @@ mod tests {
         let s = scenario(8);
         let mut cfg = quick_cfg();
         cfg.frozen = true;
-        let r = run(&s, "Tokyo", "Sao Paulo", &cfg);
+        let r = run(&s, "Tokyo", "Sao Paulo", &cfg).expect("known cities");
         assert_eq!(r.sim.stats.forwarding_updates, 0);
         assert_eq!(r.unused_bandwidth_series.len(), 10);
     }
@@ -234,7 +233,7 @@ mod tests {
     #[test]
     fn flows_avoid_observed_ground_stations() {
         let s = scenario(10);
-        let r = run(&s, "Tokyo", "Sao Paulo", &quick_cfg());
+        let r = run(&s, "Tokyo", "Sao Paulo", &quick_cfg()).expect("known cities");
         // 10 cities → permutation of 10 minus any pair touching the 2
         // observed GSes, plus the observed flow itself: at most 9.
         assert!(r.flows <= 9, "flows {}", r.flows);
@@ -243,7 +242,7 @@ mod tests {
     #[test]
     fn fraction_metric_bounded() {
         let s = scenario(8);
-        let r = run(&s, "Tokyo", "Sao Paulo", &quick_cfg());
+        let r = run(&s, "Tokyo", "Sao Paulo", &quick_cfg()).expect("known cities");
         let f = r.fraction_time_unused_above(1.0 / 3.0);
         assert!((0.0..=1.0).contains(&f));
     }

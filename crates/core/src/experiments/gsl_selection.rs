@@ -70,13 +70,8 @@ mod tests {
     #[test]
     fn nearest_only_never_beats_all_visible() {
         let c = presets::kuiper_k1(top_cities(10));
-        let (all, nearest) = compare(
-            &c,
-            0,
-            1,
-            SimDuration::from_secs(60),
-            SimDuration::from_secs(2),
-        );
+        let (all, nearest) =
+            compare(&c, 0, 1, SimDuration::from_secs(60), SimDuration::from_secs(2));
         assert_eq!(all.selection, GslSelection::AllVisible);
         assert_eq!(nearest.selection, GslSelection::NearestOnly);
         if all.min_rtt_ms.is_finite() && nearest.min_rtt_ms.is_finite() {
@@ -110,13 +105,8 @@ mod tests {
         // change; the multi-satellite policy can often keep an unrelated
         // (still-visible) ingress satellite.
         let c = presets::kuiper_k1(top_cities(8));
-        let (all, nearest) = compare(
-            &c,
-            2,
-            5,
-            SimDuration::from_secs(120),
-            SimDuration::from_secs(2),
-        );
+        let (all, nearest) =
+            compare(&c, 2, 5, SimDuration::from_secs(120), SimDuration::from_secs(2));
         assert!(
             nearest.path_changes + 1 >= all.path_changes,
             "nearest-only {} vs all-visible {}",

@@ -7,7 +7,7 @@
 //! the paper's "detour" spikes), and St. Petersburg's Kuiper outage
 //! appears as a gap.
 
-use crate::scenario::Scenario;
+use crate::scenario::{Scenario, UnknownCityError};
 use hypatia_netsim::apps::PingApp;
 use hypatia_routing::forwarding::compute_forwarding_state;
 use hypatia_routing::path::PairTracker;
@@ -58,15 +58,14 @@ pub fn run(
     src_name: &str,
     dst_name: &str,
     cfg: &RttFluctuationConfig,
-) -> RttFluctuationResult {
-    let src = scenario.gs_by_name(src_name);
-    let dst = scenario.gs_by_name(dst_name);
+) -> Result<RttFluctuationResult, UnknownCityError> {
+    let src = scenario.gs_by_name(src_name)?;
+    let dst = scenario.gs_by_name(dst_name)?;
 
     // (a) Packet-level pings.
     let mut sim = scenario.simulator(vec![src, dst]);
     let stop = SimTime::ZERO + cfg.duration;
-    let app =
-        sim.add_app(src, 7, Box::new(PingApp::new(dst, cfg.ping_interval, stop)));
+    let app = sim.add_app(src, 7, Box::new(PingApp::new(dst, cfg.ping_interval, stop)));
     // Drain stragglers for a second beyond the last probe.
     sim.run_until(stop + SimDuration::from_secs(1));
     let ping: &PingApp = sim.app_as(app).expect("ping app");
@@ -81,11 +80,8 @@ pub fn run(
     for t in TimeSteps::new(SimTime::ZERO, stop, step) {
         let state = compute_forwarding_state(&scenario.constellation, t, &[dst]);
         tracker.observe(&scenario.constellation, &state);
-        let rtt_ms = tracker
-            .series()
-            .last()
-            .and_then(|o| o.rtt)
-            .map_or(f64::NAN, |r| r.secs_f64() * 1e3);
+        let rtt_ms =
+            tracker.series().last().and_then(|o| o.rtt).map_or(f64::NAN, |r| r.secs_f64() * 1e3);
         computed_series.push((t.secs_f64(), rtt_ms));
     }
 
@@ -94,7 +90,7 @@ pub fn run(
     let max_computed_ms = finite.iter().copied().fold(f64::NAN, f64::max);
     let min_computed_ms = finite.iter().copied().fold(f64::NAN, f64::min);
 
-    RttFluctuationResult {
+    Ok(RttFluctuationResult {
         ping_series,
         computed_series,
         sent,
@@ -102,7 +98,7 @@ pub fn run(
         disconnected_seconds: tracker.disconnected_steps as f64 * step.secs_f64(),
         max_computed_ms,
         min_computed_ms,
-    }
+    })
 }
 
 #[cfg(test)]
@@ -130,7 +126,7 @@ mod tests {
     #[test]
     fn pings_and_computed_agree() {
         let s = scenario();
-        let r = run(&s, "Istanbul", "Nairobi", &short_cfg());
+        let r = run(&s, "Istanbul", "Nairobi", &short_cfg()).expect("known cities");
         assert!(r.received > 80, "received {}", r.received);
         assert_eq!(r.disconnected_seconds, 0.0);
         // Every ping RTT within [min_computed − 1 ms, max_computed + 5 ms]
@@ -159,7 +155,7 @@ mod tests {
     #[test]
     fn computed_series_covers_duration() {
         let s = scenario();
-        let r = run(&s, "Istanbul", "Nairobi", &short_cfg());
+        let r = run(&s, "Istanbul", "Nairobi", &short_cfg()).expect("known cities");
         // 10 s at the default 100 ms granularity = 100 samples.
         assert_eq!(r.computed_series.len(), 100);
         assert!(r.max_computed_ms >= r.min_computed_ms);
@@ -181,7 +177,7 @@ mod tests {
             duration: SimDuration::from_secs(1000),
             ping_interval: SimDuration::from_millis(200),
         };
-        let r = run(&s, "Rio de Janeiro", "Saint Petersburg", &cfg);
+        let r = run(&s, "Rio de Janeiro", "Saint Petersburg", &cfg).expect("known cities");
         assert!(
             r.disconnected_seconds > 0.0,
             "expected an outage over 1000 s; max RTT {}",

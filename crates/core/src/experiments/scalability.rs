@@ -61,16 +61,11 @@ pub fn run_point(
     let mut sim_config = scenario.sim_config.clone();
     sim_config.link_rate = line_rate;
 
-    let mut dests: Vec<_> = (0..scenario.constellation.num_ground_stations())
-        .map(|i| scenario.gs(i))
-        .collect();
+    let mut dests: Vec<_> =
+        (0..scenario.constellation.num_ground_stations()).map(|i| scenario.gs(i)).collect();
     dests.sort_unstable_by_key(|n| n.0);
 
-    let mut sim = hypatia_netsim::Simulator::new(
-        scenario.constellation.clone(),
-        sim_config,
-        dests,
-    );
+    let mut sim = hypatia_netsim::Simulator::new(scenario.constellation.clone(), sim_config, dests);
 
     let stop = SimTime::ZERO + virtual_duration;
     match workload {
@@ -127,10 +122,7 @@ pub fn sweep(
     virtual_duration: SimDuration,
     seed: u64,
 ) -> Vec<ScalabilityPoint> {
-    line_rates
-        .iter()
-        .map(|&r| run_point(scenario, workload, r, virtual_duration, seed))
-        .collect()
+    line_rates.iter().map(|&r| run_point(scenario, workload, r, virtual_duration, seed)).collect()
 }
 
 #[cfg(test)]
@@ -145,13 +137,7 @@ mod tests {
     #[test]
     fn udp_point_achieves_goodput() {
         let s = scenario();
-        let p = run_point(
-            &s,
-            Workload::Udp,
-            DataRate::from_mbps(1),
-            SimDuration::from_secs(2),
-            3,
-        );
+        let p = run_point(&s, Workload::Udp, DataRate::from_mbps(1), SimDuration::from_secs(2), 3);
         // 10 flows at ≤1 Mbps each.
         assert!(p.goodput_gbps > 0.0005, "goodput {} Gbps", p.goodput_gbps);
         assert!(p.goodput_gbps < 0.011);
@@ -162,13 +148,7 @@ mod tests {
     #[test]
     fn tcp_point_achieves_goodput() {
         let s = scenario();
-        let p = run_point(
-            &s,
-            Workload::Tcp,
-            DataRate::from_mbps(1),
-            SimDuration::from_secs(2),
-            3,
-        );
+        let p = run_point(&s, Workload::Tcp, DataRate::from_mbps(1), SimDuration::from_secs(2), 3);
         assert!(p.goodput_gbps > 0.0002, "goodput {} Gbps", p.goodput_gbps);
     }
 

@@ -5,14 +5,14 @@
 //! (Fig. 4), the per-packet RTT, and the 100 ms-averaged throughput —
 //! enabling the NewReno-vs-Vegas comparison of Fig. 5.
 
-use crate::scenario::Scenario;
+use crate::scenario::{Scenario, UnknownCityError};
 use hypatia_routing::forwarding::compute_forwarding_state;
 use hypatia_transport::{Bbr, Cubic, NewReno, TcpConfig, TcpSender, TcpSink, Vegas};
 use hypatia_util::time::TimeSteps;
 use hypatia_util::{SimDuration, SimTime};
 
 /// Which congestion controller to run.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
 pub enum CcKind {
     /// Loss-based (paper's default).
     NewReno,
@@ -44,6 +44,13 @@ impl CcKind {
             CcKind::Cubic => "Cubic",
             CcKind::Bbr => "BBR",
         }
+    }
+
+    /// Parse a controller name (case-insensitive).
+    pub fn parse(s: &str) -> Option<Self> {
+        [CcKind::NewReno, CcKind::Vegas, CcKind::Cubic, CcKind::Bbr]
+            .into_iter()
+            .find(|cc| s.eq_ignore_ascii_case(cc.name()))
     }
 }
 
@@ -86,9 +93,9 @@ pub fn run(
     dst_name: &str,
     cc: CcKind,
     duration: SimDuration,
-) -> TcpSingleResult {
-    let src = scenario.gs_by_name(src_name);
-    let dst = scenario.gs_by_name(dst_name);
+) -> Result<TcpSingleResult, UnknownCityError> {
+    let src = scenario.gs_by_name(src_name)?;
+    let dst = scenario.gs_by_name(dst_name)?;
     let tcp_cfg = TcpConfig::default();
     let mss_wire = tcp_cfg.mss as u64 + hypatia_netsim::packet::HEADER_BYTES as u64;
 
@@ -107,22 +114,16 @@ pub fn run(
         .iter()
         .map(|&(t, w)| (t.secs_f64(), w as f64 / tcp_cfg.mss as f64))
         .collect();
-    let rtt_series = sender
-        .log
-        .rtt_samples
-        .iter()
-        .map(|&(t, r)| (t.secs_f64(), r.secs_f64() * 1e3))
-        .collect();
+    let rtt_series =
+        sender.log.rtt_samples.iter().map(|&(t, r)| (t.secs_f64(), r.secs_f64() * 1e3)).collect();
 
     // BDP+Q from snapshot RTTs: rate × RTT / wire-segment-size + queue.
     let rate_bps = scenario.sim_config.link_rate.bps() as f64;
     let q = scenario.sim_config.queue_packets as f64;
     let mut bdp_plus_q_series = Vec::new();
-    for t in TimeSteps::new(
-        SimTime::ZERO,
-        SimTime::ZERO + duration,
-        scenario.sim_config.fstate_step,
-    ) {
+    for t in
+        TimeSteps::new(SimTime::ZERO, SimTime::ZERO + duration, scenario.sim_config.fstate_step)
+    {
         let state = compute_forwarding_state(&scenario.constellation, t, &[dst]);
         if let Some(d) = state.distance(src, dst) {
             let rtt_s = 2.0 * d.secs_f64();
@@ -133,7 +134,7 @@ pub fn run(
         }
     }
 
-    TcpSingleResult {
+    Ok(TcpSingleResult {
         cc,
         cwnd_series,
         rtt_series,
@@ -144,7 +145,7 @@ pub fn run(
         timeouts: sender.log.timeouts,
         retransmits: sender.log.retransmits,
         reordered_arrivals: sink.ooo_arrivals,
-    }
+    })
 }
 
 #[cfg(test)]
@@ -166,7 +167,7 @@ mod tests {
     fn newreno_run_produces_all_series() {
         let s = scenario();
         let d = SimDuration::from_secs(15);
-        let r = run(&s, "Istanbul", "Nairobi", CcKind::NewReno, d);
+        let r = run(&s, "Istanbul", "Nairobi", CcKind::NewReno, d).expect("known cities");
         assert!(!r.cwnd_series.is_empty());
         assert!(!r.rtt_series.is_empty());
         assert!(!r.throughput_series.is_empty());
@@ -181,7 +182,8 @@ mod tests {
     #[test]
     fn cwnd_oscillates_between_drops() {
         let s = scenario();
-        let r = run(&s, "Istanbul", "Nairobi", CcKind::NewReno, SimDuration::from_secs(30));
+        let r = run(&s, "Istanbul", "Nairobi", CcKind::NewReno, SimDuration::from_secs(30))
+            .expect("known cities");
         assert!(r.fast_retransmits > 0, "a 10 Mbps bottleneck must drop eventually");
         let max_cwnd = r.cwnd_series.iter().map(|&(_, w)| w).fold(0.0, f64::max);
         let min_after_peak = r
@@ -197,7 +199,7 @@ mod tests {
     fn vegas_runs_with_low_loss() {
         let s = scenario();
         let d = SimDuration::from_secs(15);
-        let r = run(&s, "Istanbul", "Nairobi", CcKind::Vegas, d);
+        let r = run(&s, "Istanbul", "Nairobi", CcKind::Vegas, d).expect("known cities");
         assert!(r.goodput_mbps(d) > 1.0, "Vegas goodput {}", r.goodput_mbps(d));
         assert!(
             r.retransmits <= 20,
@@ -210,7 +212,7 @@ mod tests {
     fn bbr_runs_and_fills_the_path() {
         let s = scenario();
         let d = SimDuration::from_secs(15);
-        let r = run(&s, "Istanbul", "Nairobi", CcKind::Bbr, d);
+        let r = run(&s, "Istanbul", "Nairobi", CcKind::Bbr, d).expect("known cities");
         assert!(r.goodput_mbps(d) > 3.0, "BBR goodput {}", r.goodput_mbps(d));
         assert_eq!(r.cc.name(), "BBR");
     }
@@ -219,7 +221,7 @@ mod tests {
     fn cubic_runs() {
         let s = scenario();
         let d = SimDuration::from_secs(10);
-        let r = run(&s, "Istanbul", "Nairobi", CcKind::Cubic, d);
+        let r = run(&s, "Istanbul", "Nairobi", CcKind::Cubic, d).expect("known cities");
         assert!(r.goodput_mbps(d) > 2.0);
         assert_eq!(r.cc.name(), "Cubic");
     }

@@ -1,0 +1,100 @@
+//! Fig. 2 — simulator scalability: slowdown vs network-wide goodput.
+//!
+//! Paper setup: Kuiper K1, 100 most populous cities, random-permutation
+//! traffic, TCP and UDP, line rates swept from 1 Mbit/s to 10 Gbit/s, on
+//! one core. We report the same series; absolute slowdown depends on the
+//! host CPU, the shape (slowdown ∝ goodput; TCP ≈ 2× UDP) is the result.
+
+use crate::experiments::scalability::{sweep, Workload};
+use crate::runner::{Experiment, RunContext, RunError};
+use crate::scenario::ConstellationChoice;
+use crate::spec::{ExperimentSpec, GroundSegment, PairSelection, ParamValue};
+use hypatia_util::{DataRate, SimDuration};
+
+/// Fig. 2 as a registered experiment.
+pub struct Fig02;
+
+impl Experiment for Fig02 {
+    fn name(&self) -> &'static str {
+        "fig02_scalability"
+    }
+
+    fn label(&self) -> Option<&'static str> {
+        Some("Fig. 2")
+    }
+
+    fn title(&self) -> &'static str {
+        "Scalability: slowdown vs goodput (TCP and UDP)"
+    }
+
+    fn spec(&self, full: bool) -> ExperimentSpec {
+        let mut spec = ExperimentSpec {
+            experiment: self.name().to_string(),
+            constellation: ConstellationChoice::KuiperK1,
+            ground: GroundSegment::TopCities(if full { 100 } else { 30 }),
+            pairs: PairSelection::Permutation,
+            duration: SimDuration::from_secs(1),
+            seed: 2020,
+            ..ExperimentSpec::default()
+        };
+        let rates = if full {
+            vec![1.0, 10.0, 25.0, 100.0, 250.0, 1000.0, 10000.0]
+        } else {
+            vec![1.0, 10.0, 25.0]
+        };
+        spec.params.insert("line_rates_mbps".to_string(), ParamValue::List(rates));
+        spec
+    }
+
+    fn run(&self, ctx: &mut RunContext) -> Result<(), RunError> {
+        let rates: Vec<DataRate> = ctx
+            .spec
+            .list("line_rates_mbps")
+            .ok_or_else(|| {
+                RunError::BadSpec("fig02_scalability needs a line_rates_mbps list".into())
+            })?
+            .iter()
+            .map(|&m| DataRate::from_bps((m * 1e6).round() as u64))
+            .collect();
+        let duration = ctx.spec.duration;
+        let seed = ctx.spec.seed;
+        let scenario = ctx.scenario();
+
+        println!(
+            "{:<9} {:>12} {:>16} {:>14} {:>14}",
+            "workload", "line rate", "goodput (Gbps)", "slowdown (x)", "events"
+        );
+        for workload in [Workload::Udp, Workload::Tcp] {
+            let points = sweep(&scenario, workload, &rates, duration, seed);
+            let series: Vec<(f64, f64)> =
+                points.iter().map(|p| (p.goodput_gbps, p.slowdown)).collect();
+            for p in &points {
+                println!(
+                    "{:<9} {:>12} {:>16.4} {:>14.1} {:>14}",
+                    p.workload.name(),
+                    format!("{}", p.line_rate),
+                    p.goodput_gbps,
+                    p.slowdown,
+                    p.events
+                );
+            }
+            ctx.sink.write_series(
+                &format!("fig02_slowdown_{}.dat", workload.name().to_lowercase()),
+                "goodput_gbps slowdown",
+                &series,
+            )?;
+            // The paper's key observation: slowdown grows with goodput.
+            if points.len() >= 2 {
+                let first = &points[0];
+                let last = &points[points.len() - 1];
+                println!(
+                    "  -> {}: goodput x{:.1} => slowdown x{:.1}",
+                    workload.name(),
+                    last.goodput_gbps / first.goodput_gbps,
+                    last.slowdown / first.slowdown
+                );
+            }
+        }
+        Ok(())
+    }
+}

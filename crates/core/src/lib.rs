@@ -16,7 +16,18 @@
 //!   ablation, cross-traffic bandwidth, bent-pipe comparisons, simulator
 //!   scalability);
 //! * [`analysis`] — distribution helpers (ECDFs, percentiles) shared by
-//!   the figure-regeneration harness.
+//!   the figure-regeneration harness;
+//! * [`spec`] — [`ExperimentSpec`](spec::ExperimentSpec), the declarative,
+//!   JSON-round-trippable description of a run (constellation, ground
+//!   segment, pairs, duration, Δt, rates, congestion control, threads,
+//!   seed, free-form params);
+//! * [`runner`] — the [`Experiment`](runner::Experiment) trait and the
+//!   [`ExperimentRunner`](runner::ExperimentRunner) registry that owns the
+//!   shared lifecycle (build the scenario once, execute, write the run's
+//!   `manifest.json` through an
+//!   [`ArtifactSink`](hypatia_viz::sink::ArtifactSink));
+//! * [`figures`] — every table and figure of the paper (plus the extension
+//!   studies) implemented against that trait and registered by name.
 //!
 //! ## Quick start
 //!
@@ -40,7 +51,10 @@
 
 pub mod analysis;
 pub mod experiments;
+pub mod figures;
+pub mod runner;
 pub mod scenario;
+pub mod spec;
 
 // Re-export the component crates under stable names.
 pub use hypatia_constellation as constellation;

@@ -1,0 +1,274 @@
+//! The experiment runner: name → spec → run → manifest.
+//!
+//! Every figure of the paper (and every extension study) is registered
+//! here as an [`Experiment`]: it names itself, provides its default
+//! [`ExperimentSpec`] at reduced or full scale, and runs against a
+//! [`RunContext`] that hands it the scenario and the
+//! [`ArtifactSink`](hypatia_viz::sink::ArtifactSink) all outputs flow
+//! through. The [`ExperimentRunner`] owns the registry and the shared
+//! lifecycle: build the spec, assemble the constellation once, execute,
+//! then write the run's `manifest.json`.
+
+use crate::scenario::{Scenario, UnknownCityError};
+use crate::spec::{ExperimentSpec, SpecError};
+use hypatia_viz::sink::ArtifactSink;
+use std::fmt;
+use std::io;
+use std::path::PathBuf;
+
+/// Why an experiment run failed.
+#[derive(Debug)]
+pub enum RunError {
+    /// The requested name is not in the registry.
+    UnknownExperiment {
+        /// The requested name.
+        name: String,
+        /// Every registered experiment name.
+        available: Vec<String>,
+    },
+    /// A city name in the spec is not in the scenario's ground segment.
+    UnknownCity(UnknownCityError),
+    /// The spec is malformed for this experiment.
+    BadSpec(String),
+    /// Writing an artifact failed.
+    Io(io::Error),
+}
+
+impl fmt::Display for RunError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RunError::UnknownExperiment { name, available } => {
+                write!(f, "no experiment named {name:?}; available: ")?;
+                for (i, n) in available.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    write!(f, "{n}")?;
+                }
+                Ok(())
+            }
+            RunError::UnknownCity(e) => write!(f, "{e}"),
+            RunError::BadSpec(msg) => write!(f, "bad spec: {msg}"),
+            RunError::Io(e) => write!(f, "I/O error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for RunError {}
+
+impl From<UnknownCityError> for RunError {
+    fn from(e: UnknownCityError) -> Self {
+        RunError::UnknownCity(e)
+    }
+}
+
+impl From<SpecError> for RunError {
+    fn from(e: SpecError) -> Self {
+        RunError::BadSpec(e.0)
+    }
+}
+
+impl From<io::Error> for RunError {
+    fn from(e: io::Error) -> Self {
+        RunError::Io(e)
+    }
+}
+
+/// Everything an experiment needs while running.
+pub struct RunContext {
+    /// The spec being executed.
+    pub spec: ExperimentSpec,
+    /// Where all artifacts go.
+    pub sink: ArtifactSink,
+    scenario: Option<Scenario>,
+}
+
+impl RunContext {
+    /// A context executing `spec` into `sink`.
+    pub fn new(spec: ExperimentSpec, sink: ArtifactSink) -> Self {
+        RunContext { spec, sink, scenario: None }
+    }
+
+    /// The spec's scenario, built once and cached. Returns a cheap clone
+    /// (the constellation is shared behind an `Arc`), so the context stays
+    /// borrowable for the sink while the scenario is in use.
+    pub fn scenario(&mut self) -> Scenario {
+        if self.scenario.is_none() {
+            self.scenario = Some(self.spec.build_scenario());
+        }
+        self.scenario.clone().expect("just built")
+    }
+}
+
+/// One registered experiment.
+pub trait Experiment {
+    /// Registry name, e.g. `fig03_rtt_fluctuations`.
+    fn name(&self) -> &'static str;
+    /// The paper's figure label, e.g. `Fig. 3` (None for label-less runs
+    /// like Table 1 — the driver prints a banner only when this is Some).
+    fn label(&self) -> Option<&'static str> {
+        None
+    }
+    /// Human-readable title (the figure caption's subject).
+    fn title(&self) -> &'static str;
+    /// The default spec at reduced (`full = false`) or paper (`full = true`)
+    /// scale.
+    fn spec(&self, full: bool) -> ExperimentSpec;
+    /// Execute against the context, writing artifacts through `ctx.sink`.
+    fn run(&self, ctx: &mut RunContext) -> Result<(), RunError>;
+}
+
+/// The registry plus the shared run lifecycle.
+pub struct ExperimentRunner {
+    experiments: Vec<Box<dyn Experiment>>,
+}
+
+impl Default for ExperimentRunner {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl ExperimentRunner {
+    /// A runner with every built-in experiment registered.
+    pub fn new() -> Self {
+        ExperimentRunner { experiments: crate::figures::builtin_experiments() }
+    }
+
+    /// A runner with no experiments (register your own).
+    pub fn empty() -> Self {
+        ExperimentRunner { experiments: Vec::new() }
+    }
+
+    /// Add an experiment (replaces any registered one of the same name).
+    pub fn register(&mut self, exp: Box<dyn Experiment>) {
+        self.experiments.retain(|e| e.name() != exp.name());
+        self.experiments.push(exp);
+    }
+
+    /// Registered names, in registration order.
+    pub fn names(&self) -> Vec<String> {
+        self.experiments.iter().map(|e| e.name().to_string()).collect()
+    }
+
+    /// Look up an experiment by name.
+    pub fn get(&self, name: &str) -> Result<&dyn Experiment, RunError> {
+        self.experiments.iter().find(|e| e.name() == name).map(|e| e.as_ref()).ok_or_else(|| {
+            RunError::UnknownExperiment { name: name.to_string(), available: self.names() }
+        })
+    }
+
+    /// The default spec for `name` at the given scale.
+    pub fn spec(&self, name: &str, full: bool) -> Result<ExperimentSpec, RunError> {
+        Ok(self.get(name)?.spec(full))
+    }
+
+    /// Execute `spec` with artifacts under `out_dir`; writes the run's
+    /// `manifest.json` last. Returns the manifest path.
+    pub fn run(&self, spec: ExperimentSpec, out_dir: PathBuf) -> Result<PathBuf, RunError> {
+        let exp = self.get(&spec.experiment)?;
+        let name = spec.experiment.clone();
+        let mut ctx = RunContext::new(spec, ArtifactSink::new(out_dir));
+        exp.run(&mut ctx)?;
+        Ok(ctx.sink.write_manifest(&name)?)
+    }
+
+    /// Like [`run`](Self::run), but with a caller-supplied sink (e.g. one
+    /// with `verbose` disabled) — still finishes with the manifest.
+    pub fn run_with_sink(
+        &self,
+        spec: ExperimentSpec,
+        sink: ArtifactSink,
+    ) -> Result<(PathBuf, ArtifactSink), RunError> {
+        let exp = self.get(&spec.experiment)?;
+        let name = spec.experiment.clone();
+        let mut ctx = RunContext::new(spec, sink);
+        exp.run(&mut ctx)?;
+        let path = ctx.sink.write_manifest(&name)?;
+        Ok((path, ctx.sink))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn registry_has_all_figures() {
+        let runner = ExperimentRunner::new();
+        let names = runner.names();
+        for expected in [
+            "table1_constellations",
+            "fig02_scalability",
+            "fig03_rtt_fluctuations",
+            "fig04_cwnd_bdp",
+            "fig05_rates_rtt",
+            "fig06_rtt_stretch_ecdf",
+            "fig07_rtt_cdfs",
+            "fig08_path_hop_cdfs",
+            "fig09_timestep",
+            "fig10_unused_bandwidth",
+            "fig11_constellation_czml",
+            "fig12_ground_view",
+            "fig13_path_viz",
+            "fig14_15_utilization",
+            "fig16_19_bent_pipe",
+            "ext_bbr_study",
+            "ext_multipath_diversity",
+            "ext_multipath_te",
+        ] {
+            assert!(names.iter().any(|n| n == expected), "missing {expected}");
+        }
+        assert_eq!(names.len(), 18);
+    }
+
+    #[test]
+    fn unknown_name_lists_available() {
+        let runner = ExperimentRunner::new();
+        let err = match runner.get("fig99_nope") {
+            Err(e) => e,
+            Ok(_) => panic!("lookup should have failed"),
+        };
+        let msg = err.to_string();
+        assert!(msg.contains("fig99_nope"), "{msg}");
+        assert!(msg.contains("fig03_rtt_fluctuations"), "{msg}");
+    }
+
+    #[test]
+    fn every_spec_round_trips_and_names_itself() {
+        let runner = ExperimentRunner::new();
+        for name in runner.names() {
+            for full in [false, true] {
+                let spec = runner.spec(&name, full).unwrap();
+                assert_eq!(spec.experiment, name);
+                let back = ExperimentSpec::from_json(&spec.to_json_string())
+                    .unwrap_or_else(|e| panic!("{name} (full={full}): {e}"));
+                assert_eq!(spec, back, "{name} full={full}");
+            }
+        }
+    }
+
+    #[test]
+    fn register_replaces_by_name() {
+        struct Dummy;
+        impl Experiment for Dummy {
+            fn name(&self) -> &'static str {
+                "fig03_rtt_fluctuations"
+            }
+            fn title(&self) -> &'static str {
+                "dummy"
+            }
+            fn spec(&self, _full: bool) -> ExperimentSpec {
+                ExperimentSpec::default()
+            }
+            fn run(&self, _ctx: &mut RunContext) -> Result<(), RunError> {
+                Ok(())
+            }
+        }
+        let mut runner = ExperimentRunner::new();
+        let before = runner.names().len();
+        runner.register(Box::new(Dummy));
+        assert_eq!(runner.names().len(), before);
+        assert_eq!(runner.get("fig03_rtt_fluctuations").unwrap().title(), "dummy");
+    }
+}

@@ -8,10 +8,11 @@ use hypatia_constellation::ground::top_cities;
 use hypatia_constellation::{Constellation, GroundStation, NodeId};
 use hypatia_netsim::{SimConfig, Simulator};
 use hypatia_util::rng::DetRng;
+use std::fmt;
 use std::sync::Arc;
 
 /// Which preset constellation to instantiate.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
 pub enum ConstellationChoice {
     /// Starlink's first shell S1 (72 × 22 at 550 km, 53°, l = 25°).
     StarlinkS1,
@@ -34,6 +35,28 @@ impl ConstellationChoice {
         }
     }
 
+    /// Stable machine-readable identifier (used in spec JSON and slugs).
+    pub fn slug(self) -> &'static str {
+        match self {
+            ConstellationChoice::StarlinkS1 => "starlink_s1",
+            ConstellationChoice::KuiperK1 => "kuiper_k1",
+            ConstellationChoice::TelesatT1 => "telesat_t1",
+            ConstellationChoice::KuiperK1BentPipe => "kuiper_k1_bent_pipe",
+        }
+    }
+
+    /// Parse a [`slug`](Self::slug) or display name (case-insensitive).
+    pub fn parse(s: &str) -> Option<Self> {
+        let all = [
+            ConstellationChoice::StarlinkS1,
+            ConstellationChoice::KuiperK1,
+            ConstellationChoice::TelesatT1,
+            ConstellationChoice::KuiperK1BentPipe,
+        ];
+        all.into_iter()
+            .find(|c| s.eq_ignore_ascii_case(c.slug()) || s.eq_ignore_ascii_case(c.name()))
+    }
+
     /// Build the constellation with the given ground stations.
     pub fn build(self, gses: Vec<GroundStation>) -> Constellation {
         use hypatia_constellation::presets;
@@ -46,7 +69,45 @@ impl ConstellationChoice {
     }
 }
 
+/// Lookup of a ground station by a name the scenario doesn't contain.
+///
+/// Carries the available city names so callers (in particular the
+/// experiment runner's CLI surface) can print an actionable message
+/// instead of panicking.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct UnknownCityError {
+    /// The name that was requested.
+    pub name: String,
+    /// Every ground-station name in the scenario, in index order.
+    pub available: Vec<String>,
+}
+
+impl fmt::Display for UnknownCityError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "no ground station named {:?}; available ({}): ",
+            self.name,
+            self.available.len()
+        )?;
+        const SHOWN: usize = 20;
+        for (i, city) in self.available.iter().take(SHOWN).enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{city}")?;
+        }
+        if self.available.len() > SHOWN {
+            write!(f, ", … and {} more", self.available.len() - SHOWN)?;
+        }
+        Ok(())
+    }
+}
+
+impl std::error::Error for UnknownCityError {}
+
 /// A fully-assembled scenario.
+#[derive(Clone)]
 pub struct Scenario {
     /// The constellation (shared with any simulators built from this).
     pub constellation: Arc<Constellation>,
@@ -60,14 +121,21 @@ impl Scenario {
         self.constellation.gs_node(idx)
     }
 
-    /// GS node id by city name (panics if absent — scenario construction
-    /// controls the city list).
-    pub fn gs_by_name(&self, name: &str) -> NodeId {
-        let idx = self
-            .constellation
-            .find_gs(name)
-            .unwrap_or_else(|| panic!("no ground station named {name}"));
-        self.constellation.gs_node(idx)
+    /// GS node id by city name; errs with the list of available cities if
+    /// the scenario's ground segment has no station of that name.
+    pub fn gs_by_name(&self, name: &str) -> Result<NodeId, UnknownCityError> {
+        match self.constellation.find_gs(name) {
+            Some(idx) => Ok(self.constellation.gs_node(idx)),
+            None => Err(UnknownCityError {
+                name: name.to_string(),
+                available: self
+                    .constellation
+                    .ground_stations
+                    .iter()
+                    .map(|gs| gs.name.clone())
+                    .collect(),
+            }),
+        }
     }
 
     /// Build a packet simulator routing towards `dests`.
@@ -142,15 +210,19 @@ mod tests {
     #[test]
     fn gs_lookup_by_name() {
         let s = ScenarioBuilder::new(ConstellationChoice::KuiperK1).top_cities(25).build();
-        let moscow = s.gs_by_name("Moscow");
+        let moscow = s.gs_by_name("Moscow").expect("Moscow in top 25");
         assert!(!s.constellation.is_satellite(moscow));
     }
 
     #[test]
-    #[should_panic]
-    fn unknown_city_panics() {
+    fn unknown_city_lists_available() {
         let s = ScenarioBuilder::new(ConstellationChoice::KuiperK1).top_cities(3).build();
-        s.gs_by_name("Atlantis");
+        let err = s.gs_by_name("Atlantis").unwrap_err();
+        assert_eq!(err.name, "Atlantis");
+        assert_eq!(err.available.len(), 3);
+        let msg = err.to_string();
+        assert!(msg.contains("Atlantis"), "{msg}");
+        assert!(msg.contains(&err.available[0]), "{msg}");
     }
 
     #[test]
@@ -168,10 +240,7 @@ mod tests {
     #[test]
     fn choices_build_expected_constellations() {
         let gs = vec![GroundStation::new("x", 0.0, 0.0)];
-        assert_eq!(
-            ConstellationChoice::TelesatT1.build(gs.clone()).num_satellites(),
-            351
-        );
+        assert_eq!(ConstellationChoice::TelesatT1.build(gs.clone()).num_satellites(), 351);
         assert!(ConstellationChoice::KuiperK1BentPipe.build(gs).isls.is_empty());
         assert_eq!(ConstellationChoice::StarlinkS1.name(), "Starlink S1");
     }

@@ -1,0 +1,735 @@
+//! Declarative experiment specifications.
+//!
+//! An [`ExperimentSpec`] captures everything the paper calls an
+//! "experiment setup" — constellation, ground segment, GS pairs, horizon,
+//! forwarding granularity, line rate, queue size, congestion controller,
+//! thread count — as *data* rather than code. Specs round-trip through
+//! JSON, so a figure run is reproducible from a file, and the
+//! [`runner`](crate::runner) executes any spec by name through one shared
+//! driver.
+//!
+//! Two JSON paths are provided:
+//!
+//! * [`ExperimentSpec::to_json_string`] / [`ExperimentSpec::from_json`] —
+//!   a hand-rolled, schema-stable mapping with precise error messages
+//!   (the canonical path, used by the CLI);
+//! * plain `serde` derives on every spec type, for embedding specs inside
+//!   larger serde documents.
+
+use crate::experiments::tcp_single::CcKind;
+use crate::scenario::{ConstellationChoice, Scenario, ScenarioBuilder};
+use hypatia_constellation::ground::top_cities;
+use hypatia_constellation::GroundStation;
+use hypatia_netsim::SimConfig;
+use hypatia_util::{DataRate, SimDuration};
+use serde::{Deserialize, Serialize};
+use serde_json::Value;
+use std::collections::BTreeMap;
+use std::fmt;
+use std::fmt::Write as _;
+
+/// Which ground stations the scenario uses.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum GroundSegment {
+    /// The `n` most populous cities of the embedded dataset.
+    TopCities(usize),
+    /// An explicit station list.
+    Cities(Vec<GroundStation>),
+}
+
+impl GroundSegment {
+    /// Materialize the station list.
+    pub fn stations(&self) -> Vec<GroundStation> {
+        match self {
+            GroundSegment::TopCities(n) => top_cities(*n),
+            GroundSegment::Cities(v) => v.clone(),
+        }
+    }
+}
+
+/// Which source→destination pairs the experiment studies.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum PairSelection {
+    /// Explicit `(src city, dst city)` pairs.
+    Named(Vec<(String, String)>),
+    /// Every unordered GS pair at least this far apart (great-circle km).
+    MinDistance {
+        /// Minimum pair distance, km.
+        km: f64,
+    },
+    /// The paper's fixed random permutation traffic matrix (seeded by the
+    /// spec's `seed`).
+    Permutation,
+}
+
+impl PairSelection {
+    /// The explicit pairs, if this selection names them.
+    pub fn named(&self) -> Option<&[(String, String)]> {
+        match self {
+            PairSelection::Named(v) => Some(v),
+            _ => None,
+        }
+    }
+}
+
+/// An experiment-specific parameter value.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum ParamValue {
+    /// A number (integers are stored as f64).
+    Num(f64),
+    /// A boolean flag.
+    Flag(bool),
+    /// Free text.
+    Text(String),
+    /// A list of numbers.
+    List(Vec<f64>),
+}
+
+/// A malformed spec: bad JSON, a missing/mistyped field, or an unknown
+/// `--set` key or value.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SpecError(pub String);
+
+impl fmt::Display for SpecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "invalid experiment spec: {}", self.0)
+    }
+}
+
+impl std::error::Error for SpecError {}
+
+fn err<T>(msg: impl Into<String>) -> Result<T, SpecError> {
+    Err(SpecError(msg.into()))
+}
+
+/// A complete, serializable description of one experiment run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ExperimentSpec {
+    /// Registry name (e.g. `fig03_rtt_fluctuations`).
+    pub experiment: String,
+    /// Constellation preset.
+    pub constellation: ConstellationChoice,
+    /// Ground segment.
+    pub ground: GroundSegment,
+    /// Pair selection.
+    pub pairs: PairSelection,
+    /// Simulated horizon.
+    pub duration: SimDuration,
+    /// Forwarding-state granularity (the paper's Δt).
+    pub step: SimDuration,
+    /// Uniform line rate (ISLs and GSLs).
+    pub line_rate: DataRate,
+    /// Drop-tail queue capacity per device, packets.
+    pub queue_packets: usize,
+    /// Per-device utilization-tracking bucket (None disables tracking).
+    pub utilization_bucket: Option<SimDuration>,
+    /// Congestion controller for TCP workloads.
+    pub cc: CcKind,
+    /// Worker threads for snapshot fan-out / forwarding prefetch
+    /// (0 = serial; results are bit-identical for any value).
+    pub threads: usize,
+    /// Seed for randomized pieces (permutation matrix, loss processes).
+    pub seed: u64,
+    /// Experiment-specific extras (e.g. `ping_interval_ms`).
+    pub params: BTreeMap<String, ParamValue>,
+}
+
+impl Default for ExperimentSpec {
+    fn default() -> Self {
+        let sim = SimConfig::default();
+        ExperimentSpec {
+            experiment: String::new(),
+            constellation: ConstellationChoice::KuiperK1,
+            ground: GroundSegment::TopCities(100),
+            pairs: PairSelection::Named(Vec::new()),
+            duration: SimDuration::from_secs(200),
+            step: sim.fstate_step,
+            line_rate: sim.link_rate,
+            queue_packets: sim.queue_packets,
+            utilization_bucket: None,
+            cc: CcKind::NewReno,
+            threads: 0,
+            seed: 1,
+            params: BTreeMap::new(),
+        }
+    }
+}
+
+impl ExperimentSpec {
+    /// The simulator configuration this spec describes.
+    pub fn sim_config(&self) -> SimConfig {
+        let mut cfg = SimConfig::default()
+            .with_link_rate(self.line_rate)
+            .with_queue_packets(self.queue_packets)
+            .with_fstate_step(self.step);
+        if let Some(bucket) = self.utilization_bucket {
+            cfg = cfg.with_utilization_bucket(bucket);
+        }
+        if self.threads > 0 {
+            let prefetch = cfg.fstate_prefetch;
+            cfg = cfg.with_fstate_prefetch(self.threads, prefetch);
+        }
+        cfg
+    }
+
+    /// Assemble the scenario (constellation + ground segment + sim config).
+    pub fn build_scenario(&self) -> Scenario {
+        ScenarioBuilder::new(self.constellation)
+            .ground_stations(self.ground.stations())
+            .sim_config(self.sim_config())
+            .build()
+    }
+
+    /// Numeric extra parameter.
+    pub fn num(&self, key: &str) -> Option<f64> {
+        match self.params.get(key) {
+            Some(ParamValue::Num(x)) => Some(*x),
+            _ => None,
+        }
+    }
+
+    /// Boolean extra parameter.
+    pub fn flag(&self, key: &str) -> Option<bool> {
+        match self.params.get(key) {
+            Some(ParamValue::Flag(b)) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// Text extra parameter.
+    pub fn text(&self, key: &str) -> Option<&str> {
+        match self.params.get(key) {
+            Some(ParamValue::Text(s)) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// Numeric-list extra parameter.
+    pub fn list(&self, key: &str) -> Option<&[f64]> {
+        match self.params.get(key) {
+            Some(ParamValue::List(v)) => Some(v),
+            _ => None,
+        }
+    }
+
+    /// Apply one `--set key=value` override.
+    ///
+    /// Known keys address the common fields (`constellation`, `cities`,
+    /// `pairs`, `min_distance_km`, `duration_s`, `step_ms`,
+    /// `line_rate_mbps`, `queue_packets`, `utilization_bucket_s`, `cc`,
+    /// `threads`, `seed`); any other key lands in `params`, with the value
+    /// parsed as bool, number, comma-separated number list, or text — in
+    /// that order.
+    pub fn set(&mut self, key: &str, value: &str) -> Result<(), SpecError> {
+        fn parse_f64(key: &str, value: &str) -> Result<f64, SpecError> {
+            value
+                .parse::<f64>()
+                .map_err(|_| SpecError(format!("{key} expects a number, got {value:?}")))
+        }
+        fn parse_u64(key: &str, value: &str) -> Result<u64, SpecError> {
+            value.parse::<u64>().map_err(|_| {
+                SpecError(format!("{key} expects a non-negative integer, got {value:?}"))
+            })
+        }
+        match key {
+            "constellation" => match ConstellationChoice::parse(value) {
+                Some(c) => self.constellation = c,
+                None => {
+                    return err(format!(
+                        "unknown constellation {value:?} (expected one of \
+                         starlink_s1, kuiper_k1, telesat_t1, kuiper_k1_bent_pipe)"
+                    ))
+                }
+            },
+            "cities" => {
+                self.ground = GroundSegment::TopCities(parse_u64(key, value)? as usize);
+            }
+            "pairs" => {
+                let mut named = Vec::new();
+                for pair in value.split(';').filter(|p| !p.is_empty()) {
+                    match pair.split_once(':') {
+                        Some((s, d)) => named.push((s.to_string(), d.to_string())),
+                        None => {
+                            return err(format!("pairs expects src:dst[;src:dst...], got {pair:?}"))
+                        }
+                    }
+                }
+                self.pairs = PairSelection::Named(named);
+            }
+            "min_distance_km" => {
+                self.pairs = PairSelection::MinDistance { km: parse_f64(key, value)? };
+            }
+            "duration_s" => {
+                self.duration = SimDuration::from_secs_f64(parse_f64(key, value)?);
+            }
+            "step_ms" => {
+                self.step = SimDuration::from_secs_f64(parse_f64(key, value)? / 1e3);
+            }
+            "line_rate_mbps" => {
+                self.line_rate = DataRate::from_bps((parse_f64(key, value)? * 1e6).round() as u64);
+            }
+            "queue_packets" => self.queue_packets = parse_u64(key, value)? as usize,
+            "utilization_bucket_s" => {
+                self.utilization_bucket = if value.eq_ignore_ascii_case("none") {
+                    None
+                } else {
+                    Some(SimDuration::from_secs_f64(parse_f64(key, value)?))
+                };
+            }
+            "cc" => match CcKind::parse(value) {
+                Some(cc) => self.cc = cc,
+                None => {
+                    return err(format!(
+                        "unknown congestion controller {value:?} (expected \
+                         newreno, vegas, cubic, or bbr)"
+                    ))
+                }
+            },
+            "threads" => self.threads = parse_u64(key, value)? as usize,
+            "seed" => self.seed = parse_u64(key, value)?,
+            "experiment" => {
+                return err("the experiment name is fixed; pick a different registry entry")
+            }
+            _ => {
+                self.params.insert(key.to_string(), infer_param(value));
+            }
+        }
+        Ok(())
+    }
+
+    /// Serialize to pretty JSON (the schema `from_json` reads).
+    pub fn to_json_string(&self) -> String {
+        let mut s = String::new();
+        s.push_str("{\n");
+        let _ = writeln!(s, "  \"experiment\": {},", json_str(&self.experiment));
+        let _ = writeln!(s, "  \"constellation\": {},", json_str(self.constellation.slug()));
+        match &self.ground {
+            GroundSegment::TopCities(n) => {
+                let _ = writeln!(s, "  \"ground\": {{ \"top_cities\": {n} }},");
+            }
+            GroundSegment::Cities(cities) => {
+                s.push_str("  \"ground\": { \"cities\": [\n");
+                for (i, gs) in cities.iter().enumerate() {
+                    let _ = write!(
+                        s,
+                        "    {{ \"name\": {}, \"lat\": {}, \"lon\": {} }}",
+                        json_str(&gs.name),
+                        json_num(gs.latitude_deg),
+                        json_num(gs.longitude_deg)
+                    );
+                    s.push_str(if i + 1 < cities.len() { ",\n" } else { "\n" });
+                }
+                s.push_str("  ] },\n");
+            }
+        }
+        match &self.pairs {
+            PairSelection::Named(pairs) if pairs.is_empty() => {
+                s.push_str("  \"pairs\": { \"named\": [] },\n");
+            }
+            PairSelection::Named(pairs) => {
+                s.push_str("  \"pairs\": { \"named\": [\n");
+                for (i, (src, dst)) in pairs.iter().enumerate() {
+                    let _ = write!(
+                        s,
+                        "    {{ \"src\": {}, \"dst\": {} }}",
+                        json_str(src),
+                        json_str(dst)
+                    );
+                    s.push_str(if i + 1 < pairs.len() { ",\n" } else { "\n" });
+                }
+                s.push_str("  ] },\n");
+            }
+            PairSelection::MinDistance { km } => {
+                let _ = writeln!(s, "  \"pairs\": {{ \"min_distance_km\": {} }},", json_num(*km));
+            }
+            PairSelection::Permutation => {
+                s.push_str("  \"pairs\": \"permutation\",\n");
+            }
+        }
+        let _ = writeln!(s, "  \"duration_s\": {},", json_num(self.duration.secs_f64()));
+        let _ = writeln!(s, "  \"step_ms\": {},", json_num(self.step.secs_f64() * 1e3));
+        let _ = writeln!(s, "  \"line_rate_mbps\": {},", json_num(self.line_rate.mbps_f64()));
+        let _ = writeln!(s, "  \"queue_packets\": {},", self.queue_packets);
+        if let Some(b) = self.utilization_bucket {
+            let _ = writeln!(s, "  \"utilization_bucket_s\": {},", json_num(b.secs_f64()));
+        }
+        let _ = writeln!(s, "  \"cc\": {},", json_str(self.cc.name()));
+        let _ = writeln!(s, "  \"threads\": {},", self.threads);
+        let _ = writeln!(s, "  \"seed\": {},", self.seed);
+        if self.params.is_empty() {
+            s.push_str("  \"params\": {}\n");
+        } else {
+            s.push_str("  \"params\": {\n");
+            let n = self.params.len();
+            for (i, (k, v)) in self.params.iter().enumerate() {
+                let _ = write!(s, "    {}: ", json_str(k));
+                match v {
+                    ParamValue::Num(x) => s.push_str(&json_num(*x)),
+                    ParamValue::Flag(b) => s.push_str(if *b { "true" } else { "false" }),
+                    ParamValue::Text(t) => s.push_str(&json_str(t)),
+                    ParamValue::List(xs) => {
+                        s.push('[');
+                        for (j, x) in xs.iter().enumerate() {
+                            if j > 0 {
+                                s.push_str(", ");
+                            }
+                            s.push_str(&json_num(*x));
+                        }
+                        s.push(']');
+                    }
+                }
+                s.push_str(if i + 1 < n { ",\n" } else { "\n" });
+            }
+            s.push_str("  }\n");
+        }
+        s.push('}');
+        s
+    }
+
+    /// Parse a spec from the JSON produced by [`to_json_string`]
+    /// (unknown top-level keys are rejected to catch typos).
+    pub fn from_json(text: &str) -> Result<ExperimentSpec, SpecError> {
+        let v: Value = match serde_json::from_str(text) {
+            Ok(v) => v,
+            Err(e) => return err(format!("not valid JSON: {e}")),
+        };
+        Self::from_value(&v)
+    }
+
+    /// Parse a spec from an already-parsed JSON value.
+    pub fn from_value(v: &Value) -> Result<ExperimentSpec, SpecError> {
+        let mut spec =
+            ExperimentSpec { experiment: req_str(v, "experiment")?, ..ExperimentSpec::default() };
+
+        let cname = req_str(v, "constellation")?;
+        spec.constellation = match ConstellationChoice::parse(&cname) {
+            Some(c) => c,
+            None => return err(format!("unknown constellation {cname:?}")),
+        };
+
+        let ground = v.get("ground").ok_or_else(|| SpecError("missing \"ground\"".into()))?;
+        spec.ground = if let Some(n) = ground.get("top_cities").and_then(Value::as_u64) {
+            GroundSegment::TopCities(n as usize)
+        } else if let Some(cities) = ground.get("cities").and_then(Value::as_array) {
+            let mut out = Vec::with_capacity(cities.len());
+            for c in cities {
+                let name = c
+                    .get("name")
+                    .and_then(Value::as_str)
+                    .ok_or_else(|| SpecError("ground city missing \"name\"".into()))?;
+                let lat = c
+                    .get("lat")
+                    .and_then(Value::as_f64)
+                    .ok_or_else(|| SpecError(format!("city {name:?} missing \"lat\"")))?;
+                let lon = c
+                    .get("lon")
+                    .and_then(Value::as_f64)
+                    .ok_or_else(|| SpecError(format!("city {name:?} missing \"lon\"")))?;
+                out.push(GroundStation::new(name, lat, lon));
+            }
+            GroundSegment::Cities(out)
+        } else {
+            return err("\"ground\" must be { \"top_cities\": N } or { \"cities\": [...] }");
+        };
+
+        let pairs = v.get("pairs").ok_or_else(|| SpecError("missing \"pairs\"".into()))?;
+        spec.pairs = if pairs.as_str() == Some("permutation") {
+            PairSelection::Permutation
+        } else if let Some(km) = pairs.get("min_distance_km").and_then(Value::as_f64) {
+            PairSelection::MinDistance { km }
+        } else if let Some(named) = pairs.get("named").and_then(Value::as_array) {
+            let mut out = Vec::with_capacity(named.len());
+            for p in named {
+                let src = p
+                    .get("src")
+                    .and_then(Value::as_str)
+                    .ok_or_else(|| SpecError("pair missing \"src\"".into()))?;
+                let dst = p
+                    .get("dst")
+                    .and_then(Value::as_str)
+                    .ok_or_else(|| SpecError("pair missing \"dst\"".into()))?;
+                out.push((src.to_string(), dst.to_string()));
+            }
+            PairSelection::Named(out)
+        } else {
+            return err("\"pairs\" must be { \"named\": [...] }, { \"min_distance_km\": X } \
+                 or \"permutation\"");
+        };
+
+        spec.duration = SimDuration::from_secs_f64(req_f64(v, "duration_s")?);
+        spec.step = SimDuration::from_secs_f64(req_f64(v, "step_ms")? / 1e3);
+        spec.line_rate = DataRate::from_bps((req_f64(v, "line_rate_mbps")? * 1e6).round() as u64);
+        spec.queue_packets = req_u64(v, "queue_packets")? as usize;
+        spec.utilization_bucket = match v.get("utilization_bucket_s") {
+            Some(b) => match b.as_f64() {
+                Some(secs) => Some(SimDuration::from_secs_f64(secs)),
+                None => return err("\"utilization_bucket_s\" must be a number"),
+            },
+            None => None,
+        };
+        let ccname = req_str(v, "cc")?;
+        spec.cc = match CcKind::parse(&ccname) {
+            Some(cc) => cc,
+            None => return err(format!("unknown congestion controller {ccname:?}")),
+        };
+        spec.threads = req_u64(v, "threads")? as usize;
+        spec.seed = req_u64(v, "seed")?;
+
+        if let Some(params) = v.get("params") {
+            if let Some(obj) = params.as_object_keys() {
+                for key in obj {
+                    let pv = params.get(&key).expect("key from object");
+                    spec.params.insert(key.clone(), value_to_param(&key, pv)?);
+                }
+            }
+        }
+        Ok(spec)
+    }
+}
+
+/// Infer a [`ParamValue`] from `--set` text.
+fn infer_param(value: &str) -> ParamValue {
+    if value.eq_ignore_ascii_case("true") {
+        return ParamValue::Flag(true);
+    }
+    if value.eq_ignore_ascii_case("false") {
+        return ParamValue::Flag(false);
+    }
+    if let Ok(x) = value.parse::<f64>() {
+        return ParamValue::Num(x);
+    }
+    if value.contains(',') {
+        let parts: Result<Vec<f64>, _> =
+            value.split(',').map(|p| p.trim().parse::<f64>()).collect();
+        if let Ok(xs) = parts {
+            return ParamValue::List(xs);
+        }
+    }
+    ParamValue::Text(value.to_string())
+}
+
+fn value_to_param(key: &str, v: &Value) -> Result<ParamValue, SpecError> {
+    if let Some(b) = v.as_bool() {
+        return Ok(ParamValue::Flag(b));
+    }
+    if let Some(x) = v.as_f64() {
+        return Ok(ParamValue::Num(x));
+    }
+    if let Some(s) = v.as_str() {
+        return Ok(ParamValue::Text(s.to_string()));
+    }
+    if let Some(arr) = v.as_array() {
+        let mut xs = Vec::with_capacity(arr.len());
+        for item in arr {
+            match item.as_f64() {
+                Some(x) => xs.push(x),
+                None => return err(format!("param {key:?}: list items must be numbers")),
+            }
+        }
+        return Ok(ParamValue::List(xs));
+    }
+    err(format!("param {key:?} has an unsupported JSON type"))
+}
+
+fn req_str(v: &Value, key: &str) -> Result<String, SpecError> {
+    v.get(key)
+        .and_then(Value::as_str)
+        .map(str::to_string)
+        .ok_or_else(|| SpecError(format!("missing or non-string {key:?}")))
+}
+
+fn req_f64(v: &Value, key: &str) -> Result<f64, SpecError> {
+    v.get(key)
+        .and_then(Value::as_f64)
+        .ok_or_else(|| SpecError(format!("missing or non-numeric {key:?}")))
+}
+
+fn req_u64(v: &Value, key: &str) -> Result<u64, SpecError> {
+    v.get(key)
+        .and_then(Value::as_u64)
+        .ok_or_else(|| SpecError(format!("missing or non-integer {key:?}")))
+}
+
+/// JSON string literal with the escapes city names could need.
+fn json_str(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for ch in s.chars() {
+        match ch {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+/// JSON number: `{}` formatting of f64 is shortest-round-trip in Rust,
+/// so the value survives serialization exactly.
+fn json_num(x: f64) -> String {
+    if x.is_finite() {
+        format!("{x}")
+    } else {
+        // Spec fields are never NaN/inf; guard against it anyway.
+        "0".to_string()
+    }
+}
+
+/// Enumerating object keys differs between serde_json and the offline
+/// test stub; go through a tiny shim trait so `from_value` stays portable.
+trait ObjectKeys {
+    fn as_object_keys(&self) -> Option<Vec<String>>;
+}
+
+impl ObjectKeys for Value {
+    fn as_object_keys(&self) -> Option<Vec<String>> {
+        self.as_object().map(|m| m.keys().cloned().collect())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> ExperimentSpec {
+        let mut spec = ExperimentSpec {
+            experiment: "fig03_rtt_fluctuations".into(),
+            constellation: ConstellationChoice::KuiperK1,
+            ground: GroundSegment::TopCities(100),
+            pairs: PairSelection::Named(vec![
+                ("Rio de Janeiro".into(), "Saint Petersburg".into()),
+                ("Manila".into(), "Dalian".into()),
+            ]),
+            duration: SimDuration::from_secs(60),
+            step: SimDuration::from_millis(100),
+            line_rate: DataRate::from_mbps(10),
+            queue_packets: 100,
+            utilization_bucket: None,
+            cc: CcKind::NewReno,
+            threads: 0,
+            seed: 1,
+            params: BTreeMap::new(),
+        };
+        spec.params.insert("ping_interval_ms".into(), ParamValue::Num(20.0));
+        spec.params.insert("frozen".into(), ParamValue::Flag(false));
+        spec.params.insert("coarse_multiples".into(), ParamValue::List(vec![2.0, 20.0]));
+        spec
+    }
+
+    #[test]
+    fn json_round_trip_is_lossless() {
+        let spec = sample();
+        let text = spec.to_json_string();
+        let back = ExperimentSpec::from_json(&text).expect("parse own output");
+        assert_eq!(spec, back);
+        // And a second trip is byte-stable.
+        assert_eq!(text, back.to_json_string());
+    }
+
+    #[test]
+    fn round_trips_all_variants() {
+        let mut spec = sample();
+        spec.ground = GroundSegment::Cities(vec![
+            GroundStation::new("Paris", 48.8566, 2.3522),
+            GroundStation::new("Moscow", 55.7558, 37.6173),
+        ]);
+        spec.pairs = PairSelection::MinDistance { km: 500.0 };
+        spec.utilization_bucket = Some(SimDuration::from_secs(1));
+        let back = ExperimentSpec::from_json(&spec.to_json_string()).unwrap();
+        assert_eq!(spec, back);
+
+        spec.pairs = PairSelection::Permutation;
+        let back = ExperimentSpec::from_json(&spec.to_json_string()).unwrap();
+        assert_eq!(spec, back);
+    }
+
+    #[test]
+    fn missing_field_is_reported_by_name() {
+        let e = ExperimentSpec::from_json("{}").unwrap_err();
+        assert!(e.to_string().contains("experiment"), "{e}");
+        let e = ExperimentSpec::from_json("not json").unwrap_err();
+        assert!(e.to_string().contains("JSON"), "{e}");
+    }
+
+    #[test]
+    fn set_overrides_common_fields() {
+        let mut spec = sample();
+        spec.set("duration_s", "200").unwrap();
+        assert_eq!(spec.duration, SimDuration::from_secs(200));
+        spec.set("step_ms", "50").unwrap();
+        assert_eq!(spec.step, SimDuration::from_millis(50));
+        spec.set("line_rate_mbps", "25").unwrap();
+        assert_eq!(spec.line_rate, DataRate::from_mbps(25));
+        spec.set("cities", "30").unwrap();
+        assert_eq!(spec.ground, GroundSegment::TopCities(30));
+        spec.set("cc", "vegas").unwrap();
+        assert_eq!(spec.cc, CcKind::Vegas);
+        spec.set("threads", "4").unwrap();
+        assert_eq!(spec.threads, 4);
+        spec.set("constellation", "starlink_s1").unwrap();
+        assert_eq!(spec.constellation, ConstellationChoice::StarlinkS1);
+        spec.set("pairs", "Paris:Moscow;Tokyo:Sao Paulo").unwrap();
+        assert_eq!(
+            spec.pairs.named().unwrap(),
+            &[
+                ("Paris".to_string(), "Moscow".to_string()),
+                ("Tokyo".to_string(), "Sao Paulo".to_string())
+            ]
+        );
+    }
+
+    #[test]
+    fn set_routes_unknown_keys_to_params() {
+        let mut spec = sample();
+        spec.set("relay_spacing_deg", "4").unwrap();
+        assert_eq!(spec.num("relay_spacing_deg"), Some(4.0));
+        spec.set("frozen", "true").unwrap();
+        assert_eq!(spec.flag("frozen"), Some(true));
+        spec.set("line_rates_mbps", "1,10,25").unwrap();
+        assert_eq!(spec.list("line_rates_mbps"), Some(&[1.0, 10.0, 25.0][..]));
+        spec.set("note", "hello world").unwrap();
+        assert_eq!(spec.text("note"), Some("hello world"));
+    }
+
+    #[test]
+    fn set_rejects_bad_values() {
+        let mut spec = sample();
+        assert!(spec.set("duration_s", "soon").is_err());
+        assert!(spec.set("cc", "reno2000").is_err());
+        assert!(spec.set("constellation", "iridium").is_err());
+        assert!(spec.set("pairs", "justonecity").is_err());
+    }
+
+    #[test]
+    fn sim_config_reflects_spec() {
+        let mut spec = sample();
+        spec.line_rate = DataRate::from_mbps(25);
+        spec.queue_packets = 50;
+        spec.step = SimDuration::from_millis(50);
+        spec.utilization_bucket = Some(SimDuration::from_secs(1));
+        spec.threads = 4;
+        let cfg = spec.sim_config();
+        assert_eq!(cfg.link_rate, DataRate::from_mbps(25));
+        assert_eq!(cfg.queue_packets, 50);
+        assert_eq!(cfg.fstate_step, SimDuration::from_millis(50));
+        assert_eq!(cfg.utilization_bucket, Some(SimDuration::from_secs(1)));
+        assert_eq!(cfg.fstate_threads, 4);
+    }
+
+    #[test]
+    fn default_spec_matches_paper_defaults() {
+        let spec = ExperimentSpec::default();
+        let cfg = spec.sim_config();
+        let d = SimConfig::default();
+        assert_eq!(cfg.link_rate, d.link_rate);
+        assert_eq!(cfg.queue_packets, d.queue_packets);
+        assert_eq!(cfg.fstate_step, d.fstate_step);
+        assert_eq!(cfg.fstate_threads, 0);
+    }
+}

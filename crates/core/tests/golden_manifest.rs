@@ -1,0 +1,110 @@
+//! Golden-manifest regression tests: the same spec must produce a
+//! byte-identical artifact set whether forwarding state is computed
+//! serially or with worker threads, and specs must survive a disk
+//! round-trip (the `--spec file.json` path of `run_experiment`).
+
+use hypatia::runner::ExperimentRunner;
+use hypatia::scenario::ConstellationChoice;
+use hypatia::spec::{ExperimentSpec, GroundSegment, PairSelection, ParamValue};
+use hypatia_constellation::GroundStation;
+use hypatia_util::SimDuration;
+use hypatia_viz::sink::ArtifactSink;
+use std::path::{Path, PathBuf};
+
+fn temp_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("hypatia_golden_{}_{tag}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).expect("create temp dir");
+    dir
+}
+
+/// Run `spec` into `dir` quietly; return (name, bytes, fnv64) per artifact
+/// plus the manifest file's contents.
+fn run_quiet(spec: ExperimentSpec, dir: &Path) -> (Vec<(String, u64, u64)>, String) {
+    let runner = ExperimentRunner::new();
+    let mut sink = ArtifactSink::new(dir.to_path_buf());
+    sink.verbose = false;
+    let (manifest_path, sink) = runner.run_with_sink(spec, sink).expect("experiment run succeeds");
+    let records = sink.records().iter().map(|r| (r.name.clone(), r.bytes, r.fnv64)).collect();
+    let manifest = std::fs::read_to_string(manifest_path).expect("manifest readable");
+    (records, manifest)
+}
+
+fn assert_identical(spec: ExperimentSpec, tag: &str) {
+    let serial_dir = temp_dir(&format!("{tag}_serial"));
+    let threaded_dir = temp_dir(&format!("{tag}_threaded"));
+
+    let serial_spec = ExperimentSpec { threads: 0, ..spec.clone() };
+    let threaded_spec = ExperimentSpec { threads: 4, ..spec };
+
+    let (serial, serial_manifest) = run_quiet(serial_spec, &serial_dir);
+    let (threaded, threaded_manifest) = run_quiet(threaded_spec, &threaded_dir);
+
+    assert!(!serial.is_empty(), "{tag}: expected artifacts, got none");
+    assert_eq!(serial, threaded, "{tag}: artifact sets/checksums diverge");
+    assert_eq!(
+        serial_manifest, threaded_manifest,
+        "{tag}: manifest.json diverges between serial and threaded runs"
+    );
+
+    let _ = std::fs::remove_dir_all(serial_dir);
+    let _ = std::fs::remove_dir_all(threaded_dir);
+}
+
+/// Netsim-backed: Fig. 3's ping experiment on a two-city Kuiper scenario.
+/// Exercises the full packet-level pipeline including threaded
+/// forwarding-state prefetch.
+#[test]
+fn netsim_run_is_thread_invariant() {
+    let mut spec = ExperimentSpec {
+        experiment: "fig03_rtt_fluctuations".to_string(),
+        constellation: ConstellationChoice::KuiperK1,
+        ground: GroundSegment::Cities(vec![
+            GroundStation::new("Rio de Janeiro", -22.9068, -43.1729),
+            GroundStation::new("Saint Petersburg", 59.9311, 30.3609),
+        ]),
+        pairs: PairSelection::Named(vec![(
+            "Rio de Janeiro".to_string(),
+            "Saint Petersburg".to_string(),
+        )]),
+        duration: SimDuration::from_secs(5),
+        step: SimDuration::from_millis(500),
+        ..ExperimentSpec::default()
+    };
+    spec.params.insert("ping_interval_ms".to_string(), ParamValue::Num(250.0));
+    assert_identical(spec, "fig03");
+}
+
+/// Routing-only: Fig. 9's granularity sweep, whose pair sweep is the
+/// threaded snapshot-routing path.
+#[test]
+fn routing_run_is_thread_invariant() {
+    let mut spec = ExperimentSpec {
+        experiment: "fig09_timestep".to_string(),
+        constellation: ConstellationChoice::TelesatT1,
+        ground: GroundSegment::TopCities(10),
+        pairs: PairSelection::MinDistance { km: 500.0 },
+        duration: SimDuration::from_secs(10),
+        step: SimDuration::from_millis(1000),
+        ..ExperimentSpec::default()
+    };
+    spec.params.insert("coarse_multiples".to_string(), ParamValue::List(vec![2.0]));
+    assert_identical(spec, "fig09");
+}
+
+/// A spec written to disk and loaded back (the `--spec` path) is the same
+/// spec.
+#[test]
+fn spec_survives_disk_round_trip() {
+    let runner = ExperimentRunner::new();
+    let dir = temp_dir("spec_roundtrip");
+    for name in runner.names() {
+        let spec = runner.spec(&name, false).expect("registered");
+        let path = dir.join(format!("{name}.json"));
+        std::fs::write(&path, spec.to_json_string()).expect("write spec");
+        let text = std::fs::read_to_string(&path).expect("read spec");
+        let back = ExperimentSpec::from_json(&text).unwrap_or_else(|e| panic!("{name}: {e}"));
+        assert_eq!(spec, back, "{name}");
+    }
+    let _ = std::fs::remove_dir_all(dir);
+}

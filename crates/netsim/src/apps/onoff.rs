@@ -180,11 +180,8 @@ mod tests {
             }
         };
         drain(&mut ctx, &mut pending, &mut sent);
-        while let Some(idx) = pending
-            .iter()
-            .enumerate()
-            .min_by_key(|(_, &(t, _))| t)
-            .map(|(i, _)| i)
+        while let Some(idx) =
+            pending.iter().enumerate().min_by_key(|(_, &(t, _))| t).map(|(i, _)| i)
         {
             let (t, id) = pending.swap_remove(idx);
             if t > until {

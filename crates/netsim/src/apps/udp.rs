@@ -157,25 +157,15 @@ mod tests {
     #[test]
     fn pacing_gap_matches_rate() {
         // 1440+60 = 1500 B at 10 Mbps → 1.2 ms between packets.
-        let src = UdpSource::new(
-            NodeId(1),
-            0,
-            DataRate::from_mbps(10),
-            1440,
-            SimTime::from_secs(1),
-        );
+        let src =
+            UdpSource::new(NodeId(1), 0, DataRate::from_mbps(10), 1440, SimTime::from_secs(1));
         assert_eq!(src.gap, SimDuration::from_micros(1200));
     }
 
     #[test]
     fn source_sends_and_rearms() {
-        let mut src = UdpSource::new(
-            NodeId(1),
-            7,
-            DataRate::from_mbps(10),
-            1440,
-            SimTime::from_secs(1),
-        );
+        let mut src =
+            UdpSource::new(NodeId(1), 7, DataRate::from_mbps(10), 1440, SimTime::from_secs(1));
         let mut ctx = AppCtx::new(SimTime::ZERO, NodeId(0), 50);
         src.on_start(&mut ctx);
         assert_eq!(ctx.take_actions().len(), 2);

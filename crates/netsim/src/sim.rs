@@ -11,14 +11,14 @@ use crate::trace::{Trace, TraceKind};
 use hypatia_constellation::{Constellation, NodeId};
 use hypatia_orbit::geodesy::propagation_delay_km;
 use hypatia_routing::forwarding::{
-    compute_forwarding_state, compute_multipath_state, compute_multipath_state_on,
-    ForwardingState, MultipathState,
+    compute_forwarding_state, compute_multipath_state, compute_multipath_state_on, ForwardingState,
+    MultipathState,
 };
 use hypatia_routing::parallel::{Prefetcher, SnapshotWorker};
 use hypatia_util::rng::DetRng;
-use hypatia_util::SimTime;
 #[cfg(test)]
 use hypatia_util::SimDuration;
+use hypatia_util::SimTime;
 use std::sync::Arc;
 
 struct AppEntry {
@@ -96,10 +96,7 @@ impl Simulator {
             .map(|s| compute_multipath_state(&constellation, SimTime::ZERO, &dests, s));
         let mut queue = EventQueue::new();
         if !config.freeze_at_epoch {
-            queue.schedule(
-                SimTime::ZERO + config.fstate_step,
-                Event::ForwardingUpdate { step: 1 },
-            );
+            queue.schedule(SimTime::ZERO + config.fstate_step, Event::ForwardingUpdate { step: 1 });
         }
 
         // Background prefetch of upcoming forwarding steps (off for frozen
@@ -277,10 +274,9 @@ impl Simulator {
         };
         let packet_id = packet.id;
         match self.nodes[node as usize].devices[dev_idx].enqueue(packet, next_hop, self.now) {
-            Ok(Some(ser)) => self.queue.schedule(
-                self.now + ser,
-                Event::TxComplete { node, device: dev_idx as u32 },
-            ),
+            Ok(Some(ser)) => self
+                .queue
+                .schedule(self.now + ser, Event::TxComplete { node, device: dev_idx as u32 }),
             Ok(None) => {}
             Err(_) => {
                 self.stats.queue_drops += 1;
@@ -332,10 +328,8 @@ impl Simulator {
             }
         }
         self.stats.forwarding_updates += 1;
-        self.queue.schedule(
-            t + self.config.fstate_step,
-            Event::ForwardingUpdate { step: step + 1 },
-        );
+        self.queue
+            .schedule(t + self.config.fstate_step, Event::ForwardingUpdate { step: step + 1 });
     }
 
     /// Put a freshly-created packet into the network at its source node.
@@ -397,9 +391,8 @@ impl Simulator {
         assert!(path.len() >= 2, "path needs at least one hop");
         let mut worst: f64 = 0.0;
         for w in path.windows(2) {
-            let dev_idx = self.nodes[w[0].index()]
-                .device_for(w[1])
-                .expect("path hop has no device");
+            let dev_idx =
+                self.nodes[w[0].index()].device_for(w[1]).expect("path hop has no device");
             let u = self.nodes[w[0].index()].devices[dev_idx]
                 .utilization(bucket_idx)
                 .expect("utilization tracking disabled");
@@ -424,10 +417,7 @@ mod tests {
             "simtest",
             vec![ShellSpec::new("A", 550.0, 10, 10, 53.0)],
             IslLayout::PlusGrid,
-            vec![
-                GroundStation::new("a", 5.0, 5.0),
-                GroundStation::new("b", -10.0, 60.0),
-            ],
+            vec![GroundStation::new("a", 5.0, 5.0), GroundStation::new("b", -10.0, 60.0)],
             GslConfig::new(10.0),
         ))
     }
@@ -445,7 +435,12 @@ mod tests {
         sim.run_until(SimTime::from_secs(3));
         let ping: &PingApp = sim.app_as(app).unwrap();
         assert!(ping.sent() >= 20, "sent {}", ping.sent());
-        assert!(ping.received() >= ping.sent() - 2, "lost pings: {}/{}", ping.received(), ping.sent());
+        assert!(
+            ping.received() >= ping.sent() - 2,
+            "lost pings: {}/{}",
+            ping.received(),
+            ping.sent()
+        );
         for &(_, rtt) in ping.rtts() {
             let ms = rtt.secs_f64() * 1e3;
             // ~6000 km ground distance: RTT must be tens of ms, below 200.
@@ -499,7 +494,8 @@ mod tests {
             assert_eq!(inline, prefetched, "threads={threads}");
         }
         let mp_inline = run(SimConfig::default().with_multipath(1.3));
-        let mp_prefetched = run(SimConfig::default().with_multipath(1.3).with_fstate_prefetch(2, 4));
+        let mp_prefetched =
+            run(SimConfig::default().with_multipath(1.3).with_fstate_prefetch(2, 4));
         assert_eq!(mp_inline, mp_prefetched);
     }
 
@@ -669,9 +665,8 @@ mod tests {
     fn slow_links_still_conserve_packets() {
         let c = constellation();
         let (src, dst) = (c.gs_node(0), c.gs_node(1));
-        let cfg = SimConfig::default()
-            .with_link_rate(DataRate::from_kbps(64))
-            .with_queue_packets(2);
+        let cfg =
+            SimConfig::default().with_link_rate(DataRate::from_kbps(64)).with_queue_packets(2);
         let mut sim = Simulator::new(c.clone(), cfg, vec![src, dst]);
         sim.add_app(
             src,

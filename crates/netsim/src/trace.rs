@@ -44,8 +44,7 @@ pub struct TraceEntry {
 pub struct Trace {
     entries: Vec<TraceEntry>,
     limit: usize,
-    /// Events not recorded because the buffer was full.
-    pub truncated: u64,
+    truncated: u64,
 }
 
 impl Trace {
@@ -76,6 +75,13 @@ impl Trace {
         &self.entries
     }
 
+    /// Events not recorded because the buffer was full. Artifact sinks
+    /// consult this to warn that an emitted trace is partial rather than
+    /// silently presenting a truncated journey as complete.
+    pub fn truncated(&self) -> u64 {
+        self.truncated
+    }
+
     /// The journey of one packet: its entries in order.
     pub fn journey(&self, packet_id: u64) -> Vec<TraceEntry> {
         self.entries.iter().filter(|e| e.packet_id == packet_id).copied().collect()
@@ -92,7 +98,7 @@ mod tests {
         assert!(!tr.enabled());
         tr.record(SimTime::ZERO, NodeId(1), 7, TraceKind::Inject);
         assert!(tr.entries().is_empty());
-        assert_eq!(tr.truncated, 0);
+        assert_eq!(tr.truncated(), 0);
     }
 
     #[test]
@@ -102,7 +108,7 @@ mod tests {
             tr.record(SimTime::from_nanos(i), NodeId(0), i, TraceKind::Arrive);
         }
         assert_eq!(tr.entries().len(), 3);
-        assert_eq!(tr.truncated, 2);
+        assert_eq!(tr.truncated(), 2);
     }
 
     #[test]

@@ -74,10 +74,7 @@ impl KeplerianElements {
 /// Solve Kepler's equation `M = E - e sin E` for the eccentric anomaly `E`
 /// by Newton–Raphson. Converges in a handful of iterations for all `e < 1`.
 pub fn solve_kepler(mean_anomaly_rad: f64, eccentricity: f64) -> f64 {
-    assert!(
-        (0.0..1.0).contains(&eccentricity),
-        "eccentricity must be in [0,1): {eccentricity}"
-    );
+    assert!((0.0..1.0).contains(&eccentricity), "eccentricity must be in [0,1): {eccentricity}");
     let m = wrap_two_pi(mean_anomaly_rad);
     if eccentricity == 0.0 {
         return m;

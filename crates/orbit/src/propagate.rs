@@ -107,9 +107,7 @@ impl Propagator {
 
         // Perifocal → ECI: Rz(Ω) Rx(i) Rz(ω).
         let rot = |v: Vec3| {
-            v.rotate_z(el.arg_perigee_rad)
-                .rotate_x(el.inclination_rad)
-                .rotate_z(el.raan_rad)
+            v.rotate_z(el.arg_perigee_rad).rotate_x(el.inclination_rad).rotate_z(el.raan_rad)
         };
         OrbitState { position_km: rot(pos_pf), velocity_km_per_s: rot(vel_pf) }
     }
@@ -163,8 +161,7 @@ mod tests {
         let prop = Propagator::j2(starlink_sat());
         let el_later = prop.elements_at(SimTime::from_secs(3600));
         // Ω̇ ≈ -5°/day for Starlink-like shells → about -0.2° in an hour.
-        let drift =
-            hypatia_util::angle::wrap_pi(el_later.raan_rad - prop.elements.raan_rad);
+        let drift = hypatia_util::angle::wrap_pi(el_later.raan_rad - prop.elements.raan_rad);
         assert!(drift < 0.0, "expected node regression, got {drift}");
         assert!(drift > -0.02, "implausibly large drift {drift}");
     }

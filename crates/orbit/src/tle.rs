@@ -267,10 +267,7 @@ fn field<T: std::str::FromStr>(
     which: u8,
     name: &'static str,
 ) -> Result<T, TleError> {
-    line[start..end]
-        .trim()
-        .parse()
-        .map_err(|_| TleError::BadField { line: which, field: name })
+    line[start..end].trim().parse().map_err(|_| TleError::BadField { line: which, field: name })
 }
 
 #[cfg(test)]
@@ -312,8 +309,12 @@ mod tests {
         let tle = Tle::from_elements("SAT", 7, &el, 24, 1.0);
         let parsed = Tle::parse("SAT", &tle.format_line1(), &tle.format_line2()).unwrap();
         let back = parsed.to_elements();
-        assert!((back.semi_major_axis_km - el.semi_major_axis_km).abs() < 0.05,
-            "a: {} vs {}", back.semi_major_axis_km, el.semi_major_axis_km);
+        assert!(
+            (back.semi_major_axis_km - el.semi_major_axis_km).abs() < 0.05,
+            "a: {} vs {}",
+            back.semi_major_axis_km,
+            el.semi_major_axis_km
+        );
         assert!((back.inclination_rad - el.inclination_rad).abs() < 1e-5);
         assert!((back.raan_rad - el.raan_rad).abs() < 1e-5);
         assert!((back.mean_anomaly_rad - el.mean_anomaly_rad).abs() < 1e-5);

@@ -30,7 +30,8 @@ pub fn azimuth_deg(gs: Vec3, sat: Vec3) -> f64 {
     // Local east: ẑ_earth × zenith (undefined at the poles; fall back to x̂).
     let earth_z = Vec3::new(0.0, 0.0, 1.0);
     let east_raw = earth_z.cross(zenith);
-    let east = if east_raw.norm() < 1e-9 { Vec3::new(1.0, 0.0, 0.0) } else { east_raw.normalized() };
+    let east =
+        if east_raw.norm() < 1e-9 { Vec3::new(1.0, 0.0, 0.0) } else { east_raw.normalized() };
     let north = zenith.cross(east);
     let to_sat = sat - gs;
     let e = to_sat.dot(east);
@@ -80,8 +81,7 @@ pub fn max_gsl_range_from_radii_km(
         "elevation must be in [0, 90]: {min_elevation_deg}"
     );
     let l = deg_to_rad(min_elevation_deg);
-    (sat_radius_km.powi(2) - (gs_radius_km * l.cos()).powi(2)).sqrt()
-        - gs_radius_km * l.sin()
+    (sat_radius_km.powi(2) - (gs_radius_km * l.cos()).powi(2)).sqrt() - gs_radius_km * l.sin()
 }
 
 /// Upper bound on the GSL slant range valid for *any* ground station on

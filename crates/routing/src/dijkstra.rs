@@ -110,8 +110,7 @@ pub fn shortest_path_tree_into(
             let nd = d + e.delay_ns;
             // Strict improvement, or equal-cost tie resolved towards the
             // smaller parent id for determinism.
-            let better = nd < dist[v]
-                || (nd == dist[v] && next_hop[v].is_some_and(|old| u < old));
+            let better = nd < dist[v] || (nd == dist[v] && next_hop[v].is_some_and(|old| u < old));
             if better {
                 dist[v] = nd;
                 // v's next hop towards dst is the node we relaxed from.
@@ -208,7 +207,11 @@ mod tests {
         let g = DelayGraph::snapshot(&c, SimTime::ZERO);
         let pole = c.gs_node(2).0;
         let tree = shortest_path_tree(&g, c.gs_node(0).0);
-        assert_eq!(tree.distance_ns(pole), None, "53°-inclination shell at l=25° must not reach 89°N");
+        assert_eq!(
+            tree.distance_ns(pole),
+            None,
+            "53°-inclination shell at l=25° must not reach 89°N"
+        );
         assert_eq!(tree.path_from(pole), None);
     }
 

@@ -58,9 +58,7 @@ pub fn floyd_warshall(graph: &DelayGraph) -> AllPairs {
                 let cur = dist[u * n + v];
                 // Strict improvement, or deterministic tie-break towards
                 // the smaller first hop (matching the Dijkstra trees).
-                if through < cur
-                    || (through == cur && next[u * n + k] < next[u * n + v])
-                {
+                if through < cur || (through == cur && next[u * n + k] < next[u * n + v]) {
                     dist[u * n + v] = through;
                     next[u * n + v] = next[u * n + k];
                 }
@@ -122,10 +120,7 @@ mod tests {
             "fw",
             vec![ShellSpec::new("A", 550.0, orbits, per, 53.0)],
             IslLayout::PlusGrid,
-            vec![
-                GroundStation::new("a", 0.0, 0.0),
-                GroundStation::new("b", 30.0, 100.0),
-            ],
+            vec![GroundStation::new("a", 0.0, 0.0), GroundStation::new("b", 30.0, 100.0)],
             GslConfig::new(25.0),
         );
         let g = DelayGraph::snapshot(&c, SimTime::from_secs(t_secs));

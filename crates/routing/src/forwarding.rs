@@ -256,10 +256,7 @@ mod tests {
             "fwd",
             vec![ShellSpec::new("A", 550.0, 10, 10, 53.0)],
             IslLayout::PlusGrid,
-            vec![
-                GroundStation::new("a", 5.0, 5.0),
-                GroundStation::new("b", -10.0, 140.0),
-            ],
+            vec![GroundStation::new("a", 5.0, 5.0), GroundStation::new("b", -10.0, 140.0)],
             GslConfig::new(10.0),
         )
     }
@@ -304,8 +301,7 @@ mod tests {
     #[test]
     fn schedule_step_indexing() {
         let c = constellation();
-        let sched =
-            ForwardingSchedule::new(&c, vec![c.gs_node(0)], SimDuration::from_millis(100));
+        let sched = ForwardingSchedule::new(&c, vec![c.gs_node(0)], SimDuration::from_millis(100));
         assert_eq!(sched.step_index(SimTime::ZERO), 0);
         assert_eq!(sched.step_index(SimTime::from_millis(99)), 0);
         assert_eq!(sched.step_index(SimTime::from_millis(100)), 1);
@@ -346,10 +342,7 @@ mod tests {
             let st = compute_forwarding_state(&c, SimTime::from_secs(secs), &[c.gs_node(1)]);
             if let Some(path) = st.path(c.gs_node(0), c.gs_node(1)) {
                 for &node in &path[1..path.len() - 1] {
-                    assert!(
-                        c.is_satellite(node),
-                        "GS {node} used as relay at t={secs}: {path:?}"
-                    );
+                    assert!(c.is_satellite(node), "GS {node} used as relay at t={secs}: {path:?}");
                 }
             }
         }
@@ -367,8 +360,7 @@ mod tests {
         assert!(c.gs_relay);
         let st = compute_forwarding_state(&c, SimTime::ZERO, &[c.gs_node(1)]);
         let path = st.path(c.gs_node(0), c.gs_node(1)).expect("bent-pipe path");
-        let interior_gses =
-            path[1..path.len() - 1].iter().filter(|&&n| !c.is_satellite(n)).count();
+        let interior_gses = path[1..path.len() - 1].iter().filter(|&&n| !c.is_satellite(n)).count();
         assert!(interior_gses >= 1, "expected a GS relay in {path:?}");
     }
 

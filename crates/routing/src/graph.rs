@@ -132,7 +132,12 @@ impl SnapshotBuffers {
 
 impl Default for DelayGraph {
     fn default() -> Self {
-        DelayGraph { offsets: vec![0], edges: Vec::new(), transit: Vec::new(), positions: Vec::new() }
+        DelayGraph {
+            offsets: vec![0],
+            edges: Vec::new(),
+            transit: Vec::new(),
+            positions: Vec::new(),
+        }
     }
 }
 
@@ -212,18 +217,15 @@ mod tests {
     use hypatia_constellation::ground::GroundStation;
     use hypatia_constellation::gsl::GslConfig;
     use hypatia_constellation::isl::IslLayout;
-    use hypatia_constellation::shell::ShellSpec;
     use hypatia_constellation::presets;
+    use hypatia_constellation::shell::ShellSpec;
 
     fn tiny() -> Constellation {
         Constellation::build(
             "tiny",
             vec![ShellSpec::new("A", 550.0, 3, 4, 53.0)],
             IslLayout::PlusGrid,
-            vec![
-                GroundStation::new("eq", 0.0, 0.0),
-                GroundStation::new("mid", 40.0, 60.0),
-            ],
+            vec![GroundStation::new("eq", 0.0, 0.0), GroundStation::new("mid", 40.0, 60.0)],
             GslConfig::new(25.0),
         )
     }

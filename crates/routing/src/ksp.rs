@@ -53,8 +53,7 @@ impl MaskedGraph<'_> {
             .edges(u as usize)
             .iter()
             .filter(|e| {
-                !self.banned_nodes.contains(&e.to)
-                    && !self.banned_edges.contains(&(u, e.to))
+                !self.banned_nodes.contains(&e.to) && !self.banned_edges.contains(&(u, e.to))
             })
             .copied()
             .collect()
@@ -114,10 +113,8 @@ pub fn k_shortest_paths(graph: &DelayGraph, src: u32, dst: u32, k: usize) -> Vec
     let Some(first_nodes) = tree.path_from(src) else {
         return Vec::new();
     };
-    let first = RankedPath {
-        delay_ns: tree.distance_ns(src).expect("reachable"),
-        nodes: first_nodes,
-    };
+    let first =
+        RankedPath { delay_ns: tree.distance_ns(src).expect("reachable"), nodes: first_nodes };
 
     let mut found = vec![first];
     // Min-heap of candidates (BinaryHeap is max; use Reverse).
@@ -191,10 +188,7 @@ mod tests {
             "ksp",
             vec![ShellSpec::new("A", 550.0, 10, 10, 53.0)],
             IslLayout::PlusGrid,
-            vec![
-                GroundStation::new("a", 5.0, 5.0),
-                GroundStation::new("b", -15.0, 100.0),
-            ],
+            vec![GroundStation::new("a", 5.0, 5.0), GroundStation::new("b", -15.0, 100.0)],
             GslConfig::new(10.0),
         );
         let g = DelayGraph::snapshot(&c, SimTime::ZERO);
@@ -252,10 +246,7 @@ mod tests {
             "kspx",
             vec![ShellSpec::new("A", 550.0, 4, 4, 53.0)],
             IslLayout::PlusGrid,
-            vec![
-                GroundStation::new("a", 0.0, 0.0),
-                GroundStation::new("pole", 89.0, 0.0),
-            ],
+            vec![GroundStation::new("a", 0.0, 0.0), GroundStation::new("pole", 89.0, 0.0)],
             GslConfig::new(25.0),
         );
         let g = DelayGraph::snapshot(&c, SimTime::ZERO);

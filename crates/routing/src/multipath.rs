@@ -35,7 +35,7 @@ pub fn multipath_tree(graph: &DelayGraph, dst: u32, stretch: f64) -> MultipathTr
     let n = graph.num_nodes();
     let mut alternates: Vec<Vec<u32>> = vec![Vec::new(); n];
 
-    for v in 0..n {
+    for (v, slot) in alternates.iter_mut().enumerate() {
         let dv = tree.dist_ns[v];
         if dv == UNREACHABLE || v as u32 == dst {
             continue;
@@ -58,7 +58,7 @@ pub fn multipath_tree(graph: &DelayGraph, dst: u32, stretch: f64) -> MultipathTr
             }
         }
         cands.sort_unstable();
-        alternates[v] = cands.into_iter().map(|(_, to)| to).collect();
+        *slot = cands.into_iter().map(|(_, to)| to).collect();
     }
 
     MultipathTree { tree, alternates, stretch }
@@ -97,10 +97,7 @@ mod tests {
             "mp",
             vec![ShellSpec::new("A", 550.0, 10, 10, 53.0)],
             IslLayout::PlusGrid,
-            vec![
-                GroundStation::new("a", 5.0, 5.0),
-                GroundStation::new("b", -15.0, 100.0),
-            ],
+            vec![GroundStation::new("a", 5.0, 5.0), GroundStation::new("b", -15.0, 100.0)],
             GslConfig::new(10.0),
         );
         let g = DelayGraph::snapshot(&c, SimTime::ZERO);

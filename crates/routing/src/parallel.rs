@@ -130,9 +130,7 @@ where
 {
     let mut out = Vec::with_capacity(n_steps as usize);
     let prefetch = 2 * worker_threads(threads);
-    for_each_step_ordered(n_steps, threads, prefetch, make_scratch, compute, |_, r| {
-        out.push(r)
-    });
+    for_each_step_ordered(n_steps, threads, prefetch, make_scratch, compute, |_, r| out.push(r));
     out
 }
 
@@ -213,7 +211,13 @@ impl<T: Send + 'static> Prefetcher<T> {
     /// Start `threads` background workers computing `f(scratch, k)` for
     /// `k = start, start+1, ...` with at most `prefetch` finished results
     /// buffered. Each worker owns one `make_scratch()` value.
-    pub fn spawn<S, MS, F>(start: u64, threads: usize, prefetch: usize, make_scratch: MS, f: F) -> Self
+    pub fn spawn<S, MS, F>(
+        start: u64,
+        threads: usize,
+        prefetch: usize,
+        make_scratch: MS,
+        f: F,
+    ) -> Self
     where
         MS: Fn() -> S + Send + Sync + 'static,
         F: Fn(&mut S, u64) -> T + Send + Sync + 'static,
@@ -288,10 +292,7 @@ mod tests {
             "par",
             vec![ShellSpec::new("A", 550.0, 8, 8, 53.0)],
             IslLayout::PlusGrid,
-            vec![
-                GroundStation::new("a", 5.0, 5.0),
-                GroundStation::new("b", -10.0, 120.0),
-            ],
+            vec![GroundStation::new("a", 5.0, 5.0), GroundStation::new("b", -10.0, 120.0)],
             GslConfig::new(15.0),
         )
     }
@@ -310,10 +311,17 @@ mod tests {
     #[test]
     fn for_each_step_consumes_in_order() {
         let mut seen = Vec::new();
-        for_each_step_ordered(40, 4, 4, || (), |_, k| k, |k, r| {
-            assert_eq!(k, r);
-            seen.push(k);
-        });
+        for_each_step_ordered(
+            40,
+            4,
+            4,
+            || (),
+            |_, k| k,
+            |k, r| {
+                assert_eq!(k, r);
+                seen.push(k);
+            },
+        );
         assert_eq!(seen, (0..40).collect::<Vec<_>>());
     }
 
@@ -338,8 +346,7 @@ mod tests {
 
     #[test]
     fn prefetcher_yields_steps_in_order() {
-        let mut pf =
-            Prefetcher::spawn(3, 4, 4, || (), |_, k| k * 10);
+        let mut pf = Prefetcher::spawn(3, 4, 4, || (), |_, k| k * 10);
         for k in 3..30 {
             assert_eq!(pf.take(k), k * 10);
         }

@@ -132,9 +132,7 @@ impl PairTracker {
     /// `max RTT / min RTT`, if both were observed.
     pub fn rtt_ratio(&self) -> Option<f64> {
         match (self.max_rtt, self.min_rtt) {
-            (Some(max), Some(min)) if !min.is_zero() => {
-                Some(max.secs_f64() / min.secs_f64())
-            }
+            (Some(max), Some(min)) if !min.is_zero() => Some(max.secs_f64() / min.secs_f64()),
             _ => None,
         }
     }
@@ -167,10 +165,7 @@ mod tests {
             "p",
             vec![ShellSpec::new("A", 550.0, 10, 10, 53.0)],
             IslLayout::PlusGrid,
-            vec![
-                GroundStation::new("a", 5.0, 5.0),
-                GroundStation::new("b", -15.0, 100.0),
-            ],
+            vec![GroundStation::new("a", 5.0, 5.0), GroundStation::new("b", -15.0, 100.0)],
             GslConfig::new(10.0),
         )
     }
@@ -205,11 +200,7 @@ mod tests {
         let c = constellation();
         let (src, dst) = (c.gs_node(0), c.gs_node(1));
         let mut tracker = PairTracker::new(src, dst, true);
-        for t in TimeSteps::new(
-            SimTime::ZERO,
-            SimTime::from_secs(60),
-            SimDuration::from_secs(5),
-        ) {
+        for t in TimeSteps::new(SimTime::ZERO, SimTime::from_secs(60), SimDuration::from_secs(5)) {
             let st = compute_forwarding_state(&c, t, &[dst]);
             tracker.observe(&c, &st);
         }
@@ -231,11 +222,7 @@ mod tests {
         ]);
         let (src, dst) = (c.gs_node(0), c.gs_node(1));
         let mut tracker = PairTracker::new(src, dst, false);
-        for t in TimeSteps::new(
-            SimTime::ZERO,
-            SimTime::from_secs(200),
-            SimDuration::from_secs(5),
-        ) {
+        for t in TimeSteps::new(SimTime::ZERO, SimTime::from_secs(200), SimDuration::from_secs(5)) {
             let st = compute_forwarding_state(&c, t, &[dst]);
             tracker.observe(&c, &st);
         }

@@ -102,9 +102,8 @@ impl Bbr {
     fn update_model(&mut self, newly_acked: u64, rtt: Option<SimDuration>, now: SimTime) {
         // RTprop: windowed min; stale entries expire.
         if let Some(sample) = rtt {
-            let expired = self
-                .rt_prop
-                .is_none_or(|(at, _)| now.saturating_since(at) > RTPROP_WINDOW);
+            let expired =
+                self.rt_prop.is_none_or(|(at, _)| now.saturating_since(at) > RTPROP_WINDOW);
             let lower = self.rt_prop.is_none_or(|(_, r)| sample <= r);
             if expired || lower {
                 self.rt_prop = Some((now, sample));
@@ -214,7 +213,14 @@ mod tests {
     }
 
     /// Feed `epochs` of ACKs at a steady `rate_bytes_per_s` and `rtt_ms`.
-    fn drive(cc: &mut Bbr, st: &mut CcState, start: SimTime, epochs: u32, rate: f64, rtt_ms: u64) -> SimTime {
+    fn drive(
+        cc: &mut Bbr,
+        st: &mut CcState,
+        start: SimTime,
+        epochs: u32,
+        rate: f64,
+        rtt_ms: u64,
+    ) -> SimTime {
         let mut now = start;
         let rtt = SimDuration::from_millis(rtt_ms);
         for _ in 0..epochs {
@@ -253,11 +259,7 @@ mod tests {
         let mut st = state();
         drive(&mut cc, &mut st, SimTime::ZERO, 30, 1.25e6, 100);
         // BDP = 1.25e6 B/s × 0.1 s = 125 kB; gains 0.75..1.25.
-        assert!(
-            (80_000..200_000).contains(&st.cwnd),
-            "cwnd {} vs BDP 125000",
-            st.cwnd
-        );
+        assert!((80_000..200_000).contains(&st.cwnd), "cwnd {} vs BDP 125000", st.cwnd);
     }
 
     /// The LEO-critical behaviour: after a path-RTT increase, BBR's RTprop

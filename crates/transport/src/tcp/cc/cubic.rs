@@ -35,7 +35,8 @@ impl Cubic {
         self.epoch_start = Some(now);
         let w = state.cwnd as f64;
         self.w_cubic_origin = w;
-        self.k = if self.w_max > w { ((self.w_max - w) / (C * state.mss as f64)).cbrt() } else { 0.0 };
+        self.k =
+            if self.w_max > w { ((self.w_max - w) / (C * state.mss as f64)).cbrt() } else { 0.0 };
     }
 
     fn reduce(&mut self, state: &mut CcState, now: SimTime) {
@@ -78,8 +79,7 @@ impl CongestionControl for Cubic {
         let _ = target;
         if w_cubic > state.cwnd as f64 {
             // Approach the cubic target by at most one MSS per ACK batch.
-            let step =
-                ((w_cubic - state.cwnd as f64).min(state.mss as f64)).max(1.0) as u64;
+            let step = ((w_cubic - state.cwnd as f64).min(state.mss as f64)).max(1.0) as u64;
             state.cwnd += step;
         } else {
             // TCP-friendly/concave floor: grow slowly (Reno-rate lower
@@ -150,11 +150,7 @@ mod tests {
             cc.on_ack(&mut st, 1000, None, t);
         }
         assert!(st.cwnd > after_drop, "no regrowth");
-        assert!(
-            st.cwnd >= 9_000,
-            "should approach w_max, got {}",
-            st.cwnd
-        );
+        assert!(st.cwnd >= 9_000, "should approach w_max, got {}", st.cwnd);
     }
 
     #[test]

@@ -36,7 +36,8 @@ impl CongestionControl for NewReno {
     ) {
         if state.in_slow_start() {
             // Exponential: grow by the bytes ACKed (capped at ssthresh).
-            state.cwnd = (state.cwnd + newly_acked.min(state.mss)).min(state.ssthresh.max(state.cwnd));
+            state.cwnd =
+                (state.cwnd + newly_acked.min(state.mss)).min(state.ssthresh.max(state.cwnd));
         } else {
             // Congestion avoidance: +1 MSS per cwnd of ACKed data.
             self.ca_acc += newly_acked;
@@ -91,7 +92,7 @@ mod tests {
         let mut st = state();
         st.ssthresh = 5_000; // below cwnd → CA
         let before = st.cwnd; // 10_000
-        // One full window of ACKs → exactly +1 MSS.
+                              // One full window of ACKs → exactly +1 MSS.
         for _ in 0..10 {
             cc.on_ack(&mut st, 1000, None, SimTime::ZERO);
         }

@@ -199,7 +199,11 @@ mod tests {
         // fraction of what NewReno would use.
         let cwnd_seg = st.cwnd / st.mss;
         assert!(cwnd_seg <= 32, "window did not collapse: {cwnd_seg} segments");
-        assert_eq!(cc.base_rtt(), Some(SimDuration::from_millis(96)), "baseRTT must stay at the old minimum");
+        assert_eq!(
+            cc.base_rtt(),
+            Some(SimDuration::from_millis(96)),
+            "baseRTT must stay at the old minimum"
+        );
     }
 
     #[test]
@@ -227,7 +231,7 @@ mod tests {
         let mut st = CcState::new(1000, 4); // in slow start (ssthresh huge)
         assert!(st.in_slow_start());
         run_epoch(&mut cc, &mut st, 100); // baseRTT
-        // Large standing delay → γ exceeded → ssthresh clamped to cwnd.
+                                          // Large standing delay → γ exceeded → ssthresh clamped to cwnd.
         run_epoch(&mut cc, &mut st, 300);
         run_epoch(&mut cc, &mut st, 300);
         assert!(!st.in_slow_start(), "gamma signal must end slow start");

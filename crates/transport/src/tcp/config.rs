@@ -82,10 +82,7 @@ mod tests {
 
     #[test]
     fn builders() {
-        let c = TcpConfig::default()
-            .without_delayed_ack()
-            .with_max_data(1_000_000)
-            .with_mss(1000);
+        let c = TcpConfig::default().without_delayed_ack().with_max_data(1_000_000).with_mss(1000);
         assert!(!c.delayed_ack);
         assert_eq!(c.max_data, Some(1_000_000));
         assert_eq!(c.mss, 1000);

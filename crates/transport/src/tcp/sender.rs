@@ -141,9 +141,8 @@ impl TcpSender {
     fn try_send(&mut self, ctx: &mut AppCtx) {
         while self.inflight() < self.effective_cwnd() && self.remaining_data() > 0 {
             let window_room = self.effective_cwnd() - self.inflight();
-            let len =
-                (self.st.mss).min(window_room).min(self.remaining_data()).min(u32::MAX as u64)
-                    as u32;
+            let len = (self.st.mss).min(window_room).min(self.remaining_data()).min(u32::MAX as u64)
+                as u32;
             if len == 0 {
                 break;
             }
@@ -305,12 +304,7 @@ mod tests {
     use crate::tcp::cc::newreno::NewReno;
 
     fn sender() -> TcpSender {
-        TcpSender::new(
-            NodeId(9),
-            80,
-            TcpConfig::default().with_mss(1000),
-            Box::new(NewReno::new()),
-        )
+        TcpSender::new(NodeId(9), 80, TcpConfig::default().with_mss(1000), Box::new(NewReno::new()))
     }
 
     fn ack(ack: u64, ts_echo_ms: u64) -> Segment {

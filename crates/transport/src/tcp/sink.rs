@@ -212,9 +212,7 @@ mod tests {
         ctx.take_actions()
             .into_iter()
             .filter_map(|a| match a {
-                AppAction::Send { payload: Payload::Seg(s), .. } if s.payload_bytes == 0 => {
-                    Some(s)
-                }
+                AppAction::Send { payload: Payload::Seg(s), .. } if s.payload_bytes == 0 => Some(s),
                 _ => None,
             })
             .collect()

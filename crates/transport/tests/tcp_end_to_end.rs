@@ -19,10 +19,7 @@ fn constellation() -> Arc<Constellation> {
         "tcp-e2e",
         vec![ShellSpec::new("A", 550.0, 12, 12, 53.0)],
         IslLayout::PlusGrid,
-        vec![
-            GroundStation::new("src", 10.0, 10.0),
-            GroundStation::new("dst", -5.0, 55.0),
-        ],
+        vec![GroundStation::new("src", 10.0, 10.0), GroundStation::new("dst", -5.0, 55.0)],
         GslConfig::new(10.0),
     ))
 }
@@ -47,12 +44,7 @@ fn run_flow(
     sim.run_until(SimTime::from_secs(secs));
     let sink: &TcpSink = sim.app_as(sink_idx).unwrap();
     let sender: &TcpSender = sim.app_as(sender_idx).unwrap();
-    (
-        sender.acked_bytes(),
-        sink.bytes_received(),
-        sender.log.retransmits,
-        sender.log.timeouts,
-    )
+    (sender.acked_bytes(), sink.bytes_received(), sender.log.retransmits, sender.log.timeouts)
 }
 
 #[test]
@@ -61,10 +53,7 @@ fn newreno_fills_a_static_path() {
     // achieve close to the 10 Mbit/s line rate after slow start.
     let (acked, received, _retx, timeouts) = run_flow(Box::new(NewReno::new()), 20, true);
     let goodput_mbps = received as f64 * 8.0 / 20.0 / 1e6;
-    assert!(
-        goodput_mbps > 7.0,
-        "NewReno only reached {goodput_mbps:.2} Mbit/s on a clean path"
-    );
+    assert!(goodput_mbps > 7.0, "NewReno only reached {goodput_mbps:.2} Mbit/s on a clean path");
     assert!(acked <= received + 100 * 1380, "acked beyond received");
     // Slow start overshoots the drop-tail queue once; without SACK the
     // resulting multi-loss burst may be cut short by one (Impatient) RTO.
@@ -80,11 +69,8 @@ fn newreno_sawtooth_on_static_path() {
     let mut sim = Simulator::new(c, cfg, vec![src, dst]);
     let tcp_cfg = TcpConfig::default();
     sim.add_app(dst, 80, Box::new(TcpSink::new(tcp_cfg.clone())));
-    let sender_idx = sim.add_app(
-        src,
-        70,
-        Box::new(TcpSender::new(dst, 80, tcp_cfg, Box::new(NewReno::new()))),
-    );
+    let sender_idx =
+        sim.add_app(src, 70, Box::new(TcpSender::new(dst, 80, tcp_cfg, Box::new(NewReno::new()))));
     sim.run_until(SimTime::from_secs(30));
     let sender: &TcpSender = sim.app_as(sender_idx).unwrap();
     // The window must repeatedly rise and get cut (buffer-fill sawtooth):
@@ -133,11 +119,8 @@ fn bounded_transfer_completes_and_stops() {
     let mut sim = Simulator::new(c, SimConfig::default().frozen(), vec![src, dst]);
     let tcp_cfg = TcpConfig::default().with_max_data(500_000);
     let sink_idx = sim.add_app(dst, 80, Box::new(TcpSink::new(tcp_cfg.clone())));
-    let sender_idx = sim.add_app(
-        src,
-        70,
-        Box::new(TcpSender::new(dst, 80, tcp_cfg, Box::new(NewReno::new()))),
-    );
+    let sender_idx =
+        sim.add_app(src, 70, Box::new(TcpSender::new(dst, 80, tcp_cfg, Box::new(NewReno::new()))));
     sim.run_until(SimTime::from_secs(60));
     let sink: &TcpSink = sim.app_as(sink_idx).unwrap();
     let sender: &TcpSender = sim.app_as(sender_idx).unwrap();
@@ -156,11 +139,8 @@ fn tcp_survives_gsl_channel_loss() {
     let mut sim = Simulator::new(c, cfg, vec![src, dst]);
     let tcp_cfg = TcpConfig::default();
     let sink_idx = sim.add_app(dst, 80, Box::new(TcpSink::new(tcp_cfg.clone())));
-    let sender_idx = sim.add_app(
-        src,
-        70,
-        Box::new(TcpSender::new(dst, 80, tcp_cfg, Box::new(NewReno::new()))),
-    );
+    let sender_idx =
+        sim.add_app(src, 70, Box::new(TcpSender::new(dst, 80, tcp_cfg, Box::new(NewReno::new()))));
     sim.run_until(SimTime::from_secs(30));
     assert!(sim.stats.channel_drops > 0, "loss process inactive");
     let sink: &TcpSink = sim.app_as(sink_idx).unwrap();
@@ -180,11 +160,7 @@ fn delayed_ack_disabled_still_works() {
     let mut sim = Simulator::new(c, SimConfig::default().frozen(), vec![src, dst]);
     let tcp_cfg = TcpConfig::default().without_delayed_ack();
     let sink_idx = sim.add_app(dst, 80, Box::new(TcpSink::new(tcp_cfg.clone())));
-    sim.add_app(
-        src,
-        70,
-        Box::new(TcpSender::new(dst, 80, tcp_cfg, Box::new(NewReno::new()))),
-    );
+    sim.add_app(src, 70, Box::new(TcpSender::new(dst, 80, tcp_cfg, Box::new(NewReno::new()))));
     // 20 s horizon: the first seconds are dominated by the slow-start
     // overshoot recovery, which differs in timing without delayed ACKs.
     sim.run_until(SimTime::from_secs(20));
@@ -201,19 +177,13 @@ fn per_packet_rtts_are_physically_plausible() {
     let mut sim = Simulator::new(c, SimConfig::default(), vec![src, dst]);
     let tcp_cfg = TcpConfig::default();
     sim.add_app(dst, 80, Box::new(TcpSink::new(tcp_cfg.clone())));
-    let sender_idx = sim.add_app(
-        src,
-        70,
-        Box::new(TcpSender::new(dst, 80, tcp_cfg, Box::new(NewReno::new()))),
-    );
+    let sender_idx =
+        sim.add_app(src, 70, Box::new(TcpSender::new(dst, 80, tcp_cfg, Box::new(NewReno::new()))));
     sim.run_until(SimTime::from_secs(10));
     let sender: &TcpSender = sim.app_as(sender_idx).unwrap();
     assert!(!sender.log.rtt_samples.is_empty());
     for &(_, rtt) in &sender.log.rtt_samples {
-        assert!(
-            rtt >= geodesic,
-            "RTT {rtt} below the geodesic bound {geodesic}"
-        );
+        assert!(rtt >= geodesic, "RTT {rtt} below the geodesic bound {geodesic}");
         assert!(rtt.secs_f64() < 5.0, "absurd RTT {rtt}");
     }
 }

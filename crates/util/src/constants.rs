@@ -28,7 +28,7 @@ pub const EARTH_J2: f64 = 1.082_616e-3;
 pub const EARTH_INV_FLATTENING: f64 = 298.26;
 
 /// Mean sidereal day, seconds.
-pub const SIDEREAL_DAY_S: f64 = 86_164.0905;
+pub const SIDEREAL_DAY_S: f64 = 86164.0905;
 
 /// The LEO altitude ceiling the paper uses to define "low Earth orbit", km.
 pub const LEO_MAX_ALTITUDE_KM: f64 = 2_000.0;
@@ -72,9 +72,7 @@ mod tests {
 
     #[test]
     fn velocity_decreases_with_altitude() {
-        assert!(
-            circular_orbit_velocity_km_per_s(1325.0) < circular_orbit_velocity_km_per_s(550.0)
-        );
+        assert!(circular_orbit_velocity_km_per_s(1325.0) < circular_orbit_velocity_km_per_s(550.0));
     }
 
     #[test]

@@ -66,9 +66,7 @@ impl SimTime {
     /// Time elapsed since `earlier`. Panics if `earlier` is in the future.
     pub fn since(self, earlier: SimTime) -> SimDuration {
         SimDuration(
-            self.0
-                .checked_sub(earlier.0)
-                .expect("SimTime::since: earlier is in the future"),
+            self.0.checked_sub(earlier.0).expect("SimTime::since: earlier is in the future"),
         )
     }
 
@@ -329,9 +327,7 @@ mod tests {
 
     #[test]
     fn ordering_is_total() {
-        let mut v = [SimTime::from_millis(5),
-            SimTime::ZERO,
-            SimTime::from_secs(1)];
+        let mut v = [SimTime::from_millis(5), SimTime::ZERO, SimTime::from_secs(1)];
         v.sort();
         assert_eq!(v[0], SimTime::ZERO);
         assert_eq!(v[2], SimTime::from_secs(1));

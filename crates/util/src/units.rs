@@ -51,9 +51,7 @@ impl fmt::Display for DataSize {
 }
 
 /// A link data rate in bits per second.
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
 pub struct DataRate(u64);
 
 impl DataRate {

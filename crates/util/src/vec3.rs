@@ -70,21 +70,13 @@ impl Vec3 {
     /// down +Z). The workhorse of ECI↔ECEF conversion.
     pub fn rotate_z(self, theta: f64) -> Vec3 {
         let (s, c) = theta.sin_cos();
-        Vec3 {
-            x: c * self.x - s * self.y,
-            y: s * self.x + c * self.y,
-            z: self.z,
-        }
+        Vec3 { x: c * self.x - s * self.y, y: s * self.x + c * self.y, z: self.z }
     }
 
     /// Rotate about the X axis by `theta` radians.
     pub fn rotate_x(self, theta: f64) -> Vec3 {
         let (s, c) = theta.sin_cos();
-        Vec3 {
-            x: self.x,
-            y: c * self.y - s * self.z,
-            z: s * self.y + c * self.z,
-        }
+        Vec3 { x: self.x, y: c * self.y - s * self.z, z: s * self.y + c * self.z }
     }
 
     /// Componentwise finite check.

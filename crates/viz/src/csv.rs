@@ -33,11 +33,7 @@ pub fn ecdf(values: &[f64]) -> Vec<(f64, f64)> {
     let mut sorted: Vec<f64> = values.iter().copied().filter(|v| v.is_finite()).collect();
     sorted.sort_by(f64::total_cmp);
     let n = sorted.len();
-    sorted
-        .into_iter()
-        .enumerate()
-        .map(|(i, v)| (v, (i + 1) as f64 / n as f64))
-        .collect()
+    sorted.into_iter().enumerate().map(|(i, v)| (v, (i + 1) as f64 / n as f64)).collect()
 }
 
 /// Percentile (0–100) via nearest-rank on a copy of `values`.

@@ -56,12 +56,7 @@ impl GroundView {
                 });
             }
         }
-        GroundView {
-            at: t,
-            observer: gs.name.clone(),
-            min_elevation_deg: min_el,
-            satellites,
-        }
+        GroundView { at: t, observer: gs.name.clone(), min_elevation_deg: min_el, satellites }
     }
 
     /// Is any satellite connectable right now?
@@ -174,20 +169,13 @@ mod tests {
     fn st_petersburg_is_intermittently_connected() {
         let gs = GroundStation::new("Saint Petersburg", 59.9311, 30.3609);
         let c = kuiper(gs.clone());
-        let windows = connectivity_windows(
-            &c,
-            &gs,
-            SimDuration::from_secs(600),
-            SimDuration::from_secs(5),
-        );
+        let windows =
+            connectivity_windows(&c, &gs, SimDuration::from_secs(600), SimDuration::from_secs(5));
         assert!(
             windows.iter().any(|w| !w.connected),
             "expected disconnection windows, got {windows:?}"
         );
-        assert!(
-            windows.iter().any(|w| w.connected),
-            "expected some connectivity, got {windows:?}"
-        );
+        assert!(windows.iter().any(|w| w.connected), "expected some connectivity, got {windows:?}");
     }
 
     #[test]

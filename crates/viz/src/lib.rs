@@ -12,10 +12,15 @@
 //! * [`ground_view`] — azimuth/elevation observer snapshots (Fig. 12);
 //! * [`path_viz`] — end-end path snapshots with geometry (Figs. 13, 16, 17);
 //! * [`util_viz`] — per-ISL utilization maps (Figs. 14, 15);
-//! * [`csv`] — series/CDF writers shared by the benchmark harness.
+//! * [`csv`] — series/CDF writers shared by the benchmark harness;
+//! * [`sink`] — the artifact sink: one recorder through which every
+//!   experiment output (series, JSON, CZML, text, traces) is written, with
+//!   a `manifest.json` of names, sizes, and checksums per run.
 
 pub mod csv;
 pub mod czml;
 pub mod ground_view;
 pub mod path_viz;
 pub mod util_viz;
+
+pub mod sink;

@@ -1,0 +1,272 @@
+//! Artifact sinks: every experiment output goes through one recorder.
+//!
+//! The benchmark binaries used to each reimplement "write a series file,
+//! print the path". An [`ArtifactSink`] centralizes that: it owns the
+//! output directory, writes gnuplot series / JSON documents / CZML /
+//! plain text through the shared [`csv`](crate::csv) and
+//! [`czml`](crate::czml) formatters, and records every produced file —
+//! name, size, and checksum — so a run can finish by emitting a
+//! `manifest.json` that states exactly what it produced. Byte checksums
+//! make regression tests one-line: two runs match iff their manifests do.
+
+use crate::{csv, czml};
+use hypatia_netsim::trace::Trace;
+use serde_json::{json, Value};
+use std::io;
+use std::path::{Path, PathBuf};
+
+/// One produced file, as recorded in the manifest.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ArtifactRecord {
+    /// File name relative to the sink's output directory.
+    pub name: String,
+    /// Size in bytes.
+    pub bytes: u64,
+    /// FNV-1a 64-bit checksum of the file contents.
+    pub fnv64: u64,
+}
+
+/// Records and writes experiment artifacts under one output directory.
+#[derive(Debug)]
+pub struct ArtifactSink {
+    out_dir: PathBuf,
+    records: Vec<ArtifactRecord>,
+    warnings: Vec<String>,
+    /// Echo `wrote <path>` lines to stdout (the bench binaries' historic
+    /// behaviour); disable for tests.
+    pub verbose: bool,
+}
+
+impl ArtifactSink {
+    /// A sink writing into `out_dir` (created on first write).
+    pub fn new(out_dir: impl Into<PathBuf>) -> Self {
+        ArtifactSink {
+            out_dir: out_dir.into(),
+            records: Vec::new(),
+            warnings: Vec::new(),
+            verbose: true,
+        }
+    }
+
+    /// The output directory.
+    pub fn out_dir(&self) -> &Path {
+        &self.out_dir
+    }
+
+    /// Everything written so far, in write order.
+    pub fn records(&self) -> &[ArtifactRecord] {
+        &self.records
+    }
+
+    /// Warnings accumulated (e.g. truncated traces), in order.
+    pub fn warnings(&self) -> &[String] {
+        &self.warnings
+    }
+
+    /// Attach a warning to the run (also printed immediately).
+    pub fn warn(&mut self, message: impl Into<String>) {
+        let message = message.into();
+        eprintln!("  warning: {message}");
+        self.warnings.push(message);
+    }
+
+    /// Write a two-column gnuplot series (`# header` + `x y` lines).
+    pub fn write_series(
+        &mut self,
+        name: &str,
+        header: &str,
+        points: &[(f64, f64)],
+    ) -> io::Result<()> {
+        self.write_bytes(name, csv::series_to_string(header, points).as_bytes())
+    }
+
+    /// Write pre-formatted text.
+    pub fn write_text(&mut self, name: &str, content: &str) -> io::Result<()> {
+        self.write_bytes(name, content.as_bytes())
+    }
+
+    /// Write a JSON document, pretty-printed.
+    pub fn write_json(&mut self, name: &str, value: &Value) -> io::Result<()> {
+        let text =
+            serde_json::to_string_pretty(value).expect("JSON value serialization cannot fail");
+        self.write_bytes(name, text.as_bytes())
+    }
+
+    /// Write a CZML document (a packet array).
+    pub fn write_czml(&mut self, name: &str, packets: &[Value]) -> io::Result<()> {
+        self.write_bytes(name, czml::to_json_string(packets).as_bytes())
+    }
+
+    /// Write a packet trace as text, one `t_s node packet_id kind` line per
+    /// event; warns when the trace buffer overflowed (partial journey).
+    pub fn write_trace(&mut self, name: &str, trace: &Trace) -> io::Result<()> {
+        if trace.truncated() > 0 {
+            self.warn(format!(
+                "trace {name} is partial: {} events not recorded (buffer full)",
+                trace.truncated()
+            ));
+        }
+        let mut text = String::from("# t_s node packet_id kind\n");
+        for e in trace.entries() {
+            text.push_str(&format!(
+                "{} {} {} {:?}\n",
+                e.t.secs_f64(),
+                e.node.0,
+                e.packet_id,
+                e.kind
+            ));
+        }
+        self.write_bytes(name, text.as_bytes())
+    }
+
+    /// Write raw bytes under `name`, recording size and checksum.
+    pub fn write_bytes(&mut self, name: &str, bytes: &[u8]) -> io::Result<()> {
+        std::fs::create_dir_all(&self.out_dir)?;
+        let path = self.out_dir.join(name);
+        if let Some(parent) = path.parent() {
+            std::fs::create_dir_all(parent)?;
+        }
+        std::fs::write(&path, bytes)?;
+        if self.verbose {
+            println!("  wrote {}", path.display());
+        }
+        self.records.push(ArtifactRecord {
+            name: name.to_string(),
+            bytes: bytes.len() as u64,
+            fnv64: fnv1a_64(bytes),
+        });
+        Ok(())
+    }
+
+    /// The manifest document: experiment name, artifact list (name, size,
+    /// checksum), and warnings. Deterministic for identical artifact bytes.
+    pub fn manifest(&self, experiment: &str) -> Value {
+        let artifacts: Vec<Value> = self
+            .records
+            .iter()
+            .map(|r| {
+                json!({
+                    "name": r.name,
+                    "bytes": r.bytes,
+                    "fnv64": format!("{:016x}", r.fnv64),
+                })
+            })
+            .collect();
+        let warnings: Vec<Value> = self.warnings.iter().map(|w| Value::from(w.clone())).collect();
+        json!({
+            "experiment": experiment,
+            "artifacts": Value::from(artifacts),
+            "warnings": Value::from(warnings),
+        })
+    }
+
+    /// Write `manifest.json` describing everything produced so far.
+    /// Returns the manifest path.
+    pub fn write_manifest(&mut self, experiment: &str) -> io::Result<PathBuf> {
+        let doc = self.manifest(experiment);
+        let text =
+            serde_json::to_string_pretty(&doc).expect("JSON value serialization cannot fail");
+        std::fs::create_dir_all(&self.out_dir)?;
+        let path = self.out_dir.join("manifest.json");
+        std::fs::write(&path, text)?;
+        if self.verbose {
+            println!("  wrote {}", path.display());
+        }
+        Ok(path)
+    }
+}
+
+/// FNV-1a 64-bit: tiny, dependency-free, and plenty for change detection
+/// (manifests compare equality, not resist adversaries).
+pub fn fnv1a_64(bytes: &[u8]) -> u64 {
+    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        hash ^= b as u64;
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    hash
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn temp_sink(tag: &str) -> ArtifactSink {
+        let dir = std::env::temp_dir().join(format!("hypatia-sink-test-{tag}"));
+        std::fs::remove_dir_all(&dir).ok();
+        let mut sink = ArtifactSink::new(dir);
+        sink.verbose = false;
+        sink
+    }
+
+    #[test]
+    fn fnv_matches_known_vectors() {
+        // Standard FNV-1a 64 test vectors.
+        assert_eq!(fnv1a_64(b""), 0xcbf2_9ce4_8422_2325);
+        assert_eq!(fnv1a_64(b"a"), 0xaf63_dc4c_8601_ec8c);
+        assert_eq!(fnv1a_64(b"foobar"), 0x8594_4171_f739_67e8);
+    }
+
+    #[test]
+    fn series_written_and_recorded() {
+        let mut sink = temp_sink("series");
+        sink.write_series("s.dat", "t_s y", &[(0.0, 1.0), (0.1, 2.0)]).unwrap();
+        assert_eq!(sink.records().len(), 1);
+        let rec = &sink.records()[0];
+        assert_eq!(rec.name, "s.dat");
+        let on_disk = std::fs::read(sink.out_dir().join("s.dat")).unwrap();
+        assert_eq!(rec.bytes, on_disk.len() as u64);
+        assert_eq!(rec.fnv64, fnv1a_64(&on_disk));
+        assert_eq!(String::from_utf8(on_disk).unwrap(), "# t_s y\n0 1\n0.1 2\n");
+        std::fs::remove_dir_all(sink.out_dir()).ok();
+    }
+
+    #[test]
+    fn manifest_lists_artifacts_and_warnings() {
+        let mut sink = temp_sink("manifest");
+        sink.write_text("a.txt", "hello").unwrap();
+        sink.warnings.push("something partial".into());
+        let path = sink.write_manifest("my_experiment").unwrap();
+        let text = std::fs::read_to_string(&path).unwrap();
+        assert!(text.contains("my_experiment"), "{text}");
+        assert!(text.contains("a.txt"), "{text}");
+        assert!(text.contains("something partial"), "{text}");
+        let doc: Value = serde_json::from_str(&text).unwrap();
+        assert_eq!(doc.get("experiment").and_then(Value::as_str), Some("my_experiment"));
+        let arts = doc.get("artifacts").and_then(Value::as_array).unwrap();
+        assert_eq!(arts.len(), 1);
+        assert_eq!(arts[0].get("bytes").and_then(Value::as_u64), Some(5));
+        std::fs::remove_dir_all(sink.out_dir()).ok();
+    }
+
+    #[test]
+    fn truncated_trace_warns() {
+        use hypatia_constellation::NodeId;
+        use hypatia_netsim::trace::TraceKind;
+        use hypatia_util::SimTime;
+        let mut tr = Trace::new(1);
+        tr.record(SimTime::ZERO, NodeId(0), 1, TraceKind::Inject);
+        tr.record(SimTime::ZERO, NodeId(1), 1, TraceKind::Arrive);
+        let mut sink = temp_sink("trace");
+        sink.write_trace("trace.txt", &tr).unwrap();
+        assert_eq!(sink.warnings().len(), 1);
+        assert!(sink.warnings()[0].contains("partial"), "{}", sink.warnings()[0]);
+        std::fs::remove_dir_all(sink.out_dir()).ok();
+    }
+
+    #[test]
+    fn identical_content_gives_identical_manifest() {
+        let mut a = temp_sink("det-a");
+        let mut b = temp_sink("det-b");
+        for sink in [&mut a, &mut b] {
+            sink.write_series("x.dat", "h", &[(1.0, 2.0)]).unwrap();
+            sink.write_text("y.txt", "same").unwrap();
+        }
+        assert_eq!(
+            serde_json::to_string_pretty(&a.manifest("e")).unwrap(),
+            serde_json::to_string_pretty(&b.manifest("e")).unwrap()
+        );
+        std::fs::remove_dir_all(a.out_dir()).ok();
+        std::fs::remove_dir_all(b.out_dir()).ok();
+    }
+}

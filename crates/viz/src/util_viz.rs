@@ -153,10 +153,7 @@ mod tests {
             "uv",
             vec![ShellSpec::new("A", 550.0, 10, 10, 53.0)],
             IslLayout::PlusGrid,
-            vec![
-                GroundStation::new("a", 5.0, 5.0),
-                GroundStation::new("b", -15.0, 100.0),
-            ],
+            vec![GroundStation::new("a", 5.0, 5.0), GroundStation::new("b", -15.0, 100.0)],
             GslConfig::new(10.0),
         ));
         let (src, dst) = (c.gs_node(0), c.gs_node(1));
@@ -168,13 +165,7 @@ mod tests {
         sim.add_app(
             src,
             50,
-            Box::new(UdpSource::new(
-                dst,
-                0,
-                DataRate::from_mbps(8),
-                1440,
-                SimTime::from_secs(5),
-            )),
+            Box::new(UdpSource::new(dst, 0, DataRate::from_mbps(8), 1440, SimTime::from_secs(5))),
         );
         sim.run_until(SimTime::from_secs(5));
         sim
@@ -198,7 +189,10 @@ mod tests {
         let map = isl_utilization_map(&sim, 2, SimTime::from_secs(2));
         let summary = summarize(&map);
         assert!(summary.active_links > 0, "no ISL carried traffic");
-        assert!(summary.max > 0.5, "an 8 Mbps flow on 10 Mbps links should load some ISL: {summary:?}");
+        assert!(
+            summary.max > 0.5,
+            "an 8 Mbps flow on 10 Mbps links should load some ISL: {summary:?}"
+        );
         assert!(summary.active_links < summary.links, "not every link should be active");
     }
 
@@ -229,7 +223,9 @@ mod tests {
         let whole = mean_utilization_in_lon_band(&map, -180.0, 180.0).unwrap();
         let summary = summarize(&map);
         assert!((whole - summary.mean).abs() < 1e-12);
-        assert!(mean_utilization_in_lon_band(&map, 179.99, 179.999).is_none() ||
-                mean_utilization_in_lon_band(&map, 179.99, 179.999).unwrap() >= 0.0);
+        assert!(
+            mean_utilization_in_lon_band(&map, 179.99, 179.999).is_none()
+                || mean_utilization_in_lon_band(&map, 179.99, 179.999).unwrap() >= 0.0
+        );
     }
 }

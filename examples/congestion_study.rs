@@ -8,8 +8,7 @@ use hypatia::scenario::{ConstellationChoice, ScenarioBuilder};
 use hypatia::util::SimDuration;
 
 fn main() {
-    let scenario =
-        ScenarioBuilder::new(ConstellationChoice::KuiperK1).top_cities(100).build();
+    let scenario = ScenarioBuilder::new(ConstellationChoice::KuiperK1).top_cities(100).build();
     let duration = SimDuration::from_secs(30);
     let (src, dst) = ("Manila", "Dalian");
     println!("flow: {src} -> {dst} over Kuiper K1, {duration} of simulated time\n");
@@ -19,7 +18,7 @@ fn main() {
         "CC", "goodput", "mean RTT", "fast rtx", "RTOs", "reordered"
     );
     for cc in [CcKind::NewReno, CcKind::Vegas, CcKind::Cubic, CcKind::Bbr] {
-        let r = run(&scenario, src, dst, cc, duration);
+        let r = run(&scenario, src, dst, cc, duration).expect("known cities");
         let mean_rtt = if r.rtt_series.is_empty() {
             f64::NAN
         } else {

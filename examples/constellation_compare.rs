@@ -31,11 +31,7 @@ fn main() {
         let dst = c.gs_node(c.find_gs(dst_city).unwrap());
 
         let mut tracker = PairTracker::new(src, dst, false);
-        for t in TimeSteps::new(
-            SimTime::ZERO,
-            SimTime::from_secs(120),
-            SimDuration::from_secs(1),
-        ) {
+        for t in TimeSteps::new(SimTime::ZERO, SimTime::from_secs(120), SimDuration::from_secs(1)) {
             let state = compute_forwarding_state(&c, t, &[dst]);
             tracker.observe(&c, &state);
         }

@@ -11,8 +11,7 @@ use hypatia::prelude::*;
 fn main() {
     // 1. Ground segment: two cities from the built-in dataset.
     let cities = hypatia::constellation::ground::top_cities(100);
-    let constellation =
-        std::sync::Arc::new(hypatia::constellation::presets::kuiper_k1(cities));
+    let constellation = std::sync::Arc::new(hypatia::constellation::presets::kuiper_k1(cities));
     println!(
         "built {}: {} satellites, {} ISLs, {} ground stations",
         constellation.name,
@@ -46,9 +45,7 @@ fn main() {
     println!(
         "  geodesic (speed-of-light) RTT: {:.1} ms",
         constellation.ground_stations[constellation.find_gs("Istanbul").unwrap()]
-            .geodesic_rtt(
-                &constellation.ground_stations[constellation.find_gs("Nairobi").unwrap()]
-            )
+            .geodesic_rtt(&constellation.ground_stations[constellation.find_gs("Nairobi").unwrap()])
             .secs_f64()
             * 1e3
     );

@@ -1,0 +1,16 @@
+#!/usr/bin/env bash
+# Repo-wide checks: formatting, lints (warnings are errors), tests.
+# Usage: scripts/check.sh
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "== cargo fmt --check"
+cargo fmt --all -- --check
+
+echo "== cargo clippy --workspace -- -D warnings"
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo "== cargo test -q"
+cargo test -q --workspace
+
+echo "All checks passed."

@@ -1,6 +1,5 @@
 //! Cross-crate invariants of the three constellations (paper §2.2, §5.1).
 
-use hypatia::orbit::frames::ecef_to_geodetic;
 use hypatia::routing::forwarding::compute_forwarding_state;
 use hypatia::scenario::ConstellationChoice;
 use hypatia::util::{SimDuration, SimTime};
@@ -31,12 +30,8 @@ fn full_kuiper_does_not_fix_st_petersburg() {
     let sp = GroundStation::new("Saint Petersburg", 59.9311, 30.3609);
     let c = presets::kuiper_full(vec![sp.clone()]);
     assert_eq!(c.num_satellites(), 3_236);
-    let windows = connectivity_windows(
-        &c,
-        &sp,
-        SimDuration::from_secs(600),
-        SimDuration::from_secs(10),
-    );
+    let windows =
+        connectivity_windows(&c, &sp, SimDuration::from_secs(600), SimDuration::from_secs(10));
     assert!(
         windows.iter().any(|w| !w.connected),
         "all three Kuiper shells together must still leave outages: {windows:?}"
@@ -58,8 +53,7 @@ fn satellite_rtt_never_beats_geodesic() {
                         continue;
                     }
                     if let Some(d) = st.distance(c.gs_node(i), c.gs_node(j)) {
-                        let geodesic =
-                            c.ground_stations[i].geodesic_rtt(&c.ground_stations[j]);
+                        let geodesic = c.ground_stations[i].geodesic_rtt(&c.ground_stations[j]);
                         assert!(
                             d * 2 + SimDuration::from_micros(1) >= geodesic,
                             "{} {i}->{j} at t={secs}: RTT {} < geodesic {}",

@@ -23,8 +23,7 @@ fn ping_rtts_match_computed_envelope() {
     // Computed envelope over the horizon.
     let mut min_ms = f64::INFINITY;
     let mut max_ms: f64 = 0.0;
-    for t in TimeSteps::new(SimTime::ZERO, SimTime::from_secs(20), SimDuration::from_millis(100))
-    {
+    for t in TimeSteps::new(SimTime::ZERO, SimTime::from_secs(20), SimDuration::from_millis(100)) {
         let st = compute_forwarding_state(&c, t, &[dst]);
         if let Some(d) = st.distance(src, dst) {
             let ms = 2.0 * d.secs_f64() * 1e3;

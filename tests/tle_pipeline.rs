@@ -18,9 +18,8 @@ fn tle_round_trip_preserves_positions() {
     // 200 s horizon (full-set comparison is done for a sample to keep the
     // test fast; the formatting path is identical for all).
     for (i, tle) in tles.iter().enumerate().step_by(97) {
-        let parsed =
-            Tle::parse(tle.name.clone(), &tle.format_line1(), &tle.format_line2())
-                .unwrap_or_else(|e| panic!("TLE {i} failed to parse: {e}"));
+        let parsed = Tle::parse(tle.name.clone(), &tle.format_line1(), &tle.format_line2())
+            .unwrap_or_else(|e| panic!("TLE {i} failed to parse: {e}"));
         let reparsed_prop = Propagator::j2(parsed.to_elements());
         let original_prop = c.satellites[i].propagator;
         for secs in [0u64, 100, 200] {
