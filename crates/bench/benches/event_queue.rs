@@ -2,62 +2,73 @@
 //! integer-time/total-order decision). Event throughput bounds the whole
 //! simulator: the paper notes "the simulation is bottlenecked at
 //! per-packet event processing".
+//!
+//! Every pattern runs once per queue implementation (`heap` vs
+//! `calendar`), so the calendar-queue speedup is read directly off the
+//! Criterion report.
 
 use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
-use hypatia_netsim::event::{Event, EventQueue};
+use hypatia_netsim::event::{Event, EventQueue, QueueKind};
 use hypatia_util::SimTime;
 use std::hint::black_box;
+
+const KINDS: [QueueKind; 2] = [QueueKind::Heap, QueueKind::Calendar];
 
 fn bench_event_queue(c: &mut Criterion) {
     let mut group = c.benchmark_group("event_queue");
 
-    group.bench_function("schedule_pop_10k_fifo", |b| {
-        b.iter_batched(
-            EventQueue::new,
-            |mut q| {
-                for i in 0..10_000u64 {
-                    q.schedule(SimTime::from_nanos(i * 100), Event::ForwardingUpdate { step: i });
-                }
-                while let Some(e) = q.pop() {
-                    black_box(e);
-                }
-            },
-            BatchSize::SmallInput,
-        )
-    });
+    for kind in KINDS {
+        group.bench_function(format!("schedule_pop_10k_fifo/{}", kind.name()), |b| {
+            b.iter_batched(
+                || EventQueue::with_kind(kind),
+                |mut q| {
+                    for i in 0..10_000u64 {
+                        q.schedule(
+                            SimTime::from_nanos(i * 100),
+                            Event::ForwardingUpdate { step: i },
+                        );
+                    }
+                    while let Some(e) = q.pop() {
+                        black_box(e);
+                    }
+                },
+                BatchSize::SmallInput,
+            )
+        });
 
-    group.bench_function("schedule_pop_10k_reverse", |b| {
-        b.iter_batched(
-            EventQueue::new,
-            |mut q| {
-                for i in 0..10_000u64 {
-                    q.schedule(
-                        SimTime::from_nanos((10_000 - i) * 100),
-                        Event::ForwardingUpdate { step: i },
-                    );
-                }
-                while let Some(e) = q.pop() {
-                    black_box(e);
-                }
-            },
-            BatchSize::SmallInput,
-        )
-    });
+        group.bench_function(format!("schedule_pop_10k_reverse/{}", kind.name()), |b| {
+            b.iter_batched(
+                || EventQueue::with_kind(kind),
+                |mut q| {
+                    for i in 0..10_000u64 {
+                        q.schedule(
+                            SimTime::from_nanos((10_000 - i) * 100),
+                            Event::ForwardingUpdate { step: i },
+                        );
+                    }
+                    while let Some(e) = q.pop() {
+                        black_box(e);
+                    }
+                },
+                BatchSize::SmallInput,
+            )
+        });
 
-    group.bench_function("interleaved_steady_state", |b| {
-        // Steady-state pattern of a running simulation: pop one, push one.
-        let mut q = EventQueue::new();
-        for i in 0..1_000u64 {
-            q.schedule(SimTime::from_nanos(i * 1_000), Event::ForwardingUpdate { step: i });
-        }
-        let mut t = 1_000_000u64;
-        b.iter(|| {
-            let (at, e) = q.pop().expect("queue kept warm");
-            black_box((at, e));
-            q.schedule(SimTime::from_nanos(t), Event::ForwardingUpdate { step: 0 });
-            t += 1_000;
-        })
-    });
+        group.bench_function(format!("interleaved_steady_state/{}", kind.name()), |b| {
+            // Steady-state pattern of a running simulation: pop one, push one.
+            let mut q = EventQueue::with_kind(kind);
+            for i in 0..1_000u64 {
+                q.schedule(SimTime::from_nanos(i * 1_000), Event::ForwardingUpdate { step: i });
+            }
+            let mut t = 1_000_000u64;
+            b.iter(|| {
+                let (at, e) = q.pop().expect("queue kept warm");
+                black_box((at, e));
+                q.schedule(SimTime::from_nanos(t), Event::ForwardingUpdate { step: 0 });
+                t += 1_000;
+            })
+        });
+    }
 
     group.finish();
 }

@@ -1,6 +1,7 @@
 //! Macro-benchmark: end-to-end packet simulation throughput (events/s) —
 //! the Rust analogue of the paper's Fig. 2 cost model, in Criterion form.
-//! UDP and TCP single-flow runs over a reduced Kuiper-like shell.
+//! UDP and TCP single-flow runs over a reduced Kuiper-like shell, once per
+//! event-queue implementation (`heap` vs `calendar`).
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use hypatia_constellation::ground::GroundStation;
@@ -9,7 +10,7 @@ use hypatia_constellation::isl::IslLayout;
 use hypatia_constellation::shell::ShellSpec;
 use hypatia_constellation::Constellation;
 use hypatia_netsim::apps::{UdpSink, UdpSource};
-use hypatia_netsim::{SimConfig, Simulator};
+use hypatia_netsim::{QueueKind, SimConfig, Simulator};
 use hypatia_transport::{NewReno, TcpConfig, TcpSender, TcpSink};
 use hypatia_util::{DataRate, SimTime};
 use std::hint::black_box;
@@ -31,48 +32,49 @@ fn bench_packet_sim(c: &mut Criterion) {
 
     let constellation = constellation();
 
-    group.bench_function("udp_flow_2s_10mbps", |b| {
-        b.iter(|| {
-            let cst = constellation.clone();
-            let (src, dst) = (cst.gs_node(0), cst.gs_node(1));
-            let mut sim = Simulator::new(
-                cst,
-                SimConfig::default().with_link_rate(DataRate::from_mbps(10)),
-                vec![src, dst],
-            );
-            sim.add_app(dst, 50, Box::new(UdpSink::new()));
-            sim.add_app(
-                src,
-                50,
-                Box::new(UdpSource::new(
-                    dst,
-                    0,
-                    DataRate::from_mbps(10),
-                    1440,
-                    SimTime::from_secs(2),
-                )),
-            );
-            sim.run_until(SimTime::from_secs(2));
-            black_box(sim.stats.events)
-        })
-    });
+    for kind in [QueueKind::Heap, QueueKind::Calendar] {
+        let config =
+            || SimConfig::default().with_link_rate(DataRate::from_mbps(10)).with_queue(kind);
 
-    group.bench_function("tcp_flow_2s_10mbps", |b| {
-        b.iter(|| {
-            let cst = constellation.clone();
-            let (src, dst) = (cst.gs_node(0), cst.gs_node(1));
-            let mut sim = Simulator::new(
-                cst,
-                SimConfig::default().with_link_rate(DataRate::from_mbps(10)),
-                vec![src, dst],
-            );
-            let cfg = TcpConfig::default();
-            sim.add_app(dst, 80, Box::new(TcpSink::new(cfg.clone())));
-            sim.add_app(src, 70, Box::new(TcpSender::new(dst, 80, cfg, Box::new(NewReno::new()))));
-            sim.run_until(SimTime::from_secs(2));
-            black_box(sim.stats.events)
-        })
-    });
+        group.bench_function(format!("udp_flow_2s_10mbps/{}", kind.name()), |b| {
+            b.iter(|| {
+                let cst = constellation.clone();
+                let (src, dst) = (cst.gs_node(0), cst.gs_node(1));
+                let mut sim = Simulator::new(cst, config(), vec![src, dst]);
+                sim.add_app(dst, 50, Box::new(UdpSink::new()));
+                sim.add_app(
+                    src,
+                    50,
+                    Box::new(UdpSource::new(
+                        dst,
+                        0,
+                        DataRate::from_mbps(10),
+                        1440,
+                        SimTime::from_secs(2),
+                    )),
+                );
+                sim.run_until(SimTime::from_secs(2));
+                black_box(sim.stats.events)
+            })
+        });
+
+        group.bench_function(format!("tcp_flow_2s_10mbps/{}", kind.name()), |b| {
+            b.iter(|| {
+                let cst = constellation.clone();
+                let (src, dst) = (cst.gs_node(0), cst.gs_node(1));
+                let mut sim = Simulator::new(cst, config(), vec![src, dst]);
+                let cfg = TcpConfig::default();
+                sim.add_app(dst, 80, Box::new(TcpSink::new(cfg.clone())));
+                sim.add_app(
+                    src,
+                    70,
+                    Box::new(TcpSender::new(dst, 80, cfg, Box::new(NewReno::new()))),
+                );
+                sim.run_until(SimTime::from_secs(2));
+                black_box(sim.stats.events)
+            })
+        });
+    }
 
     group.finish();
 }

@@ -1,0 +1,99 @@
+//! Packet-simulator throughput probe for `scripts/bench_sim.sh`.
+//!
+//! Runs the Fig. 2 permutation workload (UDP and TCP) at one scale and
+//! prints one JSON object per run to stdout — machine-readable, one line
+//! each, so the wrapper script can collect them into `BENCH_netsim.json`.
+//!
+//! ```text
+//! bench_netsim [--queue heap|calendar] [--cities N] [--rate-mbps R]
+//!              [--duration-s S] [--seed N] [--workload udp|tcp|both]
+//! ```
+//!
+//! Unlike the Criterion benches this reports *simulator events per
+//! wall-clock second*, the paper's own cost metric (§3.2: the simulation
+//! is bottlenecked at per-packet event processing).
+
+use hypatia::experiments::scalability::{run_point, Workload};
+use hypatia::scenario::{ConstellationChoice, ScenarioBuilder};
+use hypatia_netsim::QueueKind;
+use hypatia_util::{DataRate, SimDuration};
+
+struct Args {
+    queue: QueueKind,
+    cities: usize,
+    rate_mbps: f64,
+    duration_s: f64,
+    seed: u64,
+    workloads: Vec<Workload>,
+}
+
+fn parse_args() -> Args {
+    let mut parsed = Args {
+        queue: QueueKind::default(),
+        cities: 10,
+        rate_mbps: 10.0,
+        duration_s: 2.0,
+        seed: 2020,
+        workloads: vec![Workload::Udp, Workload::Tcp],
+    };
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        let mut value = |flag: &str| args.next().unwrap_or_else(|| panic!("{flag} needs a value"));
+        match a.as_str() {
+            "--queue" => {
+                let v = value("--queue");
+                parsed.queue = QueueKind::parse(&v)
+                    .unwrap_or_else(|| panic!("unknown queue kind {v:?} (heap|calendar)"));
+            }
+            "--cities" => parsed.cities = value("--cities").parse().expect("--cities: integer"),
+            "--rate-mbps" => {
+                parsed.rate_mbps = value("--rate-mbps").parse().expect("--rate-mbps: number")
+            }
+            "--duration-s" => {
+                parsed.duration_s = value("--duration-s").parse().expect("--duration-s: seconds")
+            }
+            "--seed" => parsed.seed = value("--seed").parse().expect("--seed: integer"),
+            "--workload" => {
+                parsed.workloads = match value("--workload").as_str() {
+                    "udp" => vec![Workload::Udp],
+                    "tcp" => vec![Workload::Tcp],
+                    "both" => vec![Workload::Udp, Workload::Tcp],
+                    other => panic!("unknown workload {other:?} (udp|tcp|both)"),
+                };
+            }
+            other => panic!("unknown argument {other:?}"),
+        }
+    }
+    parsed
+}
+
+fn main() {
+    let args = parse_args();
+    let mut scenario =
+        ScenarioBuilder::new(ConstellationChoice::KuiperK1).top_cities(args.cities).build();
+    scenario.sim_config.queue = args.queue;
+
+    let rate = DataRate::from_bps((args.rate_mbps * 1e6).round() as u64);
+    let duration = SimDuration::from_secs_f64(args.duration_s);
+    for workload in &args.workloads {
+        let p = run_point(&scenario, *workload, rate, duration, args.seed);
+        let events_per_sec =
+            if p.wall_s > 0.0 { (p.events as f64 / p.wall_s).round() as u64 } else { 0 };
+        // Hand-rolled JSON: every field is a number or a known-safe token.
+        println!(
+            "{{\"workload\":\"{}\",\"queue\":\"{}\",\"cities\":{},\"rate_mbps\":{},\
+             \"duration_s\":{},\"seed\":{},\"events\":{},\"wall_s\":{:.6},\
+             \"events_per_sec\":{},\"goodput_gbps\":{:.6}}}",
+            workload.name().to_lowercase(),
+            args.queue.name(),
+            args.cities,
+            args.rate_mbps,
+            args.duration_s,
+            args.seed,
+            p.events,
+            p.wall_s,
+            events_per_sec,
+            p.goodput_gbps,
+        );
+    }
+}

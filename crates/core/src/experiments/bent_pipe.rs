@@ -58,6 +58,10 @@ pub struct BentPipeLeg {
     pub bytes_received: u64,
     /// Mean computed RTT, ms (over connected steps).
     pub mean_computed_rtt_ms: f64,
+    /// Events the simulator processed.
+    pub events: u64,
+    /// Wall-clock seconds the simulation took.
+    pub wall_s: f64,
 }
 
 /// The two legs, ready for comparison.
@@ -103,7 +107,9 @@ fn run_leg(
         70,
         Box::new(TcpSender::new(dst, 80, cfg.clone(), CcKind::NewReno.build())),
     );
+    let wall_start = std::time::Instant::now();
     sim.run_until(SimTime::ZERO + duration);
+    let wall_s = wall_start.elapsed().as_secs_f64();
     let sender: &TcpSender = sim.app_as(sender_idx).expect("sender");
     let sink: &TcpSink = sim.app_as(sink_idx).expect("sink");
 
@@ -126,6 +132,8 @@ fn run_leg(
         path_t0,
         bytes_received: sink.bytes_received(),
         mean_computed_rtt_ms: if connected > 0 { sum / connected as f64 } else { f64::NAN },
+        events: sim.stats.events,
+        wall_s,
     }
 }
 

@@ -54,6 +54,9 @@ pub struct CrossTrafficResult {
     pub total_goodput_mbps: f64,
     /// Number of cross-traffic flows installed.
     pub flows: usize,
+    /// Wall-clock seconds the simulation took (event count lives in
+    /// `sim.stats.events`).
+    pub wall_s: f64,
 }
 
 impl CrossTrafficResult {
@@ -127,7 +130,9 @@ pub fn run(
     }
 
     let end = SimTime::ZERO + cfg.duration;
+    let wall_start = std::time::Instant::now();
     sim.run_until(end);
+    let wall_s = wall_start.elapsed().as_secs_f64();
 
     // Unused bandwidth per bucket for the observed pair: capacity minus the
     // bottleneck utilization of the path in force at each bucket start.
@@ -155,6 +160,7 @@ pub fn run(
         unused_bandwidth_series: series,
         total_goodput_mbps,
         flows: flows.len(),
+        wall_s,
     })
 }
 

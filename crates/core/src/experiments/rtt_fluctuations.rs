@@ -50,6 +50,10 @@ pub struct RttFluctuationResult {
     pub max_computed_ms: f64,
     /// Minimum of the computed RTT, ms.
     pub min_computed_ms: f64,
+    /// Events the simulator processed.
+    pub events: u64,
+    /// Wall-clock seconds the packet simulation took.
+    pub wall_s: f64,
 }
 
 /// Run the experiment for `(src_name, dst_name)` on `scenario`.
@@ -67,7 +71,9 @@ pub fn run(
     let stop = SimTime::ZERO + cfg.duration;
     let app = sim.add_app(src, 7, Box::new(PingApp::new(dst, cfg.ping_interval, stop)));
     // Drain stragglers for a second beyond the last probe.
+    let wall_start = std::time::Instant::now();
     sim.run_until(stop + SimDuration::from_secs(1));
+    let wall_s = wall_start.elapsed().as_secs_f64();
     let ping: &PingApp = sim.app_as(app).expect("ping app");
     let ping_series: Vec<(f64, f64)> =
         ping.rtts().iter().map(|&(t, rtt)| (t.secs_f64(), rtt.secs_f64() * 1e3)).collect();
@@ -98,6 +104,8 @@ pub fn run(
         disconnected_seconds: tracker.disconnected_steps as f64 * step.secs_f64(),
         max_computed_ms,
         min_computed_ms,
+        events: sim.stats.events,
+        wall_s,
     })
 }
 

@@ -46,6 +46,8 @@ pub struct ScalabilityPoint {
     pub slowdown: f64,
     /// Events processed.
     pub events: u64,
+    /// Wall-clock seconds the simulation took.
+    pub wall_s: f64,
 }
 
 /// Run one scalability point: permutation traffic at `line_rate` for
@@ -111,6 +113,7 @@ pub fn run_point(
         goodput_gbps,
         slowdown: wall / virtual_duration.secs_f64(),
         events: sim.stats.events,
+        wall_s: wall,
     }
 }
 

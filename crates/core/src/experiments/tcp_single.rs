@@ -77,6 +77,10 @@ pub struct TcpSingleResult {
     pub retransmits: u64,
     /// Out-of-order arrivals observed at the sink (reordering indicator).
     pub reordered_arrivals: u64,
+    /// Events the simulator processed.
+    pub events: u64,
+    /// Wall-clock seconds the simulation took.
+    pub wall_s: f64,
 }
 
 impl TcpSingleResult {
@@ -103,7 +107,9 @@ pub fn run(
     let sink_idx = sim.add_app(dst, 80, Box::new(TcpSink::new(tcp_cfg.clone())));
     let sender_idx =
         sim.add_app(src, 70, Box::new(TcpSender::new(dst, 80, tcp_cfg.clone(), cc.build())));
+    let wall_start = std::time::Instant::now();
     sim.run_until(SimTime::ZERO + duration);
+    let wall_s = wall_start.elapsed().as_secs_f64();
 
     let sender: &TcpSender = sim.app_as(sender_idx).expect("sender");
     let sink: &TcpSink = sim.app_as(sink_idx).expect("sink");
@@ -145,6 +151,8 @@ pub fn run(
         timeouts: sender.log.timeouts,
         retransmits: sender.log.retransmits,
         reordered_arrivals: sink.ooo_arrivals,
+        events: sim.stats.events,
+        wall_s,
     })
 }
 

@@ -68,6 +68,7 @@ impl Experiment for ExtMultipathTe {
                 &observed.1,
                 &CrossTrafficConfig { duration, seed, frozen: false, multipath_stretch: stretch },
             )?;
+            ctx.sink.record_sim(r.sim.stats.events, r.wall_s);
             let map = isl_utilization_map(
                 &r.sim,
                 snapshot_sec as usize,

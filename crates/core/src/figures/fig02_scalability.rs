@@ -9,6 +9,7 @@ use crate::experiments::scalability::{sweep, Workload};
 use crate::runner::{Experiment, RunContext, RunError};
 use crate::scenario::ConstellationChoice;
 use crate::spec::{ExperimentSpec, GroundSegment, PairSelection, ParamValue};
+use hypatia_netsim::QueueKind;
 use hypatia_util::{DataRate, SimDuration};
 
 /// Fig. 2 as a registered experiment.
@@ -43,6 +44,12 @@ impl Experiment for Fig02 {
             vec![1.0, 10.0, 25.0]
         };
         spec.params.insert("line_rates_mbps".to_string(), ParamValue::List(rates));
+        // Event-scheduler escape hatch (`--set queue=heap` to compare).
+        spec.params
+            .insert("queue".to_string(), ParamValue::Text(QueueKind::default().name().to_string()));
+        // `--set slowdown=false` drops the wall-clock slowdown artifacts,
+        // leaving only deterministic outputs (for golden-manifest tests).
+        spec.params.insert("slowdown".to_string(), ParamValue::Flag(true));
         spec
     }
 
@@ -58,11 +65,23 @@ impl Experiment for Fig02 {
             .collect();
         let duration = ctx.spec.duration;
         let seed = ctx.spec.seed;
-        let scenario = ctx.scenario();
+        let queue = match ctx.spec.text("queue") {
+            None => QueueKind::default(),
+            Some(s) => QueueKind::parse(s)
+                .ok_or_else(|| RunError::BadSpec(format!("unknown queue kind {s:?}")))?,
+        };
+        let with_slowdown = ctx.spec.flag("slowdown").unwrap_or(true);
+        let mut scenario = ctx.scenario();
+        scenario.sim_config.queue = queue;
 
         println!(
-            "{:<9} {:>12} {:>16} {:>14} {:>14}",
-            "workload", "line rate", "goodput (Gbps)", "slowdown (x)", "events"
+            "{:<9} {:>12} {:>16} {:>14} {:>14}   queue={}",
+            "workload",
+            "line rate",
+            "goodput (Gbps)",
+            "slowdown (x)",
+            "events",
+            queue.name()
         );
         for workload in [Workload::Udp, Workload::Tcp] {
             let points = sweep(&scenario, workload, &rates, duration, seed);
@@ -77,11 +96,24 @@ impl Experiment for Fig02 {
                     p.slowdown,
                     p.events
                 );
+                ctx.sink.record_sim(p.events, p.wall_s);
             }
+            if with_slowdown {
+                ctx.sink.write_series(
+                    &format!("fig02_slowdown_{}.dat", workload.name().to_lowercase()),
+                    "goodput_gbps slowdown",
+                    &series,
+                )?;
+            }
+            // Event counts are pure simulation observables — deterministic
+            // for any queue implementation and thread count, unlike the
+            // wall-clock slowdown series.
+            let events_series: Vec<(f64, f64)> =
+                points.iter().map(|p| (p.goodput_gbps, p.events as f64)).collect();
             ctx.sink.write_series(
-                &format!("fig02_slowdown_{}.dat", workload.name().to_lowercase()),
-                "goodput_gbps slowdown",
-                &series,
+                &format!("fig02_events_{}.dat", workload.name().to_lowercase()),
+                "goodput_gbps events",
+                &events_series,
             )?;
             // The paper's key observation: slowdown grows with goodput.
             if points.len() >= 2 {

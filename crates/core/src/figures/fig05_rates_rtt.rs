@@ -51,6 +51,7 @@ impl Experiment for Fig05 {
         let mut results = Vec::new();
         for cc in [CcKind::NewReno, CcKind::Vegas] {
             let r = run(&scenario, &src, &dst, cc, duration)?;
+            ctx.sink.record_sim(r.events, r.wall_s);
             let slug = cc.name().to_lowercase();
             ctx.sink.write_series(&format!("fig05_{slug}_rtt.dat"), "t_s rtt_ms", &r.rtt_series)?;
             ctx.sink.write_series(

@@ -67,6 +67,7 @@ impl Experiment for Fig10 {
                 &pair.1,
                 &CrossTrafficConfig { duration, seed, frozen, multipath_stretch: None },
             )?;
+            ctx.sink.record_sim(r.sim.stats.events, r.wall_s);
             let frac = r.fraction_time_unused_above(1.0 / 3.0);
             println!(
                 "{label:<12}: flows={:<4} total goodput {:>7.1} Mbps, \

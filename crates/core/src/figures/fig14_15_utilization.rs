@@ -74,6 +74,7 @@ impl Experiment for Fig14_15 {
             &observed.1,
             &CrossTrafficConfig { duration, seed, frozen: false, multipath_stretch: None },
         )?;
+        ctx.sink.record_sim(r.sim.stats.events, r.wall_s);
         println!("flows: {}, total goodput {:.1} Mbps", r.flows, r.total_goodput_mbps);
 
         // Fig. 14: the observed path's per-link utilization at two instants.

@@ -61,6 +61,7 @@ impl Experiment for Fig16_19 {
         let r = run(src_city.clone(), dst_city.clone(), &cfg);
 
         for leg in [&r.isl, &r.bent_pipe] {
+            ctx.sink.record_sim(leg.events, leg.wall_s);
             let slug = leg.label.replace('-', "_");
             println!();
             println!("[{}]", leg.label);

@@ -30,6 +30,13 @@ fn run_quiet(spec: ExperimentSpec, dir: &Path) -> (Vec<(String, u64, u64)>, Stri
     (records, manifest)
 }
 
+/// Drop the one wall-clock line (`"events_per_sec"`) from a manifest so the
+/// rest can be compared byte-for-byte. The event *count* stays: it is a pure
+/// simulation observable and must match across queue impls and thread counts.
+fn strip_wall_clock(manifest: &str) -> String {
+    manifest.lines().filter(|l| !l.contains("\"events_per_sec\"")).collect::<Vec<_>>().join("\n")
+}
+
 fn assert_identical(spec: ExperimentSpec, tag: &str) {
     let serial_dir = temp_dir(&format!("{tag}_serial"));
     let threaded_dir = temp_dir(&format!("{tag}_threaded"));
@@ -43,7 +50,8 @@ fn assert_identical(spec: ExperimentSpec, tag: &str) {
     assert!(!serial.is_empty(), "{tag}: expected artifacts, got none");
     assert_eq!(serial, threaded, "{tag}: artifact sets/checksums diverge");
     assert_eq!(
-        serial_manifest, threaded_manifest,
+        strip_wall_clock(&serial_manifest),
+        strip_wall_clock(&threaded_manifest),
         "{tag}: manifest.json diverges between serial and threaded runs"
     );
 
@@ -90,6 +98,64 @@ fn routing_run_is_thread_invariant() {
     };
     spec.params.insert("coarse_multiples".to_string(), ParamValue::List(vec![2.0]));
     assert_identical(spec, "fig09");
+}
+
+/// The event engine is a pure performance knob: Fig. 2 with the wall-clock
+/// slowdown artifacts disabled must produce byte-identical artifacts and a
+/// byte-identical manifest (modulo the events/sec line) whether it runs on
+/// the binary heap or the calendar queue, serially or with worker threads.
+#[test]
+fn fig02_manifest_is_queue_and_thread_invariant() {
+    let base = {
+        let mut spec = ExperimentSpec {
+            experiment: "fig02_scalability".to_string(),
+            constellation: ConstellationChoice::KuiperK1,
+            ground: GroundSegment::TopCities(10),
+            pairs: PairSelection::Permutation,
+            duration: SimDuration::from_secs(1),
+            seed: 2020,
+            ..ExperimentSpec::default()
+        };
+        spec.params.insert("line_rates_mbps".to_string(), ParamValue::List(vec![1.0, 10.0]));
+        spec.params.insert("slowdown".to_string(), ParamValue::Flag(false));
+        spec
+    };
+    let with_queue = |queue: &str, threads: usize| {
+        let mut spec = ExperimentSpec { threads, ..base.clone() };
+        spec.params.insert("queue".to_string(), ParamValue::Text(queue.to_string()));
+        spec
+    };
+
+    let dir_heap = temp_dir("fig02_heap");
+    let dir_cal = temp_dir("fig02_calendar");
+    let dir_cal_mt = temp_dir("fig02_calendar_mt");
+    let (heap, heap_manifest) = run_quiet(with_queue("heap", 0), &dir_heap);
+    let (cal, cal_manifest) = run_quiet(with_queue("calendar", 0), &dir_cal);
+    let (cal_mt, cal_mt_manifest) = run_quiet(with_queue("calendar", 4), &dir_cal_mt);
+
+    assert!(!heap.is_empty(), "fig02: expected artifacts, got none");
+    assert!(
+        heap.iter().any(|(name, _, _)| name == "fig02_events_tcp.dat"),
+        "fig02: events series missing: {heap:?}"
+    );
+    assert_eq!(heap, cal, "fig02: artifacts diverge between heap and calendar queues");
+    assert_eq!(cal, cal_mt, "fig02: artifacts diverge between serial and threaded runs");
+    let stripped = strip_wall_clock(&heap_manifest);
+    assert!(stripped.contains("\"events\""), "fig02 manifest lacks perf events: {heap_manifest}");
+    assert_eq!(
+        stripped,
+        strip_wall_clock(&cal_manifest),
+        "fig02: manifest diverges between heap and calendar queues"
+    );
+    assert_eq!(
+        stripped,
+        strip_wall_clock(&cal_mt_manifest),
+        "fig02: manifest diverges between serial and threaded runs"
+    );
+
+    for dir in [dir_heap, dir_cal, dir_cal_mt] {
+        let _ = std::fs::remove_dir_all(dir);
+    }
 }
 
 /// A spec written to disk and loaded back (the `--spec` path) is the same

@@ -130,6 +130,7 @@ mod tests {
             payload: Payload::Pong { seq: 0, ping_injected_at: sent },
             injected_at: SimTime::from_millis(124),
             hops: 3,
+            flow_hash: 0,
         };
         app.on_packet(&mut ctx, &pong);
         assert_eq!(app.received(), 1);

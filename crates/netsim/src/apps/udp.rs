@@ -188,6 +188,7 @@ mod tests {
                 payload: Payload::Udp { flow: 7, seq, payload_bytes: payload },
                 injected_at: SimTime::ZERO,
                 hops: 4,
+                flow_hash: 0,
             },
             SimTime::from_millis(at_ms),
         )

@@ -1,5 +1,6 @@
 //! Simulation configuration.
 
+use crate::event::QueueKind;
 use hypatia_util::{DataRate, SimDuration};
 
 /// Configuration knobs of a packet-level simulation, mirroring the paper's
@@ -49,6 +50,10 @@ pub struct SimConfig {
     /// How many forwarding-state steps may be computed ahead when
     /// `fstate_threads > 0` (bounds prefetch memory).
     pub fstate_prefetch: usize,
+    /// Event-scheduler implementation. Pop order — and therefore every
+    /// simulation result — is identical for every kind; this is purely a
+    /// performance knob (and a differential-testing escape hatch).
+    pub queue: QueueKind,
 }
 
 impl Default for SimConfig {
@@ -67,6 +72,7 @@ impl Default for SimConfig {
             multipath_stretch: None,
             fstate_threads: 0,
             fstate_prefetch: 4,
+            queue: QueueKind::default(),
         }
     }
 }
@@ -147,6 +153,12 @@ impl SimConfig {
         self
     }
 
+    /// Builder-style: pick the event-scheduler implementation.
+    pub fn with_queue(mut self, kind: QueueKind) -> Self {
+        self.queue = kind;
+        self
+    }
+
     /// Effective rate for an ISL device.
     pub fn effective_isl_rate(&self) -> DataRate {
         self.isl_rate.unwrap_or(self.link_rate)
@@ -173,6 +185,13 @@ mod tests {
         assert_eq!(c.gsl_loss_rate, 0.0);
         assert_eq!(c.effective_isl_rate(), c.link_rate);
         assert_eq!(c.effective_gsl_rate(), c.link_rate);
+        assert_eq!(c.queue, QueueKind::Calendar, "calendar queue is the default");
+    }
+
+    #[test]
+    fn queue_builder() {
+        let c = SimConfig::default().with_queue(QueueKind::Heap);
+        assert_eq!(c.queue, QueueKind::Heap);
     }
 
     #[test]

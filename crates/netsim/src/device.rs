@@ -100,6 +100,7 @@ impl Device {
     ///   `TxComplete` must be scheduled after `duration`;
     /// * `Ok(None)` — queued behind others;
     /// * `Err(packet)` — dropped, queue full.
+    #[inline]
     pub fn enqueue(
         &mut self,
         packet: Packet,
@@ -122,6 +123,7 @@ impl Device {
     /// Complete the in-flight transmission. Returns the transmitted packet
     /// (with its next hop) and, if more packets wait, the serialization
     /// delay of the next one (whose `TxComplete` the caller must schedule).
+    #[inline]
     pub fn tx_complete(&mut self, now: SimTime) -> (QueuedPacket, Option<SimDuration>) {
         let done = self.in_flight.take().expect("tx_complete on idle device");
         self.stats.packets_tx += 1;
@@ -130,6 +132,7 @@ impl Device {
         (done, next)
     }
 
+    #[inline]
     fn start_tx(&mut self, qp: QueuedPacket, now: SimTime) -> SimDuration {
         let d = self.rate.serialization_delay(qp.packet.size());
         self.record_busy(now, d);
@@ -138,6 +141,8 @@ impl Device {
     }
 
     /// Account `d` of busy time starting at `now` into the bucket series.
+    /// Inlines to one add when utilization tracking is off.
+    #[inline]
     fn record_busy(&mut self, now: SimTime, d: SimDuration) {
         self.stats.busy += d;
         let Some(bucket) = self.bucket else { return };
@@ -181,6 +186,7 @@ mod tests {
             payload: Payload::Ping { seq: id },
             injected_at: SimTime::ZERO,
             hops: 0,
+            flow_hash: 0,
         }
     }
 

@@ -3,14 +3,32 @@
 //! Events are totally ordered by `(time, insertion sequence)`: two events at
 //! the same instant execute in the order they were scheduled. This, plus
 //! integer timestamps, makes runs bit-reproducible.
+//!
+//! Two scheduler implementations preserve that exact total order:
+//!
+//! * [`QueueKind::Heap`] — a `BinaryHeap`, O(log n) per operation. The
+//!   original implementation, kept as a differential-testing oracle and a
+//!   `--queue heap` escape hatch.
+//! * [`QueueKind::Calendar`] (default) — a hierarchical calendar queue: a
+//!   timing wheel of [`NUM_SLOTS`] buckets, each [`SLOT_NS`] ns wide, with
+//!   a `BinaryHeap` holding events beyond the wheel's horizon. Scheduling
+//!   is O(1) (a push into an unsorted bucket); popping heapifies each
+//!   bucket once as the wheel reaches it, which amortizes to
+//!   O(log bucket-population) per event — and the bucket heap is tiny and
+//!   cache-hot where a global heap spans every pending event. An occupancy
+//!   bitmap lets the wheel jump straight to the next populated bucket, so
+//!   sparse workloads never step through empty slots. This is ns-3's
+//!   calendar-scheduler idea applied to integer-ns time, where bucket
+//!   indexing is a shift and a mask.
 
 use crate::packet::Packet;
 use hypatia_util::SimTime;
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
+use std::mem;
 
 /// Something that happens at an instant.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub enum Event {
     /// A device finished serializing its head-of-line packet.
     TxComplete {
@@ -66,72 +84,419 @@ impl Ord for Scheduled {
     }
 }
 
+/// Which scheduler implementation backs an [`EventQueue`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum QueueKind {
+    /// Binary min-heap over `(time, seq)`.
+    Heap,
+    /// Timing-wheel calendar queue with an overflow heap (the default).
+    #[default]
+    Calendar,
+}
+
+impl QueueKind {
+    /// Parse a CLI name (`heap` / `calendar`).
+    pub fn parse(s: &str) -> Option<QueueKind> {
+        match s {
+            "heap" => Some(QueueKind::Heap),
+            "calendar" => Some(QueueKind::Calendar),
+            _ => None,
+        }
+    }
+
+    /// The CLI name.
+    pub fn name(self) -> &'static str {
+        match self {
+            QueueKind::Heap => "heap",
+            QueueKind::Calendar => "calendar",
+        }
+    }
+}
+
+/// log2 of the calendar bucket width: 2^12 ns = 4.096 µs per slot. Narrow
+/// slots keep each bucket's population — and therefore the cursor heap the
+/// wheel pops from — small and cache-hot even when tens of thousands of
+/// packet events are in flight (the high-goodput end of Fig. 2, where a
+/// global heap's sift path is all cache misses).
+const SLOT_NS_SHIFT: u32 = 12;
+/// Calendar bucket width in nanoseconds.
+pub const SLOT_NS: u64 = 1 << SLOT_NS_SHIFT;
+/// Number of wheel slots (must be a power of two): with 4.096 µs slots,
+/// 4096 slots give a ~16.8 ms horizon — past one serialization plus one
+/// typical propagation delay, so the packet events that dominate the hot
+/// loop land in the wheel. Slower timescales (forwarding updates, RTO
+/// timers, ping intervals) go to the overflow heap, whose population is
+/// per-flow/per-step — thousands of times smaller than the packet churn.
+pub const NUM_SLOTS: usize = 1 << 12;
+const SLOT_MASK: u64 = NUM_SLOTS as u64 - 1;
+
+/// Occupancy-bitmap words (one bit per wheel slot).
+const BITMAP_WORDS: usize = NUM_SLOTS / 64;
+
+/// The calendar queue: a timing wheel plus an overflow heap.
+///
+/// Invariants (checked in debug builds):
+/// * `cursor` is a min-heap (by `(at, seq)`) holding the events of every
+///   absolute slot `<= cur_slot`, including late sub-slot-delay inserts —
+///   a heap, not a sorted vector, so a late insert into a populated slot
+///   is O(log slot-population) instead of an O(population) memmove;
+/// * `slots[s & SLOT_MASK]` holds exactly the events whose absolute slot
+///   `s` lies in `(cur_slot, cur_slot + NUM_SLOTS)` — a slot's vector is
+///   drained when the wheel reaches it, before the same index can be
+///   reused one rotation later — and `occupied` has bit `s & SLOT_MASK`
+///   set iff that vector is non-empty, so advancing the wheel skips empty
+///   slots with word-sized bitmap scans instead of touching their (cold)
+///   `Vec` headers;
+/// * `overflow` holds events at or beyond the horizon
+///   (`(cur_slot + NUM_SLOTS) << SLOT_NS_SHIFT`), pulled into `cursor`
+///   once their slot becomes current.
+#[derive(Debug)]
+struct CalendarQueue {
+    slots: Vec<Vec<Reverse<Scheduled>>>,
+    occupied: [u64; BITMAP_WORDS],
+    cursor: BinaryHeap<Reverse<Scheduled>>,
+    /// Absolute index (time >> SLOT_NS_SHIFT) of the current slot.
+    cur_slot: u64,
+    /// Events currently held in `slots` (not `cursor`/`overflow`).
+    in_slots: usize,
+    overflow: BinaryHeap<Reverse<Scheduled>>,
+    len: usize,
+}
+
+impl CalendarQueue {
+    fn new() -> Self {
+        CalendarQueue {
+            slots: (0..NUM_SLOTS).map(|_| Vec::new()).collect(),
+            occupied: [0; BITMAP_WORDS],
+            cursor: BinaryHeap::new(),
+            cur_slot: 0,
+            in_slots: 0,
+            overflow: BinaryHeap::new(),
+            len: 0,
+        }
+    }
+
+    fn schedule(&mut self, s: Scheduled) {
+        let abs_slot = s.at.nanos() >> SLOT_NS_SHIFT;
+        if abs_slot <= self.cur_slot {
+            // At (or before) the slot being drained: joins the cursor heap.
+            self.cursor.push(Reverse(s));
+        } else if abs_slot < self.cur_slot + NUM_SLOTS as u64 {
+            let pos = (abs_slot & SLOT_MASK) as usize;
+            self.slots[pos].push(Reverse(s));
+            self.occupied[pos / 64] |= 1 << (pos % 64);
+            self.in_slots += 1;
+        } else {
+            self.overflow.push(Reverse(s));
+        }
+        self.len += 1;
+    }
+
+    /// Distance (in slots, `1..NUM_SLOTS`) from `cur_slot` to the nearest
+    /// occupied wheel slot. Requires `in_slots > 0`. A circular
+    /// find-first-set over the occupancy bitmap: at most `BITMAP_WORDS + 1`
+    /// word reads, all within one 512-byte array.
+    fn next_occupied_distance(&self) -> u64 {
+        let cur_pos = (self.cur_slot & SLOT_MASK) as usize;
+        let start = (cur_pos + 1) % NUM_SLOTS;
+        let mut word_idx = start / 64;
+        let mut word = self.occupied[word_idx] & (!0u64 << (start % 64));
+        for _ in 0..=BITMAP_WORDS {
+            if word != 0 {
+                let pos = word_idx * 64 + word.trailing_zeros() as usize;
+                return (((pos + NUM_SLOTS - cur_pos - 1) % NUM_SLOTS) + 1) as u64;
+            }
+            word_idx = (word_idx + 1) % BITMAP_WORDS;
+            word = self.occupied[word_idx];
+        }
+        unreachable!("in_slots > 0 but occupancy bitmap is empty")
+    }
+
+    /// Make `cursor` non-empty (requires `len > 0`): jump the wheel
+    /// straight to the earliest populated slot — wheel or overflow,
+    /// whichever is due first — and heapify that bucket.
+    fn refill(&mut self) {
+        debug_assert!(self.cursor.is_empty() && self.len > 0);
+        let overflow_next =
+            self.overflow.peek().map_or(u64::MAX, |Reverse(s)| s.at.nanos() >> SLOT_NS_SHIFT);
+        let wheel_next = if self.in_slots == 0 {
+            u64::MAX
+        } else {
+            self.cur_slot + self.next_occupied_distance()
+        };
+        let target = wheel_next.min(overflow_next);
+        debug_assert!(target > self.cur_slot && target < u64::MAX);
+        self.cur_slot = target;
+
+        // Recycle the cursor's buffer: drain wheel + due-overflow events
+        // into it, then heapify once — O(bucket) — instead of pushing one
+        // at a time.
+        let mut staging = mem::take(&mut self.cursor).into_vec();
+        let pos = (self.cur_slot & SLOT_MASK) as usize;
+        let slot = &mut self.slots[pos];
+        if !slot.is_empty() {
+            self.in_slots -= slot.len();
+            staging.append(slot);
+            self.occupied[pos / 64] &= !(1 << (pos % 64));
+        }
+        while let Some(Reverse(top)) = self.overflow.peek() {
+            if top.at.nanos() >> SLOT_NS_SHIFT > self.cur_slot {
+                break;
+            }
+            staging.push(self.overflow.pop().expect("peeked entry vanished"));
+        }
+        debug_assert!(!staging.is_empty());
+        self.cursor = BinaryHeap::from(staging);
+    }
+
+    /// Borrow the next event in `(time, seq)` order without removing it.
+    fn front(&mut self) -> Option<&Scheduled> {
+        if self.len == 0 {
+            return None;
+        }
+        if self.cursor.is_empty() {
+            self.refill();
+        }
+        self.cursor.peek().map(|Reverse(s)| s)
+    }
+
+    fn pop(&mut self) -> Option<Scheduled> {
+        self.front()?;
+        self.len -= 1;
+        self.cursor.pop().map(|Reverse(s)| s)
+    }
+
+    fn pop_before(&mut self, t_end: SimTime) -> Option<Scheduled> {
+        if self.front()?.at > t_end {
+            return None;
+        }
+        self.len -= 1;
+        self.cursor.pop().map(|Reverse(s)| s)
+    }
+}
+
+#[derive(Debug)]
+enum QueueImpl {
+    Heap(BinaryHeap<Reverse<Scheduled>>),
+    // Boxed: the occupancy bitmap makes CalendarQueue ~600 B inline.
+    Calendar(Box<CalendarQueue>),
+}
+
 /// The event queue.
-#[derive(Debug, Default)]
+#[derive(Debug)]
 pub struct EventQueue {
-    heap: BinaryHeap<Reverse<Scheduled>>,
+    imp: QueueImpl,
     seq: u64,
 }
 
+impl Default for EventQueue {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
 impl EventQueue {
-    /// An empty queue.
+    /// An empty queue backed by the default scheduler (calendar).
     pub fn new() -> Self {
-        Self::default()
+        Self::with_kind(QueueKind::default())
+    }
+
+    /// An empty queue backed by the given scheduler. Pop order is
+    /// identical for every kind; this is a performance knob only.
+    pub fn with_kind(kind: QueueKind) -> Self {
+        let imp = match kind {
+            QueueKind::Heap => QueueImpl::Heap(BinaryHeap::new()),
+            QueueKind::Calendar => QueueImpl::Calendar(Box::new(CalendarQueue::new())),
+        };
+        EventQueue { imp, seq: 0 }
+    }
+
+    /// The backing scheduler kind.
+    pub fn kind(&self) -> QueueKind {
+        match self.imp {
+            QueueImpl::Heap(_) => QueueKind::Heap,
+            QueueImpl::Calendar(_) => QueueKind::Calendar,
+        }
     }
 
     /// Schedule `event` at absolute time `at`.
     pub fn schedule(&mut self, at: SimTime, event: Event) {
         let seq = self.seq;
         self.seq += 1;
-        self.heap.push(Reverse(Scheduled { at, seq, event }));
+        let s = Scheduled { at, seq, event };
+        match &mut self.imp {
+            QueueImpl::Heap(heap) => heap.push(Reverse(s)),
+            QueueImpl::Calendar(cal) => cal.schedule(s),
+        }
     }
 
     /// Pop the next event if any, returning `(time, event)`.
     pub fn pop(&mut self) -> Option<(SimTime, Event)> {
-        self.heap.pop().map(|Reverse(s)| (s.at, s.event))
+        match &mut self.imp {
+            QueueImpl::Heap(heap) => heap.pop().map(|Reverse(s)| (s.at, s.event)),
+            QueueImpl::Calendar(cal) => cal.pop().map(|s| (s.at, s.event)),
+        }
     }
 
-    /// Time of the next event without removing it.
-    pub fn peek_time(&self) -> Option<SimTime> {
-        self.heap.peek().map(|Reverse(s)| s.at)
+    /// Pop the next event only if it is due at or before `t_end` — the
+    /// main loop's peek-then-pop collapsed into one queue operation.
+    pub fn pop_before(&mut self, t_end: SimTime) -> Option<(SimTime, Event)> {
+        match &mut self.imp {
+            QueueImpl::Heap(heap) => {
+                if heap.peek().is_none_or(|Reverse(s)| s.at > t_end) {
+                    return None;
+                }
+                heap.pop().map(|Reverse(s)| (s.at, s.event))
+            }
+            QueueImpl::Calendar(cal) => cal.pop_before(t_end).map(|s| (s.at, s.event)),
+        }
+    }
+
+    /// Time of the next event without removing it. (The calendar backend
+    /// may advance its wheel to locate the front, hence `&mut`.)
+    pub fn peek_time(&mut self) -> Option<SimTime> {
+        match &mut self.imp {
+            QueueImpl::Heap(heap) => heap.peek().map(|Reverse(s)| s.at),
+            QueueImpl::Calendar(cal) => cal.front().map(|s| s.at),
+        }
     }
 
     /// Number of pending events.
     pub fn len(&self) -> usize {
-        self.heap.len()
+        match &self.imp {
+            QueueImpl::Heap(heap) => heap.len(),
+            QueueImpl::Calendar(cal) => cal.len,
+        }
     }
 
     /// True when no events are pending.
     pub fn is_empty(&self) -> bool {
-        self.heap.is_empty()
+        self.len() == 0
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use hypatia_util::rng::DetRng;
+
+    fn both_kinds() -> [EventQueue; 2] {
+        [EventQueue::with_kind(QueueKind::Heap), EventQueue::with_kind(QueueKind::Calendar)]
+    }
+
+    #[test]
+    fn default_is_calendar() {
+        assert_eq!(EventQueue::new().kind(), QueueKind::Calendar);
+        assert_eq!(QueueKind::parse("heap"), Some(QueueKind::Heap));
+        assert_eq!(QueueKind::parse("calendar"), Some(QueueKind::Calendar));
+        assert_eq!(QueueKind::parse("wheel"), None);
+        assert_eq!(QueueKind::Heap.name(), "heap");
+        assert_eq!(QueueKind::Calendar.name(), "calendar");
+    }
 
     #[test]
     fn pops_in_time_order() {
-        let mut q = EventQueue::new();
-        q.schedule(SimTime::from_millis(30), Event::ForwardingUpdate { step: 3 });
-        q.schedule(SimTime::from_millis(10), Event::ForwardingUpdate { step: 1 });
-        q.schedule(SimTime::from_millis(20), Event::ForwardingUpdate { step: 2 });
-        let order: Vec<u64> = std::iter::from_fn(|| q.pop())
-            .map(|(_, e)| match e {
-                Event::ForwardingUpdate { step } => step,
-                _ => unreachable!(),
-            })
-            .collect();
-        assert_eq!(order, vec![1, 2, 3]);
+        for mut q in both_kinds() {
+            q.schedule(SimTime::from_millis(30), Event::ForwardingUpdate { step: 3 });
+            q.schedule(SimTime::from_millis(10), Event::ForwardingUpdate { step: 1 });
+            q.schedule(SimTime::from_millis(20), Event::ForwardingUpdate { step: 2 });
+            let order: Vec<u64> = std::iter::from_fn(|| q.pop())
+                .map(|(_, e)| match e {
+                    Event::ForwardingUpdate { step } => step,
+                    _ => unreachable!(),
+                })
+                .collect();
+            assert_eq!(order, vec![1, 2, 3]);
+        }
     }
 
     #[test]
     fn fifo_within_same_instant() {
-        let mut q = EventQueue::new();
-        let t = SimTime::from_secs(1);
-        for step in 0..10 {
-            q.schedule(t, Event::ForwardingUpdate { step });
+        for mut q in both_kinds() {
+            let t = SimTime::from_secs(1);
+            for step in 0..10 {
+                q.schedule(t, Event::ForwardingUpdate { step });
+            }
+            let order: Vec<u64> = std::iter::from_fn(|| q.pop())
+                .map(|(_, e)| match e {
+                    Event::ForwardingUpdate { step } => step,
+                    _ => unreachable!(),
+                })
+                .collect();
+            assert_eq!(order, (0..10).collect::<Vec<_>>());
+        }
+    }
+
+    #[test]
+    fn peek_does_not_remove() {
+        for mut q in both_kinds() {
+            q.schedule(SimTime::from_secs(5), Event::AppTimer { app: 0, timer_id: 7 });
+            assert_eq!(q.peek_time(), Some(SimTime::from_secs(5)));
+            assert_eq!(q.len(), 1);
+            assert!(q.pop().is_some());
+            assert!(q.is_empty());
+            assert_eq!(q.peek_time(), None);
+        }
+    }
+
+    #[test]
+    fn interleaved_schedule_and_pop() {
+        for mut q in both_kinds() {
+            q.schedule(SimTime::from_secs(2), Event::AppTimer { app: 0, timer_id: 2 });
+            q.schedule(SimTime::from_secs(1), Event::AppTimer { app: 0, timer_id: 1 });
+            let (t1, _) = q.pop().unwrap();
+            assert_eq!(t1, SimTime::from_secs(1));
+            q.schedule(SimTime::from_millis(1500), Event::AppTimer { app: 0, timer_id: 15 });
+            let (t2, e2) = q.pop().unwrap();
+            assert_eq!(t2, SimTime::from_millis(1500));
+            assert!(matches!(e2, Event::AppTimer { timer_id: 15, .. }));
+        }
+    }
+
+    #[test]
+    fn pop_before_is_inclusive_and_leaves_later_events() {
+        for mut q in both_kinds() {
+            q.schedule(SimTime::from_millis(10), Event::ForwardingUpdate { step: 1 });
+            q.schedule(SimTime::from_millis(20), Event::ForwardingUpdate { step: 2 });
+            assert!(q.pop_before(SimTime::from_millis(5)).is_none());
+            assert_eq!(q.len(), 2, "pop_before must not remove a later event");
+            // Inclusive at exactly t_end.
+            let (t, _) = q.pop_before(SimTime::from_millis(10)).unwrap();
+            assert_eq!(t, SimTime::from_millis(10));
+            assert!(q.pop_before(SimTime::from_millis(19)).is_none());
+            let (t, _) = q.pop_before(SimTime::from_millis(25)).unwrap();
+            assert_eq!(t, SimTime::from_millis(20));
+            assert!(q.pop_before(SimTime::MAX).is_none());
+        }
+    }
+
+    #[test]
+    fn calendar_handles_same_slot_and_cross_slot_ties() {
+        let mut q = EventQueue::with_kind(QueueKind::Calendar);
+        // Two events in the same wheel slot, one a slot ahead, one far in
+        // the overflow, then a same-instant tie with the overflow event.
+        let in_slot = SimTime::from_nanos(SLOT_NS / 2);
+        let far = SimTime::from_secs(30);
+        q.schedule(far, Event::AppTimer { app: 9, timer_id: 0 });
+        q.schedule(in_slot, Event::AppTimer { app: 1, timer_id: 0 });
+        q.schedule(in_slot, Event::AppTimer { app: 2, timer_id: 0 });
+        q.schedule(SimTime::from_nanos(SLOT_NS + 1), Event::AppTimer { app: 3, timer_id: 0 });
+        q.schedule(far, Event::AppTimer { app: 10, timer_id: 0 });
+        let apps: Vec<u32> = std::iter::from_fn(|| q.pop())
+            .map(|(_, e)| match e {
+                Event::AppTimer { app, .. } => app,
+                _ => unreachable!(),
+            })
+            .collect();
+        assert_eq!(apps, vec![1, 2, 3, 9, 10]);
+    }
+
+    #[test]
+    fn calendar_jumps_over_long_empty_stretches() {
+        let mut q = EventQueue::with_kind(QueueKind::Calendar);
+        // Hours apart: forces the wheel-empty jump path repeatedly.
+        for h in (1..=5u64).rev() {
+            q.schedule(SimTime::from_secs(h * 3600), Event::ForwardingUpdate { step: h });
         }
         let order: Vec<u64> = std::iter::from_fn(|| q.pop())
             .map(|(_, e)| match e {
@@ -139,30 +504,83 @@ mod tests {
                 _ => unreachable!(),
             })
             .collect();
-        assert_eq!(order, (0..10).collect::<Vec<_>>());
+        assert_eq!(order, vec![1, 2, 3, 4, 5]);
     }
 
+    /// The differential property test the calendar queue's correctness
+    /// argument rests on: both backends, driven by the same random mix of
+    /// schedule/pop/pop_before operations (including same-instant ties,
+    /// sub-slot deltas, and far-overflow times), must agree on every
+    /// popped `(time, event)` and on `len()` at every step.
     #[test]
-    fn peek_does_not_remove() {
-        let mut q = EventQueue::new();
-        q.schedule(SimTime::from_secs(5), Event::AppTimer { app: 0, timer_id: 7 });
-        assert_eq!(q.peek_time(), Some(SimTime::from_secs(5)));
-        assert_eq!(q.len(), 1);
-        assert!(q.pop().is_some());
-        assert!(q.is_empty());
-        assert_eq!(q.peek_time(), None);
-    }
-
-    #[test]
-    fn interleaved_schedule_and_pop() {
-        let mut q = EventQueue::new();
-        q.schedule(SimTime::from_secs(2), Event::AppTimer { app: 0, timer_id: 2 });
-        q.schedule(SimTime::from_secs(1), Event::AppTimer { app: 0, timer_id: 1 });
-        let (t1, _) = q.pop().unwrap();
-        assert_eq!(t1, SimTime::from_secs(1));
-        q.schedule(SimTime::from_millis(1500), Event::AppTimer { app: 0, timer_id: 15 });
-        let (t2, e2) = q.pop().unwrap();
-        assert_eq!(t2, SimTime::from_millis(1500));
-        assert!(matches!(e2, Event::AppTimer { timer_id: 15, .. }));
+    fn differential_calendar_equals_heap_on_random_schedules() {
+        let mut rng = DetRng::new(0xC0FFEE);
+        let mut heap = EventQueue::with_kind(QueueKind::Heap);
+        let mut cal = EventQueue::with_kind(QueueKind::Calendar);
+        // `now` mirrors the simulator contract: never schedule in the past.
+        let mut now = SimTime::ZERO;
+        let mut last_at = SimTime::ZERO;
+        let mut scheduled = 0u64;
+        let mut popped = 0u64;
+        for op in 0..10_000u64 {
+            match rng.next_below(10) {
+                // 0..5: schedule (keeps the queues populated).
+                0..=4 => {
+                    // Mix of deltas: exact ties (0), sub-slot, a few slots,
+                    // within-horizon milliseconds, and overflow seconds.
+                    let delta = match rng.next_below(5) {
+                        0 => 0,
+                        1 => rng.next_below(SLOT_NS),
+                        2 => rng.next_below(16 * SLOT_NS),
+                        3 => rng.next_below(200_000_000),
+                        _ => rng.next_below(20_000_000_000),
+                    };
+                    let at = SimTime::from_nanos(now.nanos() + delta);
+                    heap.schedule(at, Event::AppTimer { app: 0, timer_id: op });
+                    cal.schedule(at, Event::AppTimer { app: 0, timer_id: op });
+                    scheduled += 1;
+                }
+                // 5..8: pop.
+                5..=7 => {
+                    let a = heap.pop();
+                    let b = cal.pop();
+                    assert_eq!(a, b, "pop diverged at op {op}");
+                    if let Some((t, _)) = a {
+                        assert!(t >= last_at, "heap order itself regressed");
+                        last_at = t;
+                        now = t;
+                        popped += 1;
+                    }
+                }
+                // 8: pop_before a horizon a random distance ahead.
+                8 => {
+                    let t_end = SimTime::from_nanos(now.nanos() + rng.next_below(500_000_000));
+                    let a = heap.pop_before(t_end);
+                    let b = cal.pop_before(t_end);
+                    assert_eq!(a, b, "pop_before diverged at op {op}");
+                    if let Some((t, _)) = a {
+                        assert!(t <= t_end);
+                        now = t;
+                        last_at = t;
+                        popped += 1;
+                    }
+                }
+                // 9: peek.
+                _ => {
+                    assert_eq!(heap.peek_time(), cal.peek_time(), "peek diverged at op {op}");
+                }
+            }
+            assert_eq!(heap.len(), cal.len(), "len diverged at op {op}");
+        }
+        assert!(scheduled > 4000 && popped > 1000, "exercise both paths: {scheduled}/{popped}");
+        // Drain both completely: the tails must agree too.
+        loop {
+            let a = heap.pop();
+            let b = cal.pop();
+            assert_eq!(a, b, "drain diverged");
+            if a.is_none() {
+                break;
+            }
+        }
     }
 }

@@ -45,6 +45,7 @@ pub mod trace;
 
 pub use app::{AppCtx, Application};
 pub use config::SimConfig;
+pub use event::QueueKind;
 pub use packet::{Packet, Payload, Segment};
 pub use sim::Simulator;
 pub use stats::SimStats;

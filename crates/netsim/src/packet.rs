@@ -7,6 +7,7 @@
 //! `hypatia-transport`.
 
 use hypatia_constellation::NodeId;
+use hypatia_util::hash::Fnv1a64;
 use hypatia_util::{DataSize, SimTime};
 
 /// Default wire overhead ascribed to headers, bytes (IP + transport, as the
@@ -85,6 +86,22 @@ pub struct Packet {
     pub injected_at: SimTime,
     /// Hops traversed so far (incremented per node-to-node delivery).
     pub hops: u16,
+    /// FNV-1a-64 of the flow key `(src, dst, src_port, dst_port)`, computed
+    /// once at injection (see [`flow_hash`]) and carried with the packet so
+    /// multipath forwarding never re-hashes per hop.
+    pub flow_hash: u64,
+}
+
+/// Hash a packet's flow key. Every packet of a flow gets the same value, so
+/// multipath spreading keeps flows on one path (no reordering) while
+/// different flows spread across loop-free alternates.
+pub fn flow_hash(src: NodeId, dst: NodeId, src_port: u16, dst_port: u16) -> u64 {
+    let mut h = Fnv1a64::new();
+    h.write_u32(src.0);
+    h.write_u32(dst.0);
+    h.write_u16(src_port);
+    h.write_u16(dst_port);
+    h.finish()
 }
 
 impl Packet {
@@ -118,6 +135,7 @@ mod tests {
             payload,
             injected_at: SimTime::ZERO,
             hops: 0,
+            flow_hash: 0,
         }
     }
 
@@ -148,6 +166,14 @@ mod tests {
             fin: false,
         };
         assert_eq!(base(Payload::Seg(seg), 1440).payload_bytes(), 1380);
+    }
+
+    #[test]
+    fn flow_hash_is_per_flow_and_direction_sensitive() {
+        let fwd = flow_hash(NodeId(3), NodeId(9), 1000, 80);
+        assert_eq!(fwd, flow_hash(NodeId(3), NodeId(9), 1000, 80), "deterministic");
+        assert_ne!(fwd, flow_hash(NodeId(9), NodeId(3), 80, 1000), "reverse differs");
+        assert_ne!(fwd, flow_hash(NodeId(3), NodeId(9), 1001, 80), "port matters");
     }
 
     #[test]

@@ -5,7 +5,7 @@ use crate::config::SimConfig;
 use crate::device::{Device, DeviceKind};
 use crate::event::{Event, EventQueue};
 use crate::node::Node;
-use crate::packet::{Packet, Payload};
+use crate::packet::{flow_hash, Packet, Payload};
 use crate::stats::SimStats;
 use crate::trace::{Trace, TraceKind};
 use hypatia_constellation::{Constellation, NodeId};
@@ -94,7 +94,7 @@ impl Simulator {
         let mp = config
             .multipath_stretch
             .map(|s| compute_multipath_state(&constellation, SimTime::ZERO, &dests, s));
-        let mut queue = EventQueue::new();
+        let mut queue = EventQueue::with_kind(config.queue);
         if !config.freeze_at_epoch {
             queue.schedule(SimTime::ZERO + config.fstate_step, Event::ForwardingUpdate { step: 1 });
         }
@@ -183,11 +183,7 @@ impl Simulator {
 
     /// Run the event loop until simulated time `t_end` (inclusive).
     pub fn run_until(&mut self, t_end: SimTime) {
-        while let Some(t) = self.queue.peek_time() {
-            if t > t_end {
-                break;
-            }
-            let (t, event) = self.queue.pop().expect("peeked event vanished");
+        while let Some((t, event)) = self.queue.pop_before(t_end) {
             debug_assert!(t >= self.now, "time went backwards");
             self.now = t;
             self.stats.events += 1;
@@ -238,6 +234,7 @@ impl Simulator {
                     payload: Payload::Pong { seq, ping_injected_at: packet.injected_at },
                     injected_at: self.now,
                     hops: 0,
+                    flow_hash: 0, // stamped by inject
                 };
                 self.inject(pong);
             }
@@ -248,18 +245,11 @@ impl Simulator {
         }
     }
 
-    /// Stable per-flow hash for multipath spreading (same 5-tuple-ish key
-    /// always picks the same alternate, so flows do not self-reorder).
-    fn flow_hash(packet: &Packet) -> u64 {
-        use std::hash::{Hash, Hasher};
-        let mut h = std::collections::hash_map::DefaultHasher::new();
-        (packet.src.0, packet.dst.0, packet.src_port, packet.dst_port).hash(&mut h);
-        h.finish()
-    }
-
     fn forward(&mut self, node: u32, packet: Packet) {
+        // `packet.flow_hash` was computed once at injection; forwarding a
+        // packet costs no hashing at all.
         let chosen = match &self.mp {
-            Some(mp) => mp.next_hop(NodeId(node), packet.dst, Self::flow_hash(&packet)),
+            Some(mp) => mp.next_hop(NodeId(node), packet.dst, packet.flow_hash),
             None => self.fwd.next_hop(NodeId(node), packet.dst),
         };
         let Some(next_hop) = chosen else {
@@ -333,7 +323,9 @@ impl Simulator {
     }
 
     /// Put a freshly-created packet into the network at its source node.
-    fn inject(&mut self, packet: Packet) {
+    /// The flow hash is stamped here — once per packet, never per hop.
+    fn inject(&mut self, mut packet: Packet) {
+        packet.flow_hash = flow_hash(packet.src, packet.dst, packet.src_port, packet.dst_port);
         self.stats.injected += 1;
         self.trace.record(self.now, packet.src, packet.id, TraceKind::Inject);
         self.process_at_node(packet.src.0, packet);
@@ -373,6 +365,7 @@ impl Simulator {
                         payload,
                         injected_at: self.now,
                         hops: 0,
+                        flow_hash: 0, // stamped by inject
                     };
                     self.inject(packet);
                 }

@@ -59,10 +59,20 @@ impl Trace {
     }
 
     /// Record an event (no-op once full; counts truncations).
+    ///
+    /// Tracing is off (`limit == 0`) in every performance-sensitive run, so
+    /// the disabled check inlines to a single predictable branch at each
+    /// call site and the buffer manipulation stays out of line.
+    #[inline(always)]
     pub fn record(&mut self, t: SimTime, node: NodeId, packet_id: u64, kind: TraceKind) {
         if self.limit == 0 {
             return;
         }
+        self.record_slow(t, node, packet_id, kind);
+    }
+
+    #[cold]
+    fn record_slow(&mut self, t: SimTime, node: NodeId, packet_id: u64, kind: TraceKind) {
         if self.entries.len() < self.limit {
             self.entries.push(TraceEntry { t, node, packet_id, kind });
         } else {

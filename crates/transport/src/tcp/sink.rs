@@ -205,6 +205,7 @@ mod tests {
             }),
             injected_at: SimTime::from_millis(ts_ms),
             hops: 0,
+            flow_hash: 0,
         }
     }
 

@@ -1,0 +1,119 @@
+//! FNV-1a 64-bit hashing.
+//!
+//! One tiny, dependency-free hash serves two jobs that must be
+//! deterministic across platforms and runs:
+//!
+//! * artifact checksums in run manifests (change detection, not
+//!   adversary resistance);
+//! * per-flow hashing in the simulator's multipath spreading, where the
+//!   hash of a packet's 5-tuple-ish key decides which loop-free alternate
+//!   a flow takes. `std`'s `DefaultHasher` (SipHash) is both slower and
+//!   not guaranteed stable across Rust releases, so it is unsuitable for
+//!   bit-reproducible experiments.
+
+/// FNV-1a 64-bit offset basis.
+const OFFSET_BASIS: u64 = 0xcbf2_9ce4_8422_2325;
+/// FNV-1a 64-bit prime.
+const PRIME: u64 = 0x0000_0100_0000_01b3;
+
+/// Hash a byte slice with FNV-1a 64.
+pub const fn fnv1a_64(bytes: &[u8]) -> u64 {
+    let mut hash = OFFSET_BASIS;
+    let mut i = 0;
+    while i < bytes.len() {
+        hash ^= bytes[i] as u64;
+        hash = hash.wrapping_mul(PRIME);
+        i += 1;
+    }
+    hash
+}
+
+/// Incremental FNV-1a 64 state, for hashing structured keys (integer
+/// fields in little-endian byte order) without materializing a buffer.
+#[derive(Debug, Clone, Copy)]
+pub struct Fnv1a64(u64);
+
+impl Default for Fnv1a64 {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Fnv1a64 {
+    /// Fresh state at the offset basis.
+    pub const fn new() -> Self {
+        Fnv1a64(OFFSET_BASIS)
+    }
+
+    /// Absorb raw bytes.
+    pub fn write(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.0 = (self.0 ^ b as u64).wrapping_mul(PRIME);
+        }
+    }
+
+    /// Absorb a `u16` as little-endian bytes.
+    pub fn write_u16(&mut self, x: u16) {
+        self.write(&x.to_le_bytes());
+    }
+
+    /// Absorb a `u32` as little-endian bytes.
+    pub fn write_u32(&mut self, x: u32) {
+        self.write(&x.to_le_bytes());
+    }
+
+    /// Absorb a `u64` as little-endian bytes.
+    pub fn write_u64(&mut self, x: u64) {
+        self.write(&x.to_le_bytes());
+    }
+
+    /// The accumulated hash.
+    pub const fn finish(self) -> u64 {
+        self.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matches_known_vectors() {
+        // Standard FNV-1a 64 test vectors.
+        assert_eq!(fnv1a_64(b""), 0xcbf2_9ce4_8422_2325);
+        assert_eq!(fnv1a_64(b"a"), 0xaf63_dc4c_8601_ec8c);
+        assert_eq!(fnv1a_64(b"foobar"), 0x8594_4171_f739_67e8);
+    }
+
+    #[test]
+    fn incremental_equals_one_shot() {
+        let mut h = Fnv1a64::new();
+        h.write(b"foo");
+        h.write(b"bar");
+        assert_eq!(h.finish(), fnv1a_64(b"foobar"));
+    }
+
+    #[test]
+    fn integer_writes_match_le_bytes() {
+        let mut a = Fnv1a64::new();
+        a.write_u32(0xdead_beef);
+        a.write_u16(0x1234);
+        let mut b = Fnv1a64::new();
+        b.write(&0xdead_beef_u32.to_le_bytes());
+        b.write(&0x1234_u16.to_le_bytes());
+        assert_eq!(a.finish(), b.finish());
+    }
+
+    #[test]
+    fn distinct_keys_hash_apart() {
+        // Not a collision-resistance claim, just a sanity check that field
+        // order matters (src/dst swapped must differ for flow hashing).
+        let mut fwd = Fnv1a64::new();
+        fwd.write_u32(1);
+        fwd.write_u32(2);
+        let mut rev = Fnv1a64::new();
+        rev.write_u32(2);
+        rev.write_u32(1);
+        assert_ne!(fwd.finish(), rev.finish());
+    }
+}

@@ -10,10 +10,12 @@
 //!   TLE ecosystem the paper builds on);
 //! * [`DataRate`] / [`DataSize`] — bit-exact link-rate arithmetic;
 //! * [`rng`] — a small deterministic PRNG for reproducible workloads;
+//! * [`hash`] — FNV-1a 64 hashing for manifests and per-flow spreading;
 //! * [`angle`] — degree/radian helpers and angle wrapping.
 
 pub mod angle;
 pub mod constants;
+pub mod hash;
 pub mod rng;
 pub mod time;
 pub mod units;

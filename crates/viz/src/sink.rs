@@ -32,6 +32,10 @@ pub struct ArtifactSink {
     out_dir: PathBuf,
     records: Vec<ArtifactRecord>,
     warnings: Vec<String>,
+    /// Simulated events accumulated across the run's simulations.
+    sim_events: u64,
+    /// Wall-clock seconds those simulations took.
+    sim_wall_s: f64,
     /// Echo `wrote <path>` lines to stdout (the bench binaries' historic
     /// behaviour); disable for tests.
     pub verbose: bool,
@@ -44,8 +48,23 @@ impl ArtifactSink {
             out_dir: out_dir.into(),
             records: Vec::new(),
             warnings: Vec::new(),
+            sim_events: 0,
+            sim_wall_s: 0.0,
             verbose: true,
         }
+    }
+
+    /// Account a simulation's event count and wall-clock cost towards the
+    /// run's events/sec line (summed across calls; the manifest reports
+    /// the aggregate rate).
+    pub fn record_sim(&mut self, events: u64, wall_s: f64) {
+        self.sim_events += events;
+        self.sim_wall_s += wall_s;
+    }
+
+    /// Total simulated events recorded via [`ArtifactSink::record_sim`].
+    pub fn sim_events(&self) -> u64 {
+        self.sim_events
     }
 
     /// The output directory.
@@ -139,7 +158,10 @@ impl ArtifactSink {
     }
 
     /// The manifest document: experiment name, artifact list (name, size,
-    /// checksum), and warnings. Deterministic for identical artifact bytes.
+    /// checksum), warnings, and — when any simulation was accounted via
+    /// [`ArtifactSink::record_sim`] — a `perf` section. Deterministic for
+    /// identical artifact bytes, except the `events_per_sec` line, which is
+    /// wall-clock; manifest-comparing tests strip that one line.
     pub fn manifest(&self, experiment: &str) -> Value {
         let artifacts: Vec<Value> = self
             .records
@@ -153,11 +175,26 @@ impl ArtifactSink {
             })
             .collect();
         let warnings: Vec<Value> = self.warnings.iter().map(|w| Value::from(w.clone())).collect();
-        json!({
+        let mut doc = json!({
             "experiment": experiment,
             "artifacts": Value::from(artifacts),
             "warnings": Value::from(warnings),
-        })
+        });
+        if self.sim_events > 0 {
+            let rate = if self.sim_wall_s > 0.0 {
+                (self.sim_events as f64 / self.sim_wall_s).round() as u64
+            } else {
+                0
+            };
+            doc.as_object_mut().expect("manifest is an object").insert(
+                "perf".to_string(),
+                json!({
+                    "events": self.sim_events,
+                    "events_per_sec": rate,
+                }),
+            );
+        }
+        doc
     }
 
     /// Write `manifest.json` describing everything produced so far.
@@ -176,16 +213,9 @@ impl ArtifactSink {
     }
 }
 
-/// FNV-1a 64-bit: tiny, dependency-free, and plenty for change detection
-/// (manifests compare equality, not resist adversaries).
-pub fn fnv1a_64(bytes: &[u8]) -> u64 {
-    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
-    for &b in bytes {
-        hash ^= b as u64;
-        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
-    }
-    hash
-}
+// Checksum function, re-exported from `hypatia_util` where the simulator's
+// per-flow hashing shares it (one FNV implementation repo-wide).
+pub use hypatia_util::hash::fnv1a_64;
 
 #[cfg(test)]
 mod tests {
@@ -236,6 +266,21 @@ mod tests {
         let arts = doc.get("artifacts").and_then(Value::as_array).unwrap();
         assert_eq!(arts.len(), 1);
         assert_eq!(arts[0].get("bytes").and_then(Value::as_u64), Some(5));
+        std::fs::remove_dir_all(sink.out_dir()).ok();
+    }
+
+    #[test]
+    fn perf_section_appears_only_when_sims_recorded() {
+        let mut sink = temp_sink("perf");
+        sink.write_text("a.txt", "x").unwrap();
+        assert!(sink.manifest("e").get("perf").is_none(), "no perf without record_sim");
+        sink.record_sim(1000, 0.5);
+        sink.record_sim(500, 0.5);
+        let doc = sink.manifest("e");
+        let perf = doc.get("perf").expect("perf section after record_sim");
+        assert_eq!(perf.get("events").and_then(Value::as_u64), Some(1500));
+        assert_eq!(perf.get("events_per_sec").and_then(Value::as_u64), Some(1500));
+        assert_eq!(sink.sim_events(), 1500);
         std::fs::remove_dir_all(sink.out_dir()).ok();
     }
 

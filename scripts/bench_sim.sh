@@ -1,0 +1,100 @@
+#!/usr/bin/env bash
+# Benchmark the packet simulator's event engine and append the results to
+# BENCH_netsim.json.
+#
+# Runs `bench_netsim` (crates/bench/src/bin/bench_netsim.rs) on the Fig. 2
+# permutation workload at two scales — small (10 cities) and medium
+# (30 cities) — under both event-queue implementations, and records
+# events/sec per (scale, queue, workload) plus the calendar-over-heap
+# speedup the design targets (>= 2x on the fig02 workload).
+#
+# The line rate is 10 Gbit/s — fig02's top rate and the regime the paper
+# identifies as event-rate-bound (§3.2), where queue cost dominates. Sim
+# durations are short (fractions of a second) because at 10 Gbit/s each
+# simulated second is tens of millions of events.
+#
+# Each invocation APPENDS one timestamped entry to the output file (a JSON
+# array), so the file accumulates a history across machines/commits.
+#
+# Usage: scripts/bench_sim.sh [output.json]
+
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+out="${1:-BENCH_netsim.json}"
+
+cargo build --release -p hypatia-bench --bin bench_netsim
+bin="target/release/bench_netsim"
+
+raw="$(mktemp)"
+trap 'rm -f "$raw"' EXIT
+
+for scale_spec in small:10:0.5 medium:30:0.2; do
+    IFS=: read -r scale cities duration <<<"$scale_spec"
+    for queue in heap calendar; do
+        echo "== $scale ($cities cities, ${duration}s sim), queue=$queue ==" >&2
+        "$bin" --queue "$queue" --cities "$cities" --rate-mbps 10000 \
+            --duration-s "$duration" --workload both |
+            while IFS= read -r line; do
+                printf '%s\t%s\n' "$scale" "$line"
+            done >>"$raw"
+    done
+done
+
+python3 - "$raw" "$out" <<'PY'
+import json, subprocess, sys, time
+
+raw_path, out_path = sys.argv[1], sys.argv[2]
+
+runs = []
+for line in open(raw_path):
+    scale, payload = line.rstrip("\n").split("\t", 1)
+    run = json.loads(payload)
+    run["scale"] = scale
+    runs.append(run)
+    print(f"  {scale:<7} {run['queue']:<9} {run['workload']:<4} "
+          f"{run['events_per_sec']:>12,} events/s")
+
+def eps(scale, queue):
+    # Combined UDP+TCP throughput at one (scale, queue): total events over
+    # total wall time, not a mean of ratios.
+    sel = [r for r in runs if r["scale"] == scale and r["queue"] == queue]
+    wall = sum(r["wall_s"] for r in sel)
+    return round(sum(r["events"] for r in sel) / wall) if wall > 0 else 0
+
+scales = ["small", "medium"]
+summary = {s: {q: eps(s, q) for q in ("heap", "calendar")} for s in scales}
+speedup = {
+    s: round(summary[s]["calendar"] / summary[s]["heap"], 3)
+    for s in scales
+    if summary[s]["heap"]
+}
+
+entry = {
+    "timestamp": time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime()),
+    "bench": "bench_netsim (fig02 permutation workload)",
+    "threads": 1,
+    "runs": runs,
+    "events_per_sec": summary,
+    "speedup_calendar_over_heap": speedup,
+}
+try:
+    commit = subprocess.run(
+        ["git", "rev-parse", "--short", "HEAD"],
+        capture_output=True, text=True, check=True,
+    ).stdout.strip()
+    entry["commit"] = commit
+except Exception:
+    pass
+
+try:
+    history = json.load(open(out_path))
+    if not isinstance(history, list):
+        history = [history]
+except (FileNotFoundError, json.JSONDecodeError):
+    history = []
+history.append(entry)
+json.dump(history, open(out_path, "w"), indent=2)
+print()
+print(f"wrote {out_path}: speedup calendar/heap = {json.dumps(speedup)}")
+PY

@@ -13,4 +13,7 @@ cargo clippy --workspace --all-targets -- -D warnings
 echo "== cargo test -q"
 cargo test -q --workspace
 
+echo "== cargo bench --no-run"
+cargo bench --workspace --no-run
+
 echo "All checks passed."
