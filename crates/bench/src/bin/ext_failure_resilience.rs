@@ -1,0 +1,13 @@
+//! Extension study — resilience under component failures.
+//!
+//! Sweeps a seeded satellite-flap process (`hypatia-fault`) across
+//! steady-state failure rates and reports goodput, RTT inflation, loss,
+//! reroute latency and ground-segment reachability against the
+//! fault-free baseline, plus a CZML outage layer.
+//!
+//! Thin shim: the implementation lives in the shared experiment registry
+//! (`hypatia::figures`) and runs through `hypatia::runner`.
+
+fn main() {
+    hypatia_bench::run_figure("ext_failure_resilience");
+}

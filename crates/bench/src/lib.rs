@@ -3,9 +3,9 @@
 //! Every figure binary is a thin shim over the experiment registry in
 //! [`hypatia::runner`]: it names its experiment and calls [`run_figure`],
 //! which parses the common CLI, materializes the registered
-//! [`ExperimentSpec`](hypatia::spec::ExperimentSpec) at the requested
+//! [`hypatia::spec::ExperimentSpec`] at the requested
 //! scale, applies `--set` overrides, and executes through the shared
-//! [`ExperimentRunner`](hypatia::runner::ExperimentRunner) — ending with
+//! [`hypatia::runner::ExperimentRunner`] — ending with
 //! the run's `manifest.json`.
 //!
 //! Every binary accepts:

@@ -74,7 +74,12 @@ impl Experiment for Fig13 {
                 ))
             })?;
             let state = compute_forwarding_state(c, t, &[dst]);
-            let path = state.path(src, dst).expect("connected at extreme instant");
+            // The instant came from a connected sample, but go through the
+            // typed error anyway: a panic here would take down the whole
+            // figure sweep.
+            let path = state
+                .try_path(src, dst)
+                .map_err(|e| RunError::BadSpec(format!("{label} instant lost its route: {e}")))?;
             let snap = PathSnapshot::capture(c, &path, t);
             println!(
                 "{label}: t={:.1}s RTT {:.1} ms, {} hops, {:.0} km",

@@ -1,14 +1,15 @@
 //! The paper's figures and extension studies as registered experiments.
 //!
-//! Each submodule implements one [`Experiment`](crate::runner::Experiment):
-//! it declares its default [`ExperimentSpec`](crate::spec::ExperimentSpec)
+//! Each submodule implements one [`crate::runner::Experiment`]:
+//! it declares its default [`crate::spec::ExperimentSpec`]
 //! at reduced and paper ("full") scale, and executes against a
-//! [`RunContext`](crate::runner::RunContext) — writing every artifact
+//! [`crate::runner::RunContext`] — writing every artifact
 //! through the context's sink so the run ends with a complete manifest.
 //! The bench binaries are thin shims over this registry; a spec file plus
 //! `run_experiment` reproduces any of them.
 
 pub mod ext_bbr_study;
+pub mod ext_failure_resilience;
 pub mod ext_multipath_diversity;
 pub mod ext_multipath_te;
 pub mod fig02_scalability;
@@ -53,6 +54,7 @@ pub fn builtin_experiments() -> Vec<Box<dyn Experiment>> {
         Box::new(ext_bbr_study::ExtBbrStudy),
         Box::new(ext_multipath_diversity::ExtMultipathDiversity),
         Box::new(ext_multipath_te::ExtMultipathTe),
+        Box::new(ext_failure_resilience::ExtFailureResilience),
     ]
 }
 

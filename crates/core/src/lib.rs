@@ -58,6 +58,7 @@ pub mod spec;
 
 // Re-export the component crates under stable names.
 pub use hypatia_constellation as constellation;
+pub use hypatia_fault as fault;
 pub use hypatia_netsim as netsim;
 pub use hypatia_orbit as orbit;
 pub use hypatia_routing as routing;

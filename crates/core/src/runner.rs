@@ -4,7 +4,7 @@
 //! here as an [`Experiment`]: it names itself, provides its default
 //! [`ExperimentSpec`] at reduced or full scale, and runs against a
 //! [`RunContext`] that hands it the scenario and the
-//! [`ArtifactSink`](hypatia_viz::sink::ArtifactSink) all outputs flow
+//! [`hypatia_viz::sink::ArtifactSink`] all outputs flow
 //! through. The [`ExperimentRunner`] owns the registry and the shared
 //! lifecycle: build the spec, assemble the constellation once, execute,
 //! then write the run's `manifest.json`.
@@ -216,10 +216,11 @@ mod tests {
             "ext_bbr_study",
             "ext_multipath_diversity",
             "ext_multipath_te",
+            "ext_failure_resilience",
         ] {
             assert!(names.iter().any(|n| n == expected), "missing {expected}");
         }
-        assert_eq!(names.len(), 18);
+        assert_eq!(names.len(), 19);
     }
 
     #[test]

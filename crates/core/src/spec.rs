@@ -20,6 +20,7 @@ use crate::experiments::tcp_single::CcKind;
 use crate::scenario::{ConstellationChoice, Scenario, ScenarioBuilder};
 use hypatia_constellation::ground::top_cities;
 use hypatia_constellation::GroundStation;
+use hypatia_fault::{FaultSchedule, FaultSpec, FlapProcess, LinkCut, OutageWindow};
 use hypatia_netsim::SimConfig;
 use hypatia_util::{DataRate, SimDuration};
 use serde::{Deserialize, Serialize};
@@ -130,6 +131,10 @@ pub struct ExperimentSpec {
     pub threads: usize,
     /// Seed for randomized pieces (permutation matrix, loss processes).
     pub seed: u64,
+    /// Optional fault-injection scenario (None keeps every component up;
+    /// the emitted JSON then carries no `faults` key at all, so existing
+    /// spec files and their artifacts are byte-identical).
+    pub faults: Option<FaultSpec>,
     /// Experiment-specific extras (e.g. `ping_interval_ms`).
     pub params: BTreeMap<String, ParamValue>,
 }
@@ -150,10 +155,15 @@ impl Default for ExperimentSpec {
             cc: CcKind::NewReno,
             threads: 0,
             seed: 1,
+            faults: None,
             params: BTreeMap::new(),
         }
     }
 }
+
+/// Flap process used when a `--set` key configures only one of
+/// `mttf`/`mttr`: fail about once an hour, repair in a minute.
+const DEFAULT_FLAP: FlapProcess = FlapProcess { mttf_s: 3600.0, mttr_s: 60.0 };
 
 impl ExperimentSpec {
     /// The simulator configuration this spec describes.
@@ -173,11 +183,26 @@ impl ExperimentSpec {
     }
 
     /// Assemble the scenario (constellation + ground segment + sim config).
+    ///
+    /// When the spec carries a fault scenario it is compiled against the
+    /// built constellation (horizon = the spec's `duration`) and attached
+    /// to the simulator configuration.
     pub fn build_scenario(&self) -> Scenario {
-        ScenarioBuilder::new(self.constellation)
+        let mut scenario = ScenarioBuilder::new(self.constellation)
             .ground_stations(self.ground.stations())
             .sim_config(self.sim_config())
-            .build()
+            .build();
+        if let Some(faults) = &self.faults {
+            let schedule = FaultSchedule::compile(faults, &scenario.constellation, self.duration);
+            scenario.sim_config.faults = Some(std::sync::Arc::new(schedule));
+        }
+        scenario
+    }
+
+    /// The fault scenario, created fault-free on first access (used by the
+    /// fault-related `--set` keys and by experiments that inject faults).
+    pub fn faults_mut(&mut self) -> &mut FaultSpec {
+        self.faults.get_or_insert_with(FaultSpec::default)
     }
 
     /// Numeric extra parameter.
@@ -217,9 +242,13 @@ impl ExperimentSpec {
     /// Known keys address the common fields (`constellation`, `cities`,
     /// `pairs`, `min_distance_km`, `duration_s`, `step_ms`,
     /// `line_rate_mbps`, `queue_packets`, `utilization_bucket_s`, `cc`,
-    /// `threads`, `seed`); any other key lands in `params`, with the value
-    /// parsed as bool, number, comma-separated number list, or text — in
-    /// that order.
+    /// `threads`, `seed`) and the fault scenario (`fault_seed`,
+    /// `sat_outage=SAT:FROM_S:UNTIL_S`, `isl_cut=A-B:FROM_S:UNTIL_S`,
+    /// `gsl_weather=GS:FROM_S:UNTIL_S` — each appends a window — plus
+    /// `sat_mttf_s`/`sat_mttr_s`/`isl_mttf_s`/`isl_mttr_s` for the flap
+    /// processes); any other key lands in `params`, with the value parsed
+    /// as bool, number, comma-separated number list, or text — in that
+    /// order.
     pub fn set(&mut self, key: &str, value: &str) -> Result<(), SpecError> {
         fn parse_f64(key: &str, value: &str) -> Result<f64, SpecError> {
             value
@@ -230,6 +259,21 @@ impl ExperimentSpec {
             value.parse::<u64>().map_err(|_| {
                 SpecError(format!("{key} expects a non-negative integer, got {value:?}"))
             })
+        }
+        /// Split `TARGET:FROM_S:UNTIL_S`, leaving the target untyped.
+        fn parse_window_raw<'v>(
+            key: &str,
+            value: &'v str,
+        ) -> Result<(&'v str, f64, f64), SpecError> {
+            let parts: Vec<&str> = value.split(':').collect();
+            if parts.len() != 3 {
+                return err(format!("{key} expects TARGET:FROM_S:UNTIL_S, got {value:?}"));
+            }
+            Ok((parts[0], parse_f64(key, parts[1])?, parse_f64(key, parts[2])?))
+        }
+        fn parse_window(key: &str, value: &str) -> Result<(u32, f64, f64), SpecError> {
+            let (target, from_s, until_s) = parse_window_raw(key, value)?;
+            Ok((parse_u64(key, target)? as u32, from_s, until_s))
         }
         match key {
             "constellation" => match ConstellationChoice::parse(value) {
@@ -287,6 +331,40 @@ impl ExperimentSpec {
             },
             "threads" => self.threads = parse_u64(key, value)? as usize,
             "seed" => self.seed = parse_u64(key, value)?,
+            "fault_seed" => self.faults_mut().seed = parse_u64(key, value)?,
+            "sat_mttf_s" => {
+                self.faults_mut().sat_flap.get_or_insert(DEFAULT_FLAP).mttf_s =
+                    parse_f64(key, value)?;
+            }
+            "sat_mttr_s" => {
+                self.faults_mut().sat_flap.get_or_insert(DEFAULT_FLAP).mttr_s =
+                    parse_f64(key, value)?;
+            }
+            "isl_mttf_s" => {
+                self.faults_mut().isl_flap.get_or_insert(DEFAULT_FLAP).mttf_s =
+                    parse_f64(key, value)?;
+            }
+            "isl_mttr_s" => {
+                self.faults_mut().isl_flap.get_or_insert(DEFAULT_FLAP).mttr_s =
+                    parse_f64(key, value)?;
+            }
+            "sat_outage" => {
+                let (target, from_s, until_s) = parse_window(key, value)?;
+                self.faults_mut().sat_outages.push(OutageWindow { target, from_s, until_s });
+            }
+            "gsl_weather" => {
+                let (target, from_s, until_s) = parse_window(key, value)?;
+                self.faults_mut().gsl_weather.push(OutageWindow { target, from_s, until_s });
+            }
+            "isl_cut" => {
+                let (pair, from_s, until_s) = parse_window_raw(key, value)?;
+                let Some((a, b)) = pair.split_once('-') else {
+                    return err(format!("{key} expects A-B:FROM_S:UNTIL_S, got {value:?}"));
+                };
+                let a = parse_u64(key, a)? as u32;
+                let b = parse_u64(key, b)? as u32;
+                self.faults_mut().isl_cuts.push(LinkCut { a, b, from_s, until_s });
+            }
             "experiment" => {
                 return err("the experiment name is fixed; pick a different registry entry")
             }
@@ -356,6 +434,20 @@ impl ExperimentSpec {
         let _ = writeln!(s, "  \"cc\": {},", json_str(self.cc.name()));
         let _ = writeln!(s, "  \"threads\": {},", self.threads);
         let _ = writeln!(s, "  \"seed\": {},", self.seed);
+        if let Some(f) = &self.faults {
+            s.push_str("  \"faults\": {\n");
+            let _ = writeln!(s, "    \"seed\": {},", f.seed);
+            let _ = writeln!(s, "    \"sat_outages\": {},", json_windows(&f.sat_outages));
+            let _ = writeln!(s, "    \"isl_cuts\": {},", json_cuts(&f.isl_cuts));
+            if let Some(p) = &f.sat_flap {
+                let _ = writeln!(s, "    \"sat_flap\": {},", json_flap(p));
+            }
+            if let Some(p) = &f.isl_flap {
+                let _ = writeln!(s, "    \"isl_flap\": {},", json_flap(p));
+            }
+            let _ = writeln!(s, "    \"gsl_weather\": {}", json_windows(&f.gsl_weather));
+            s.push_str("  },\n");
+        }
         if self.params.is_empty() {
             s.push_str("  \"params\": {}\n");
         } else {
@@ -386,7 +478,7 @@ impl ExperimentSpec {
         s
     }
 
-    /// Parse a spec from the JSON produced by [`to_json_string`]
+    /// Parse a spec from the JSON produced by [`Self::to_json_string`]
     /// (unknown top-level keys are rejected to catch typos).
     pub fn from_json(text: &str) -> Result<ExperimentSpec, SpecError> {
         let v: Value = match serde_json::from_str(text) {
@@ -474,6 +566,10 @@ impl ExperimentSpec {
         };
         spec.threads = req_u64(v, "threads")? as usize;
         spec.seed = req_u64(v, "seed")?;
+        spec.faults = match v.get("faults") {
+            Some(fv) => Some(parse_faults(fv)?),
+            None => None,
+        };
 
         if let Some(params) = v.get("params") {
             if let Some(obj) = params.as_object_keys() {
@@ -529,6 +625,116 @@ fn value_to_param(key: &str, v: &Value) -> Result<ParamValue, SpecError> {
         return Ok(ParamValue::List(xs));
     }
     err(format!("param {key:?} has an unsupported JSON type"))
+}
+
+/// One-line JSON array of outage windows.
+fn json_windows(ws: &[OutageWindow]) -> String {
+    let mut out = String::from("[");
+    for (i, w) in ws.iter().enumerate() {
+        if i > 0 {
+            out.push_str(", ");
+        }
+        let _ = write!(
+            out,
+            "{{ \"target\": {}, \"from_s\": {}, \"until_s\": {} }}",
+            w.target,
+            json_num(w.from_s),
+            json_num(w.until_s)
+        );
+    }
+    out.push(']');
+    out
+}
+
+/// One-line JSON array of ISL cuts.
+fn json_cuts(cuts: &[LinkCut]) -> String {
+    let mut out = String::from("[");
+    for (i, c) in cuts.iter().enumerate() {
+        if i > 0 {
+            out.push_str(", ");
+        }
+        let _ = write!(
+            out,
+            "{{ \"a\": {}, \"b\": {}, \"from_s\": {}, \"until_s\": {} }}",
+            c.a,
+            c.b,
+            json_num(c.from_s),
+            json_num(c.until_s)
+        );
+    }
+    out.push(']');
+    out
+}
+
+fn json_flap(p: &FlapProcess) -> String {
+    format!("{{ \"mttf_s\": {}, \"mttr_s\": {} }}", json_num(p.mttf_s), json_num(p.mttr_s))
+}
+
+fn parse_faults(v: &Value) -> Result<FaultSpec, SpecError> {
+    fn field_f64(v: &Value, ctx: &str, key: &str) -> Result<f64, SpecError> {
+        v.get(key)
+            .and_then(Value::as_f64)
+            .ok_or_else(|| SpecError(format!("{ctx} missing or non-numeric {key:?}")))
+    }
+    fn field_u32(v: &Value, ctx: &str, key: &str) -> Result<u32, SpecError> {
+        v.get(key)
+            .and_then(Value::as_u64)
+            .map(|x| x as u32)
+            .ok_or_else(|| SpecError(format!("{ctx} missing or non-integer {key:?}")))
+    }
+    fn windows(v: &Value, key: &str) -> Result<Vec<OutageWindow>, SpecError> {
+        let Some(arr) = v.get(key) else { return Ok(Vec::new()) };
+        let items = arr
+            .as_array()
+            .ok_or_else(|| SpecError(format!("\"faults.{key}\" must be an array")))?;
+        let ctx = format!("faults.{key} entry");
+        items
+            .iter()
+            .map(|w| {
+                Ok(OutageWindow {
+                    target: field_u32(w, &ctx, "target")?,
+                    from_s: field_f64(w, &ctx, "from_s")?,
+                    until_s: field_f64(w, &ctx, "until_s")?,
+                })
+            })
+            .collect()
+    }
+    fn flap(v: &Value, key: &str) -> Result<Option<FlapProcess>, SpecError> {
+        let Some(p) = v.get(key) else { return Ok(None) };
+        let ctx = format!("faults.{key}");
+        Ok(Some(FlapProcess {
+            mttf_s: field_f64(p, &ctx, "mttf_s")?,
+            mttr_s: field_f64(p, &ctx, "mttr_s")?,
+        }))
+    }
+
+    let mut f = FaultSpec::default();
+    if let Some(seed) = v.get("seed") {
+        f.seed = seed
+            .as_u64()
+            .ok_or_else(|| SpecError("\"faults.seed\" must be a non-negative integer".into()))?;
+    }
+    f.sat_outages = windows(v, "sat_outages")?;
+    f.gsl_weather = windows(v, "gsl_weather")?;
+    if let Some(arr) = v.get("isl_cuts") {
+        let items = arr
+            .as_array()
+            .ok_or_else(|| SpecError("\"faults.isl_cuts\" must be an array".into()))?;
+        f.isl_cuts = items
+            .iter()
+            .map(|c| {
+                Ok(LinkCut {
+                    a: field_u32(c, "faults.isl_cuts entry", "a")?,
+                    b: field_u32(c, "faults.isl_cuts entry", "b")?,
+                    from_s: field_f64(c, "faults.isl_cuts entry", "from_s")?,
+                    until_s: field_f64(c, "faults.isl_cuts entry", "until_s")?,
+                })
+            })
+            .collect::<Result<_, SpecError>>()?;
+    }
+    f.sat_flap = flap(v, "sat_flap")?;
+    f.isl_flap = flap(v, "isl_flap")?;
+    Ok(f)
 }
 
 fn req_str(v: &Value, key: &str) -> Result<String, SpecError> {
@@ -614,6 +820,7 @@ mod tests {
             cc: CcKind::NewReno,
             threads: 0,
             seed: 1,
+            faults: None,
             params: BTreeMap::new(),
         };
         spec.params.insert("ping_interval_ms".into(), ParamValue::Num(20.0));
@@ -720,6 +927,72 @@ mod tests {
         assert_eq!(cfg.fstate_step, SimDuration::from_millis(50));
         assert_eq!(cfg.utilization_bucket, Some(SimDuration::from_secs(1)));
         assert_eq!(cfg.fstate_threads, 4);
+    }
+
+    #[test]
+    fn faulted_spec_round_trips() {
+        let mut spec = sample();
+        let f = spec.faults_mut();
+        f.seed = 7;
+        f.sat_outages.push(OutageWindow { target: 12, from_s: 1.5, until_s: 4.25 });
+        f.isl_cuts.push(LinkCut { a: 3, b: 7, from_s: 0.0, until_s: 2.0 });
+        f.gsl_weather.push(OutageWindow { target: 0, from_s: 10.0, until_s: 30.0 });
+        f.sat_flap = Some(FlapProcess { mttf_s: 570.0, mttr_s: 30.0 });
+        f.isl_flap = Some(FlapProcess { mttf_s: 1200.0, mttr_s: 45.0 });
+        let text = spec.to_json_string();
+        let back = ExperimentSpec::from_json(&text).expect("parse own output");
+        assert_eq!(spec, back);
+        assert_eq!(text, back.to_json_string());
+    }
+
+    #[test]
+    fn fault_free_spec_emits_no_faults_key() {
+        // Byte compatibility: specs without faults serialize exactly as
+        // before the fault subsystem existed.
+        let spec = sample();
+        assert!(!spec.to_json_string().contains("faults"));
+        let back = ExperimentSpec::from_json(&spec.to_json_string()).unwrap();
+        assert_eq!(back.faults, None);
+    }
+
+    #[test]
+    fn set_fault_keys() {
+        let mut spec = sample();
+        spec.set("fault_seed", "99").unwrap();
+        spec.set("sat_outage", "12:1.5:4.25").unwrap();
+        spec.set("isl_cut", "3-7:0:2").unwrap();
+        spec.set("gsl_weather", "0:10:30").unwrap();
+        spec.set("sat_mttf_s", "570").unwrap();
+        spec.set("sat_mttr_s", "30").unwrap();
+        spec.set("isl_mttr_s", "45").unwrap();
+        let f = spec.faults.as_ref().unwrap();
+        assert_eq!(f.seed, 99);
+        assert_eq!(f.sat_outages, vec![OutageWindow { target: 12, from_s: 1.5, until_s: 4.25 }]);
+        assert_eq!(f.isl_cuts, vec![LinkCut { a: 3, b: 7, from_s: 0.0, until_s: 2.0 }]);
+        assert_eq!(f.gsl_weather, vec![OutageWindow { target: 0, from_s: 10.0, until_s: 30.0 }]);
+        assert_eq!(f.sat_flap, Some(FlapProcess { mttf_s: 570.0, mttr_s: 30.0 }));
+        // Only mttr was set; mttf stays at the documented default.
+        assert_eq!(f.isl_flap.unwrap().mttr_s, 45.0);
+
+        assert!(spec.set("sat_outage", "12:1.5").is_err());
+        assert!(spec.set("isl_cut", "37:0:2").is_err());
+        assert!(spec.set("gsl_weather", "zero:10:30").is_err());
+    }
+
+    #[test]
+    fn build_scenario_compiles_fault_schedule() {
+        let mut spec = ExperimentSpec {
+            constellation: ConstellationChoice::TelesatT1,
+            ground: GroundSegment::TopCities(2),
+            duration: SimDuration::from_secs(10),
+            ..ExperimentSpec::default()
+        };
+        assert!(spec.build_scenario().sim_config.faults.is_none());
+        spec.set("sat_outage", "5:1:4").unwrap();
+        let scenario = spec.build_scenario();
+        let schedule = scenario.sim_config.faults.expect("schedule attached");
+        assert!(!schedule.is_empty());
+        assert_eq!(schedule.events().len(), 2); // one Fail + one Recover
     }
 
     #[test]

@@ -7,6 +7,7 @@ use hypatia::runner::ExperimentRunner;
 use hypatia::scenario::ConstellationChoice;
 use hypatia::spec::{ExperimentSpec, GroundSegment, PairSelection, ParamValue};
 use hypatia_constellation::GroundStation;
+use hypatia_fault::{FaultSpec, FlapProcess, OutageWindow};
 use hypatia_util::SimDuration;
 use hypatia_viz::sink::ArtifactSink;
 use std::path::{Path, PathBuf};
@@ -156,6 +157,103 @@ fn fig02_manifest_is_queue_and_thread_invariant() {
     for dir in [dir_heap, dir_cal, dir_cal_mt] {
         let _ = std::fs::remove_dir_all(dir);
     }
+}
+
+/// Fault injection preserves the determinism contract: the same fault spec
+/// (explicit weather window + seeded satellite flaps) produces
+/// byte-identical artifacts and manifest across queue kinds and thread
+/// counts. The flap process lands failures between forwarding updates, so
+/// this covers the mid-flight fault path end to end.
+#[test]
+fn faulted_fig02_manifest_is_queue_and_thread_invariant() {
+    let base = {
+        let mut spec = ExperimentSpec {
+            experiment: "fig02_scalability".to_string(),
+            constellation: ConstellationChoice::KuiperK1,
+            ground: GroundSegment::TopCities(10),
+            pairs: PairSelection::Permutation,
+            duration: SimDuration::from_secs(1),
+            seed: 2020,
+            faults: Some(FaultSpec {
+                seed: 7,
+                gsl_weather: vec![OutageWindow { target: 2, from_s: 0.3, until_s: 0.9 }],
+                sat_flap: Some(FlapProcess::from_unavailability(0.1, 0.5)),
+                ..FaultSpec::default()
+            }),
+            ..ExperimentSpec::default()
+        };
+        spec.params.insert("line_rates_mbps".to_string(), ParamValue::List(vec![10.0]));
+        spec.params.insert("slowdown".to_string(), ParamValue::Flag(false));
+        spec
+    };
+    let with_queue = |queue: &str, threads: usize| {
+        let mut spec = ExperimentSpec { threads, ..base.clone() };
+        spec.params.insert("queue".to_string(), ParamValue::Text(queue.to_string()));
+        spec
+    };
+
+    let dir_heap = temp_dir("faulted_heap");
+    let dir_cal = temp_dir("faulted_calendar");
+    let dir_cal_mt = temp_dir("faulted_calendar_mt");
+    let (heap, heap_manifest) = run_quiet(with_queue("heap", 0), &dir_heap);
+    let (cal, cal_manifest) = run_quiet(with_queue("calendar", 0), &dir_cal);
+    let (cal_mt, cal_mt_manifest) = run_quiet(with_queue("calendar", 4), &dir_cal_mt);
+
+    assert!(!heap.is_empty(), "faulted fig02: expected artifacts, got none");
+    assert_eq!(heap, cal, "faulted fig02: artifacts diverge between heap and calendar queues");
+    assert_eq!(cal, cal_mt, "faulted fig02: artifacts diverge between serial and threaded runs");
+    let stripped = strip_wall_clock(&heap_manifest);
+    assert_eq!(
+        stripped,
+        strip_wall_clock(&cal_manifest),
+        "faulted fig02: manifest diverges between heap and calendar queues"
+    );
+    assert_eq!(
+        stripped,
+        strip_wall_clock(&cal_mt_manifest),
+        "faulted fig02: manifest diverges between serial and threaded runs"
+    );
+
+    for dir in [dir_heap, dir_cal, dir_cal_mt] {
+        let _ = std::fs::remove_dir_all(dir);
+    }
+}
+
+/// A trivial (fault-free) FaultSpec compiles to an empty schedule and must
+/// reproduce the artifacts of a run with no fault engine at all,
+/// byte for byte.
+#[test]
+fn zero_fault_spec_reproduces_unfaulted_artifacts() {
+    let mut spec = ExperimentSpec {
+        experiment: "fig03_rtt_fluctuations".to_string(),
+        constellation: ConstellationChoice::KuiperK1,
+        ground: GroundSegment::Cities(vec![
+            GroundStation::new("Manila", 14.5995, 120.9842),
+            GroundStation::new("Dalian", 38.914, 121.6147),
+        ]),
+        pairs: PairSelection::Named(vec![("Manila".to_string(), "Dalian".to_string())]),
+        duration: SimDuration::from_secs(5),
+        step: SimDuration::from_millis(500),
+        ..ExperimentSpec::default()
+    };
+    spec.params.insert("ping_interval_ms".to_string(), ParamValue::Num(250.0));
+
+    let dir_none = temp_dir("faults_none");
+    let dir_trivial = temp_dir("faults_trivial");
+    let (none, none_manifest) = run_quiet(spec.clone(), &dir_none);
+    spec.faults = Some(FaultSpec::default());
+    let (trivial, trivial_manifest) = run_quiet(spec, &dir_trivial);
+
+    assert!(!none.is_empty(), "expected artifacts, got none");
+    assert_eq!(none, trivial, "a trivial fault spec changed the artifacts");
+    assert_eq!(
+        strip_wall_clock(&none_manifest),
+        strip_wall_clock(&trivial_manifest),
+        "a trivial fault spec changed the manifest"
+    );
+
+    let _ = std::fs::remove_dir_all(dir_none);
+    let _ = std::fs::remove_dir_all(dir_trivial);
 }
 
 /// A spec written to disk and loaded back (the `--spec` path) is the same

@@ -1,7 +1,9 @@
 //! Simulation configuration.
 
 use crate::event::QueueKind;
+use hypatia_fault::FaultSchedule;
 use hypatia_util::{DataRate, SimDuration};
+use std::sync::Arc;
 
 /// Configuration knobs of a packet-level simulation, mirroring the paper's
 /// experiment parameters.
@@ -54,6 +56,14 @@ pub struct SimConfig {
     /// simulation result — is identical for every kind; this is purely a
     /// performance knob (and a differential-testing escape hatch).
     pub queue: QueueKind,
+    /// Fault-injection scenario: a compiled, time-sorted schedule of
+    /// satellite/ISL/GSL failures and repairs (see `hypatia-fault`).
+    /// Fault events are applied mid-flight as simulator events,
+    /// forwarding recomputation routes around whatever is down, and
+    /// packets caught on a failing component are dropped and traced.
+    /// `None` (the default) — and an empty schedule — leave every
+    /// simulation result bit-identical to the fault-free simulator.
+    pub faults: Option<Arc<FaultSchedule>>,
 }
 
 impl Default for SimConfig {
@@ -73,6 +83,7 @@ impl Default for SimConfig {
             fstate_threads: 0,
             fstate_prefetch: 4,
             queue: QueueKind::default(),
+            faults: None,
         }
     }
 }
@@ -159,6 +170,12 @@ impl SimConfig {
         self
     }
 
+    /// Builder-style: inject the given fault scenario.
+    pub fn with_faults(mut self, schedule: Arc<FaultSchedule>) -> Self {
+        self.faults = Some(schedule);
+        self
+    }
+
     /// Effective rate for an ISL device.
     pub fn effective_isl_rate(&self) -> DataRate {
         self.isl_rate.unwrap_or(self.link_rate)
@@ -186,6 +203,7 @@ mod tests {
         assert_eq!(c.effective_isl_rate(), c.link_rate);
         assert_eq!(c.effective_gsl_rate(), c.link_rate);
         assert_eq!(c.queue, QueueKind::Calendar, "calendar queue is the default");
+        assert!(c.faults.is_none(), "fault injection is off by default");
     }
 
     #[test]

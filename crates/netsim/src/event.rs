@@ -56,6 +56,14 @@ pub enum Event {
         /// Application-chosen timer id.
         timer_id: u64,
     },
+    /// Apply fault-schedule entry `index` (a component fails or
+    /// recovers) and chain-schedule the next entry. Packets already in
+    /// flight are judged against the updated state when their
+    /// transmission or arrival completes.
+    FaultUpdate {
+        /// Index into the run's compiled `FaultSchedule`.
+        index: u64,
+    },
 }
 
 #[derive(Debug)]
@@ -505,6 +513,65 @@ mod tests {
             })
             .collect();
         assert_eq!(order, vec![1, 2, 3, 4, 5]);
+    }
+
+    /// Regression for the slot-wraparound edge: events landing exactly at
+    /// the wheel's bucket horizon (`cur_slot + NUM_SLOTS`) must go to the
+    /// overflow heap — one nanosecond earlier is the last wheel slot — and
+    /// both sides of the boundary must pop in exactly heap order, including
+    /// after the wheel has advanced and slot indices have wrapped.
+    #[test]
+    fn boundary_at_the_bucket_horizon_pops_identically_on_both_queues() {
+        let horizon_ns = SLOT_NS * NUM_SLOTS as u64;
+        let mut heap = EventQueue::with_kind(QueueKind::Heap);
+        let mut cal = EventQueue::with_kind(QueueKind::Calendar);
+        let mut id = 0u64;
+        let mut schedule_both = |q1: &mut EventQueue, q2: &mut EventQueue, at_ns: u64| {
+            q1.schedule(SimTime::from_nanos(at_ns), Event::AppTimer { app: 0, timer_id: id });
+            q2.schedule(SimTime::from_nanos(at_ns), Event::AppTimer { app: 0, timer_id: id });
+            id += 1;
+        };
+
+        // Around the horizon of a fresh wheel (cur_slot = 0): the start and
+        // the last nanosecond of the final wheel slot, the first overflow
+        // nanosecond (== the horizon), one slot beyond, and a same-instant
+        // tie straddling the boundary.
+        for at in [
+            horizon_ns - SLOT_NS, // first ns of the last wheel slot
+            horizon_ns - 1,       // last ns inside the wheel
+            horizon_ns,           // exactly the bucket horizon: overflow
+            horizon_ns,           // tie at the horizon: FIFO must hold
+            horizon_ns + SLOT_NS, // one slot past the horizon
+            horizon_ns - 1,       // late tie just inside the wheel
+        ] {
+            schedule_both(&mut heap, &mut cal, at);
+        }
+        let mut last_pop_ns = 0;
+        for step in 0..6 {
+            let a = heap.pop();
+            let b = cal.pop();
+            assert_eq!(a, b, "pop {step} diverged at the bucket horizon");
+            let (t, _) = a.expect("queue drained early");
+            assert!(t.nanos() >= last_pop_ns);
+            last_pop_ns = t.nanos();
+        }
+        assert!(heap.is_empty() && cal.is_empty());
+
+        // After the wheel has advanced past one full rotation, the same
+        // boundary arithmetic applies relative to the new cur_slot, with
+        // slot indices wrapped. Repeat the edge cases there.
+        let base = last_pop_ns; // cursor now sits at this slot
+        let new_horizon =
+            (base >> SLOT_NS.trailing_zeros() << SLOT_NS.trailing_zeros()) + horizon_ns;
+        for at in [new_horizon, new_horizon - 1, new_horizon + 7, base, new_horizon] {
+            schedule_both(&mut heap, &mut cal, at);
+        }
+        for step in 0..5 {
+            let a = heap.pop();
+            let b = cal.pop();
+            assert_eq!(a, b, "wrapped pop {step} diverged");
+        }
+        assert!(heap.is_empty() && cal.is_empty());
     }
 
     /// The differential property test the calendar queue's correctness

@@ -29,8 +29,12 @@
 //!
 //! Extensions beyond the paper's model (all off by default): per-kind
 //! ISL/GSL rates, a deterministic GSL loss process (weather stand-in),
-//! loop-free multipath forwarding ([`SimConfig::with_multipath`]), and a
-//! bounded per-packet [`trace`].
+//! loop-free multipath forwarding ([`SimConfig::with_multipath`]), a
+//! bounded per-packet [`trace`], and deterministic fault injection
+//! ([`SimConfig::with_faults`]): a compiled `hypatia-fault` schedule of
+//! satellite/ISL/GSL failures is applied mid-flight — forwarding
+//! recomputation routes around whatever is down, and packets caught on a
+//! failing component are dropped and traced.
 
 pub mod app;
 pub mod apps;

@@ -9,11 +9,13 @@ use crate::packet::{flow_hash, Packet, Payload};
 use crate::stats::SimStats;
 use crate::trace::{Trace, TraceKind};
 use hypatia_constellation::{Constellation, NodeId};
+use hypatia_fault::FaultState;
 use hypatia_orbit::geodesy::propagation_delay_km;
 use hypatia_routing::forwarding::{
-    compute_forwarding_state, compute_multipath_state, compute_multipath_state_on, ForwardingState,
-    MultipathState,
+    compute_forwarding_state, compute_forwarding_state_on, compute_multipath_state,
+    compute_multipath_state_on, ForwardingState, MultipathState,
 };
+use hypatia_routing::graph::DelayGraph;
 use hypatia_routing::parallel::{Prefetcher, SnapshotWorker};
 use hypatia_util::rng::DetRng;
 #[cfg(test)]
@@ -48,6 +50,13 @@ pub struct Simulator {
     /// event loop consumes step `k`. Deterministic — states are identical
     /// to inline computation and consumed strictly in step order.
     fstate_prefetch: Option<Prefetcher<(ForwardingState, Option<MultipathState>)>>,
+    /// Live fault state (present when `config.faults` is set): maintained
+    /// incrementally by [`Event::FaultUpdate`] events and consulted when
+    /// packets are forwarded, finish serializing, or arrive. Forwarding
+    /// recomputation deliberately does NOT read this — it derives the
+    /// state at `t` purely from the immutable schedule, so prefetched and
+    /// inline states are bit-identical.
+    fault_state: Option<FaultState>,
     next_packet_id: u64,
     /// Deterministic PRNG for the GSL loss process.
     loss_rng: DetRng,
@@ -90,13 +99,24 @@ impl Simulator {
             ));
         }
 
-        let fwd = compute_forwarding_state(&constellation, SimTime::ZERO, &dests);
-        let mp = config
-            .multipath_stretch
-            .map(|s| compute_multipath_state(&constellation, SimTime::ZERO, &dests, s));
+        let (fwd, mp) = Self::compute_states(&constellation, &config, &dests, SimTime::ZERO);
         let mut queue = EventQueue::with_kind(config.queue);
         if !config.freeze_at_epoch {
             queue.schedule(SimTime::ZERO + config.fstate_step, Event::ForwardingUpdate { step: 1 });
+        }
+
+        // Fault injection: events at t = 0 are already folded into the
+        // initial live state (and the initial forwarding computation);
+        // the first strictly-future event starts the chain, and each
+        // `FaultUpdate` schedules its successor.
+        let fault_state = config.faults.as_ref().map(|s| FaultState::at(s, SimTime::ZERO));
+        if let Some(schedule) = &config.faults {
+            if let Some(first) = schedule.events().iter().position(|e| e.t > SimTime::ZERO) {
+                queue.schedule(
+                    schedule.events()[first].t,
+                    Event::FaultUpdate { index: first as u64 },
+                );
+            }
         }
 
         // Background prefetch of upcoming forwarding steps (off for frozen
@@ -106,6 +126,7 @@ impl Simulator {
             let dests = dests.clone();
             let step = config.fstate_step;
             let stretch = config.multipath_stretch;
+            let faults = config.faults.clone();
             Prefetcher::spawn(
                 1,
                 config.fstate_threads,
@@ -113,7 +134,11 @@ impl Simulator {
                 SnapshotWorker::new,
                 move |worker: &mut SnapshotWorker, k| {
                     let t = SimTime::ZERO + step * k;
-                    let fwd = worker.forwarding_state(&constellation, t, &dests);
+                    // Pure replay of the schedule at `t` — workers never
+                    // see (or race on) the simulator's live fault state.
+                    let mask = faults.as_ref().map(|s| FaultState::at(s, t));
+                    let fwd =
+                        worker.forwarding_state_masked(&constellation, t, &dests, mask.as_ref());
                     let mp = stretch
                         .map(|s| compute_multipath_state_on(worker.buffers.graph(), t, &dests, s));
                     (fwd, mp)
@@ -134,6 +159,7 @@ impl Simulator {
             fwd,
             mp,
             fstate_prefetch,
+            fault_state,
             next_packet_id: 0,
             loss_rng,
             trace,
@@ -194,16 +220,58 @@ impl Simulator {
 
     fn handle(&mut self, event: Event) {
         match event {
-            Event::Arrival { node, packet } => {
-                self.stats.hop_deliveries += 1;
-                self.trace.record(self.now, NodeId(node), packet.id, TraceKind::Arrive);
-                self.process_at_node(node, packet);
-            }
+            Event::Arrival { node, packet } => self.arrival(node, packet),
             Event::TxComplete { node, device } => self.tx_complete(node, device),
             Event::ForwardingUpdate { step } => self.forwarding_update(step),
             Event::AppTimer { app, timer_id } => {
                 self.with_app(app, |a, ctx| a.on_timer(ctx, timer_id));
             }
+            Event::FaultUpdate { index } => self.fault_update(index),
+        }
+    }
+
+    fn arrival(&mut self, node: u32, packet: Packet) {
+        // A packet propagating towards a satellite that failed mid-flight
+        // is lost with it. Ground-station nodes never fail (weather only
+        // attenuates their GSLs), so they always receive.
+        if let Some(f) = &self.fault_state {
+            if self.constellation.is_satellite(NodeId(node)) && f.satellite_down(node as usize) {
+                self.stats.fault_drops += 1;
+                self.trace.record(self.now, NodeId(node), packet.id, TraceKind::FaultDrop);
+                return;
+            }
+        }
+        self.stats.hop_deliveries += 1;
+        self.trace.record(self.now, NodeId(node), packet.id, TraceKind::Arrive);
+        self.process_at_node(node, packet);
+    }
+
+    /// Apply fault-schedule entry `index` to the live state and chain the
+    /// next entry. Chaining (instead of scheduling the whole schedule up
+    /// front) keeps the queue small on long flap-heavy runs.
+    fn fault_update(&mut self, index: u64) {
+        let schedule = self.config.faults.clone().expect("fault event without a schedule");
+        let event = &schedule.events()[index as usize];
+        debug_assert_eq!(event.t, self.now, "fault event fired at the wrong time");
+        self.fault_state.as_mut().expect("fault event without live state").apply(event);
+        if let Some(next) = schedule.events().get(index as usize + 1) {
+            self.queue.schedule(next.t, Event::FaultUpdate { index: index + 1 });
+        }
+    }
+
+    /// Is the directed hop `a -> b` usable under the live fault state?
+    fn link_up(&self, a: NodeId, b: NodeId) -> bool {
+        let Some(f) = &self.fault_state else { return true };
+        if f.all_up() {
+            return true;
+        }
+        let n_sats = self.constellation.num_satellites();
+        match (self.constellation.is_satellite(a), self.constellation.is_satellite(b)) {
+            (true, true) => f.isl_link_up(a.0, b.0),
+            (true, false) => f.gsl_link_up(a.index(), b.index() - n_sats),
+            (false, true) => f.gsl_link_up(b.index(), a.index() - n_sats),
+            // GS <-> GS links do not exist in the topology.
+            (false, false) => true,
         }
     }
 
@@ -257,6 +325,15 @@ impl Simulator {
             self.trace.record(self.now, NodeId(node), packet.id, TraceKind::RoutingDrop);
             return;
         };
+        // Between a fault event and the next forwarding recomputation the
+        // state may still point into a failed component: those packets are
+        // lost (the paper's lossless-handoff rule covers reassignment, not
+        // destruction of the link).
+        if !self.link_up(NodeId(node), next_hop) {
+            self.stats.fault_drops += 1;
+            self.trace.record(self.now, NodeId(node), packet.id, TraceKind::FaultDrop);
+            return;
+        }
         let Some(dev_idx) = self.nodes[node as usize].device_for(next_hop) else {
             self.stats.routing_drops += 1;
             self.trace.record(self.now, NodeId(node), packet.id, TraceKind::RoutingDrop);
@@ -283,6 +360,14 @@ impl Simulator {
         let (done, next) = self.nodes[node as usize].devices[device as usize].tx_complete(self.now);
         if let Some(ser) = next {
             self.queue.schedule(self.now + ser, Event::TxComplete { node, device });
+        }
+        // The link may have been cut while the packet serialized: it never
+        // makes it onto the channel. The device keeps draining — each
+        // queued packet is judged at its own transmission instant.
+        if !self.link_up(NodeId(node), done.next_hop) {
+            self.stats.fault_drops += 1;
+            self.trace.record(self.now, NodeId(node), done.packet.id, TraceKind::FaultDrop);
+            return;
         }
         // Channel impairment: GSL transmissions may be lost (weather model
         // stand-in; disabled by default).
@@ -311,15 +396,45 @@ impl Simulator {
             self.fwd = fwd;
             self.mp = mp;
         } else {
-            self.fwd = compute_forwarding_state(&self.constellation, t, &self.dests);
-            if let Some(stretch) = self.config.multipath_stretch {
-                self.mp =
-                    Some(compute_multipath_state(&self.constellation, t, &self.dests, stretch));
+            let (fwd, mp) = Self::compute_states(&self.constellation, &self.config, &self.dests, t);
+            self.fwd = fwd;
+            if mp.is_some() {
+                self.mp = mp;
             }
         }
         self.stats.forwarding_updates += 1;
         self.queue
             .schedule(t + self.config.fstate_step, Event::ForwardingUpdate { step: step + 1 });
+    }
+
+    /// Forwarding (and multipath) state at `t`. With faults configured,
+    /// both are computed on one snapshot graph with the schedule's state
+    /// at `t` masked out — derived purely from the immutable schedule, so
+    /// this is bit-identical however and whenever it is invoked.
+    fn compute_states(
+        constellation: &Constellation,
+        config: &SimConfig,
+        dests: &[NodeId],
+        t: SimTime,
+    ) -> (ForwardingState, Option<MultipathState>) {
+        match &config.faults {
+            Some(schedule) => {
+                let mask = FaultState::at(schedule, t);
+                let graph = DelayGraph::snapshot_masked(constellation, t, Some(&mask));
+                let fwd = compute_forwarding_state_on(&graph, t, dests);
+                let mp = config
+                    .multipath_stretch
+                    .map(|s| compute_multipath_state_on(&graph, t, dests, s));
+                (fwd, mp)
+            }
+            None => {
+                let fwd = compute_forwarding_state(constellation, t, dests);
+                let mp = config
+                    .multipath_stretch
+                    .map(|s| compute_multipath_state(constellation, t, dests, s));
+                (fwd, mp)
+            }
+        }
     }
 
     /// Put a freshly-created packet into the network at its source node.
@@ -652,6 +767,115 @@ mod tests {
                 }
             }
         }
+    }
+
+    #[test]
+    fn zero_fault_schedule_is_bit_identical_to_no_faults() {
+        use hypatia_fault::{FaultSchedule, FaultSpec};
+        let c = constellation();
+        let (src, dst) = (c.gs_node(0), c.gs_node(1));
+        let empty =
+            Arc::new(FaultSchedule::compile(&FaultSpec::default(), &c, SimDuration::from_secs(2)));
+        assert!(empty.is_empty(), "default spec must compile to no events");
+        let run = |cfg: SimConfig| {
+            let mut sim = Simulator::new(c.clone(), cfg, vec![src, dst]);
+            let app = sim.add_app(
+                src,
+                100,
+                Box::new(PingApp::new(dst, SimDuration::from_millis(10), SimTime::from_secs(1))),
+            );
+            sim.run_until(SimTime::from_secs(2));
+            let ping: &PingApp = sim.app_as(app).unwrap();
+            (ping.rtts().to_vec(), sim.stats.clone())
+        };
+        let plain = run(SimConfig::default());
+        let faulted = run(SimConfig::default().with_faults(empty));
+        assert_eq!(plain, faulted, "empty fault schedule changed the simulation");
+    }
+
+    #[test]
+    fn weather_outage_drops_then_recovers() {
+        use hypatia_fault::{FaultSchedule, FaultSpec, OutageWindow};
+        let c = constellation();
+        let (src, dst) = (c.gs_node(0), c.gs_node(1));
+        // Attenuate the source ground station's GSLs mid-run, off a
+        // forwarding-step boundary: packets pushed by the stale state
+        // during [0.55, 0.6) die as fault drops; once forwarding has
+        // recomputed on the masked graph the source is an island and new
+        // pings die as routing drops; after 1.2 s service recovers.
+        let spec = FaultSpec {
+            gsl_weather: vec![OutageWindow { target: 0, from_s: 0.55, until_s: 1.2 }],
+            ..FaultSpec::default()
+        };
+        let schedule = Arc::new(FaultSchedule::compile(&spec, &c, SimDuration::from_secs(3)));
+        assert_eq!(schedule.events().len(), 2);
+        let cfg = SimConfig::default().with_faults(schedule).with_trace_limit(100_000);
+        let mut sim = Simulator::new(c.clone(), cfg, vec![src, dst]);
+        let app = sim.add_app(
+            src,
+            100,
+            Box::new(PingApp::new(dst, SimDuration::from_millis(5), SimTime::from_secs(2))),
+        );
+        sim.run_until(SimTime::from_secs(3));
+        assert!(sim.stats.fault_drops > 0, "stale-state window produced no fault drops");
+        assert!(sim.stats.routing_drops > 0, "masked forwarding produced no routing drops");
+        assert_eq!(
+            sim.stats.injected,
+            sim.stats.delivered + sim.stats.total_drops(),
+            "conservation with faults: {:?}",
+            sim.stats
+        );
+        assert!(sim.trace.entries().iter().any(|e| e.kind == TraceKind::FaultDrop));
+        // Pings before the outage and after recovery are answered: far
+        // more than the outage window could swallow.
+        let ping: &PingApp = sim.app_as(app).unwrap();
+        assert!(ping.received() >= 100, "service never recovered: {}", ping.received());
+        assert!(ping.received() < ping.sent(), "the outage cost nothing?");
+    }
+
+    #[test]
+    fn satellite_outage_is_bit_identical_across_prefetch_and_queue_kind() {
+        use crate::event::QueueKind;
+        use hypatia_fault::{FaultSchedule, FaultSpec, OutageWindow};
+        let c = constellation();
+        let (src, dst) = (c.gs_node(0), c.gs_node(1));
+        // Fail the middle satellite of the t = 0 path mid-run.
+        let probe = Simulator::new(c.clone(), SimConfig::default(), vec![src, dst]);
+        let path = probe.forwarding().path(src, dst).expect("nominal path exists");
+        let victim = path[path.len() / 2];
+        assert!(c.is_satellite(victim));
+        let spec = FaultSpec {
+            sat_outages: vec![OutageWindow { target: victim.0, from_s: 0.42, until_s: 1.33 }],
+            ..FaultSpec::default()
+        };
+        let schedule = Arc::new(FaultSchedule::compile(&spec, &c, SimDuration::from_secs(3)));
+        let run = |cfg: SimConfig| {
+            let mut sim = Simulator::new(c.clone(), cfg, vec![src, dst]);
+            let app = sim.add_app(
+                src,
+                100,
+                Box::new(PingApp::new(dst, SimDuration::from_millis(5), SimTime::from_secs(2))),
+            );
+            sim.run_until(SimTime::from_secs(3));
+            let ping: &PingApp = sim.app_as(app).unwrap();
+            (ping.rtts().to_vec(), sim.stats.clone())
+        };
+        let base = SimConfig::default().with_faults(schedule);
+        let inline = run(base.clone());
+        // Packets the stale state kept sending into the dead satellite.
+        assert!(inline.1.fault_drops > 0, "no packets caught by the outage: {:?}", inline.1);
+        assert_eq!(
+            inline.1.injected,
+            inline.1.delivered + inline.1.total_drops(),
+            "conservation: {:?}",
+            inline.1
+        );
+        for threads in [1, 4] {
+            let prefetched = run(base.clone().with_fstate_prefetch(threads, 4));
+            assert_eq!(inline, prefetched, "threads={threads} diverged under faults");
+        }
+        let heap = run(base.clone().with_queue(QueueKind::Heap));
+        assert_eq!(inline, heap, "queue kinds diverged under faults");
     }
 
     #[test]

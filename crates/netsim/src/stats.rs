@@ -3,7 +3,7 @@
 use hypatia_util::SimDuration;
 
 /// Network-wide counters maintained by the simulator.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct SimStats {
     /// Packets injected by applications (and auto-generated echo replies).
     pub injected: u64,
@@ -19,6 +19,9 @@ pub struct SimStats {
     pub queue_drops: u64,
     /// Packets lost on the GSL channel (weather/impairment model).
     pub channel_drops: u64,
+    /// Packets dropped by fault injection (in flight on a cut link, or
+    /// arriving at / forwarded towards a failed component).
+    pub fault_drops: u64,
     /// Packets delivered to a port with no bound application.
     pub unclaimed: u64,
     /// Ping packets answered by node-level echo.
@@ -38,7 +41,7 @@ impl SimStats {
 
     /// Total drops of any kind.
     pub fn total_drops(&self) -> u64 {
-        self.routing_drops + self.queue_drops + self.channel_drops
+        self.routing_drops + self.queue_drops + self.channel_drops + self.fault_drops
     }
 }
 
@@ -56,7 +59,8 @@ mod tests {
 
     #[test]
     fn drop_totals() {
-        let stats = SimStats { routing_drops: 3, queue_drops: 4, ..Default::default() };
-        assert_eq!(stats.total_drops(), 7);
+        let stats =
+            SimStats { routing_drops: 3, queue_drops: 4, fault_drops: 2, ..Default::default() };
+        assert_eq!(stats.total_drops(), 9);
     }
 }

@@ -24,6 +24,9 @@ pub enum TraceKind {
     QueueDrop,
     /// Dropped: lost on the GSL channel.
     ChannelDrop,
+    /// Dropped by fault injection: the packet was in flight on (or
+    /// forwarded into) a link or node that a scheduled fault took down.
+    FaultDrop,
 }
 
 /// One trace record.

@@ -10,7 +10,32 @@ use crate::dijkstra::{shortest_path_tree_into, DijkstraScratch, SpTree};
 use crate::graph::{DelayGraph, SnapshotBuffers};
 use crate::multipath::{multipath_tree, MultipathTree};
 use hypatia_constellation::{Constellation, NodeId};
+use hypatia_fault::FaultState;
 use hypatia_util::{SimDuration, SimTime};
+use std::fmt;
+
+/// A typed "no route" error: `dst` cannot be reached from `src` in the
+/// snapshot a lookup was made against (or `dst` is not a destination of
+/// that state at all).
+///
+/// Under fault injection the snapshot graph can partition, so
+/// unreachability is an expected outcome that callers must handle —
+/// the `try_*` lookup variants return this instead of panicking.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Unreachable {
+    /// The node the lookup started from.
+    pub src: NodeId,
+    /// The destination that could not be reached.
+    pub dst: NodeId,
+}
+
+impl fmt::Display for Unreachable {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "no route from node {} to node {}", self.src.0, self.dst.0)
+    }
+}
+
+impl std::error::Error for Unreachable {}
 
 /// Sentinel in the dense destination lookup: "not a destination".
 const NOT_A_DEST: u32 = u32::MAX;
@@ -72,6 +97,22 @@ impl ForwardingState {
     /// The shortest-path tree towards `dst`, if it is a known destination.
     pub fn tree(&self, dst: NodeId) -> Option<&SpTree> {
         Some(&self.trees[self.dest_index(dst)?])
+    }
+
+    /// As [`Self::next_hop`], but with a typed error naming the
+    /// unreachable pair instead of a bare `None`.
+    pub fn try_next_hop(&self, node: NodeId, dst: NodeId) -> Result<NodeId, Unreachable> {
+        self.next_hop(node, dst).ok_or(Unreachable { src: node, dst })
+    }
+
+    /// As [`Self::distance`], but with a typed error.
+    pub fn try_distance(&self, node: NodeId, dst: NodeId) -> Result<SimDuration, Unreachable> {
+        self.distance(node, dst).ok_or(Unreachable { src: node, dst })
+    }
+
+    /// As [`Self::path`], but with a typed error.
+    pub fn try_path(&self, node: NodeId, dst: NodeId) -> Result<Vec<NodeId>, Unreachable> {
+        self.path(node, dst).ok_or(Unreachable { src: node, dst })
     }
 
     #[inline]
@@ -137,10 +178,38 @@ pub fn compute_forwarding_state_with(
     t: SimTime,
     dests: &[NodeId],
 ) -> ForwardingState {
-    let graph = buffers.snapshot(constellation, t);
+    compute_forwarding_state_with_mask(buffers, scratch, constellation, t, dests, None)
+}
+
+/// As [`compute_forwarding_state_with`], but routing around faulted
+/// components: the snapshot graph omits every node and link `faults`
+/// marks down (see
+/// [`SnapshotBuffers::snapshot_masked`](crate::graph::SnapshotBuffers::snapshot_masked)).
+/// With `faults == None` this is exactly the nominal computation.
+pub fn compute_forwarding_state_with_mask(
+    buffers: &mut SnapshotBuffers,
+    scratch: &mut DijkstraScratch,
+    constellation: &Constellation,
+    t: SimTime,
+    dests: &[NodeId],
+    faults: Option<&FaultState>,
+) -> ForwardingState {
+    let graph = buffers.snapshot_masked(constellation, t, faults);
     let mut out = ForwardingState::empty();
     compute_forwarding_state_into(graph, t, dests, scratch, &mut out);
     out
+}
+
+/// Compute the forwarding state at `t` with faulted components masked
+/// out of the snapshot graph.
+pub fn compute_forwarding_state_masked(
+    constellation: &Constellation,
+    t: SimTime,
+    dests: &[NodeId],
+    faults: Option<&FaultState>,
+) -> ForwardingState {
+    let graph = DelayGraph::snapshot_masked(constellation, t, faults);
+    compute_forwarding_state_on(&graph, t, dests)
 }
 
 /// Multipath forwarding state: downhill alternates towards each
@@ -296,6 +365,72 @@ mod tests {
         let st = compute_forwarding_state(&c, SimTime::ZERO, &[c.gs_node(0)]);
         assert_eq!(st.next_hop(c.gs_node(1), c.gs_node(1)), None);
         assert_eq!(st.distance(NodeId(0), c.gs_node(1)), None);
+    }
+
+    #[test]
+    fn try_lookups_name_the_unreachable_pair() {
+        let c = constellation();
+        let (src, dst) = (c.gs_node(0), c.gs_node(1));
+        let st = compute_forwarding_state(&c, SimTime::ZERO, &[src]);
+        // dst is not a destination of this state: every try_* lookup
+        // reports the pair instead of panicking.
+        let err = st.try_next_hop(src, dst).unwrap_err();
+        assert_eq!(err, Unreachable { src, dst });
+        assert_eq!(st.try_distance(src, dst).unwrap_err(), Unreachable { src, dst });
+        assert_eq!(st.try_path(src, dst).unwrap_err(), Unreachable { src, dst });
+        assert!(err.to_string().contains(&format!("{}", src.0)));
+        // A reachable pair goes through the Ok arm.
+        let st = compute_forwarding_state(&c, SimTime::ZERO, &[dst]);
+        assert!(st.try_next_hop(src, dst).is_ok());
+        assert_eq!(st.try_path(src, dst).unwrap().last(), Some(&dst));
+    }
+
+    #[test]
+    fn weather_partition_is_a_typed_unreachable() {
+        use hypatia_fault::{FaultSchedule, FaultSpec, FaultState, OutageWindow};
+        let c = constellation();
+        let (src, dst) = (c.gs_node(0), c.gs_node(1));
+        // Weather takes out every GSL of the destination's ground station.
+        let spec = FaultSpec {
+            gsl_weather: vec![OutageWindow { target: 1, from_s: 0.0, until_s: 60.0 }],
+            ..FaultSpec::default()
+        };
+        let sched = FaultSchedule::compile(&spec, &c, SimDuration::from_secs(120));
+        let dark = FaultState::at(&sched, SimTime::from_secs(10));
+        let st = compute_forwarding_state_masked(&c, SimTime::from_secs(10), &[dst], Some(&dark));
+        assert_eq!(st.try_next_hop(src, dst), Err(Unreachable { src, dst }));
+        // Once the sky clears, the same pair routes again.
+        let clear = FaultState::at(&sched, SimTime::from_secs(90));
+        let st = compute_forwarding_state_masked(&c, SimTime::from_secs(90), &[dst], Some(&clear));
+        assert!(st.try_next_hop(src, dst).is_ok());
+    }
+
+    #[test]
+    fn masked_forwarding_routes_around_a_failed_satellite() {
+        use hypatia_fault::{FaultSchedule, FaultSpec, FaultState, OutageWindow};
+        let c = constellation();
+        let (src, dst) = (c.gs_node(0), c.gs_node(1));
+        let nominal = compute_forwarding_state(&c, SimTime::ZERO, &[dst]);
+        let path = nominal.path(src, dst).expect("nominal route exists");
+        // Fail a mid-path transit satellite (the endpoints' only GSL
+        // satellites could partition the pair, which is a different test).
+        let victim = path[path.len() / 2].0;
+        assert!(c.is_satellite(path[path.len() / 2]));
+        let spec = FaultSpec {
+            sat_outages: vec![OutageWindow { target: victim, from_s: 0.0, until_s: 60.0 }],
+            ..FaultSpec::default()
+        };
+        let sched = FaultSchedule::compile(&spec, &c, SimDuration::from_secs(60));
+        let state = FaultState::at(&sched, SimTime::ZERO);
+        let masked = compute_forwarding_state_masked(&c, SimTime::ZERO, &[dst], Some(&state));
+        let rerouted = masked.try_path(src, dst).expect("a 10x10 grid survives one failure");
+        assert!(
+            rerouted.iter().all(|&n| n.0 != victim),
+            "rerouted path {rerouted:?} still uses failed satellite {victim}"
+        );
+        let d_nominal = nominal.distance(src, dst).unwrap();
+        let d_masked = masked.distance(src, dst).unwrap();
+        assert!(d_masked >= d_nominal, "detour cannot be shorter than the shortest path");
     }
 
     #[test]

@@ -8,6 +8,7 @@
 
 use hypatia_constellation::gsl::usable_satellites;
 use hypatia_constellation::{Constellation, NodeId};
+use hypatia_fault::FaultState;
 use hypatia_orbit::geodesy::propagation_delay_km;
 use hypatia_util::{SimDuration, SimTime, Vec3};
 
@@ -60,8 +61,23 @@ impl SnapshotBuffers {
     /// from the previous call. The returned graph is identical to
     /// [`DelayGraph::snapshot`]'s.
     pub fn snapshot(&mut self, constellation: &Constellation, t: SimTime) -> &DelayGraph {
+        self.snapshot_masked(constellation, t, None)
+    }
+
+    /// As [`Self::snapshot`], but omitting every edge that `faults` marks
+    /// down: ISLs whose link (or either endpoint satellite) has failed,
+    /// and GSLs to failed satellites or weather-attenuated ground
+    /// stations. With `faults == None` (or an all-up state) the graph is
+    /// identical to the unmasked snapshot. The fault state must have been
+    /// compiled for this constellation.
+    pub fn snapshot_masked(
+        &mut self,
+        constellation: &Constellation,
+        t: SimTime,
+        faults: Option<&FaultState>,
+    ) -> &DelayGraph {
         constellation.positions_at_into(t, &mut self.graph.positions);
-        self.rebuild(constellation, t);
+        self.rebuild(constellation, t, faults);
         &self.graph
     }
 
@@ -76,8 +92,8 @@ impl SnapshotBuffers {
     }
 
     /// Rebuild `self.graph`'s edges from `self.graph.positions` (already
-    /// filled for time `t`).
-    fn rebuild(&mut self, constellation: &Constellation, t: SimTime) {
+    /// filled for time `t`), skipping edges masked by `faults`.
+    fn rebuild(&mut self, constellation: &Constellation, t: SimTime, faults: Option<&FaultState>) {
         let g = &mut self.graph;
         let n = constellation.num_nodes();
         assert_eq!(g.positions.len(), n, "position snapshot size");
@@ -90,15 +106,30 @@ impl SnapshotBuffers {
         // stable, so per-node adjacency order is unchanged.
         self.pairs.clear();
         for &(a, b) in &constellation.isls {
+            if let Some(f) = faults {
+                if !f.isl_link_up(a, b) {
+                    continue;
+                }
+            }
             let d = positions[a as usize].distance(positions[b as usize]);
             let delay = propagation_delay_km(d).nanos();
             self.pairs.push((a, Edge { to: b, delay_ns: delay }));
             self.pairs.push((b, Edge { to: a, delay_ns: delay }));
         }
         for (gs_idx, _gs) in constellation.ground_stations.iter().enumerate() {
+            if let Some(f) = faults {
+                if f.gs_weather_down(gs_idx) {
+                    continue;
+                }
+            }
             let gs_node = constellation.gs_node(gs_idx).0;
             let gs_pos = positions[n_sats + gs_idx];
             for vis in usable_satellites(constellation, gs_pos, &positions[..n_sats], t) {
+                if let Some(f) = faults {
+                    if f.satellite_down(vis.sat_idx) {
+                        continue;
+                    }
+                }
                 let delay = propagation_delay_km(vis.range_km).nanos();
                 self.pairs.push((gs_node, Edge { to: vis.sat_idx as u32, delay_ns: delay }));
                 self.pairs.push((vis.sat_idx as u32, Edge { to: gs_node, delay_ns: delay }));
@@ -149,6 +180,18 @@ impl DelayGraph {
         buffers.into_graph()
     }
 
+    /// Build the snapshot graph at `t` with faulted components masked
+    /// out (see [`SnapshotBuffers::snapshot_masked`]).
+    pub fn snapshot_masked(
+        constellation: &Constellation,
+        t: SimTime,
+        faults: Option<&FaultState>,
+    ) -> DelayGraph {
+        let mut buffers = SnapshotBuffers::new();
+        buffers.snapshot_masked(constellation, t, faults);
+        buffers.into_graph()
+    }
+
     /// Build from an already-computed position snapshot (satellites first,
     /// then ground stations, as produced by `Constellation::positions_at`).
     pub fn from_positions(
@@ -158,7 +201,7 @@ impl DelayGraph {
     ) -> DelayGraph {
         let mut buffers = SnapshotBuffers::new();
         buffers.graph.positions = positions;
-        buffers.rebuild(constellation, t);
+        buffers.rebuild(constellation, t, None);
         buffers.into_graph()
     }
 
@@ -293,6 +336,54 @@ mod tests {
         // Intra-orbit neighbours keep constant distance; inter-orbit vary.
         // Either way the call must return a positive, finite delay.
         assert!(d0 > SimDuration::ZERO && d1 > SimDuration::ZERO);
+    }
+
+    #[test]
+    fn fault_mask_removes_exactly_the_failed_edges() {
+        use hypatia_fault::{FaultSchedule, FaultSpec, FaultState, LinkCut, OutageWindow};
+        let c = tiny();
+        let t = SimTime::from_secs(5);
+        let (cut_a, cut_b) = c.isls[0];
+        let down_sat = 7u32;
+        let spec = FaultSpec {
+            sat_outages: vec![OutageWindow { target: down_sat, from_s: 0.0, until_s: 30.0 }],
+            isl_cuts: vec![LinkCut { a: cut_a, b: cut_b, from_s: 0.0, until_s: 30.0 }],
+            gsl_weather: vec![OutageWindow { target: 0, from_s: 0.0, until_s: 30.0 }],
+            ..FaultSpec::default()
+        };
+        let sched = FaultSchedule::compile(&spec, &c, SimDuration::from_secs(60));
+        let state = FaultState::at(&sched, t);
+
+        let nominal = DelayGraph::snapshot(&c, t);
+        let masked = DelayGraph::snapshot_masked(&c, t, Some(&state));
+        assert!(masked.num_edges() < nominal.num_edges());
+        // The cut ISL and every edge touching the failed satellite are gone.
+        assert!(!masked.has_edge(cut_a as usize, cut_b as usize));
+        assert!(masked.edges(down_sat as usize).is_empty());
+        for u in 0..masked.num_nodes() {
+            assert!(!masked.has_edge(u, down_sat as usize));
+        }
+        // Weather downs every GSL of ground station 0.
+        assert!(masked.edges(c.gs_node(0).index()).is_empty());
+        // After recovery the masked snapshot equals the nominal one.
+        let later = FaultState::at(&sched, SimTime::from_secs(45));
+        let recovered = DelayGraph::snapshot_masked(&c, t, Some(&later));
+        assert_eq!(recovered.num_edges(), nominal.num_edges());
+    }
+
+    #[test]
+    fn all_up_mask_is_identical_to_no_mask() {
+        use hypatia_fault::{FaultSchedule, FaultSpec, FaultState};
+        let c = tiny();
+        let sched = FaultSchedule::compile(&FaultSpec::default(), &c, SimDuration::from_secs(10));
+        let state = FaultState::new(&sched);
+        let t = SimTime::from_secs(3);
+        let nominal = DelayGraph::snapshot(&c, t);
+        let masked = DelayGraph::snapshot_masked(&c, t, Some(&state));
+        assert_eq!(nominal.num_edges(), masked.num_edges());
+        for u in 0..nominal.num_nodes() {
+            assert_eq!(nominal.edges(u), masked.edges(u), "adjacency of node {u}");
+        }
     }
 
     #[test]

@@ -19,8 +19,13 @@
 //!   traffic-engineering direction, usable directly by the simulator);
 //! * [`parallel`] — the deterministic parallel snapshot pipeline: ordered
 //!   fan-out of independent time-steps across worker threads, plus the
-//!   bounded-prefetch schedule the packet simulator consumes.
+//!   bounded-prefetch schedule the packet simulator consumes;
+//! * [`churn`] — per-snapshot next-hop churn and unreachable-pair
+//!   metrics, the routing-level view of fault injection
+//!   (`hypatia-fault`): masked snapshots simply omit failed components,
+//!   so forwarding states reconverge around them.
 
+pub mod churn;
 pub mod dijkstra;
 pub mod floyd_warshall;
 pub mod forwarding;
@@ -30,8 +35,11 @@ pub mod multipath;
 pub mod parallel;
 pub mod path;
 
+pub use churn::{churn_between, SnapshotChurn};
 pub use dijkstra::DijkstraScratch;
-pub use forwarding::{compute_forwarding_state, ForwardingState};
+pub use forwarding::{
+    compute_forwarding_state, compute_forwarding_state_masked, ForwardingState, Unreachable,
+};
 pub use graph::{DelayGraph, SnapshotBuffers};
 pub use parallel::{Prefetcher, SnapshotWorker};
 pub use path::{extract_path, path_rtt_at, PairTracker};

@@ -20,9 +20,12 @@
 //!   while a consumer (the netsim event loop) is still busy with step `k`.
 
 use crate::dijkstra::DijkstraScratch;
-use crate::forwarding::{compute_forwarding_state_with, ForwardingState};
+use crate::forwarding::{
+    compute_forwarding_state_with, compute_forwarding_state_with_mask, ForwardingState,
+};
 use crate::graph::SnapshotBuffers;
 use hypatia_constellation::{Constellation, NodeId};
+use hypatia_fault::FaultState;
 use hypatia_util::SimTime;
 use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
@@ -161,6 +164,27 @@ impl SnapshotWorker {
         dests: &[NodeId],
     ) -> ForwardingState {
         compute_forwarding_state_with(&mut self.buffers, &mut self.scratch, constellation, t, dests)
+    }
+
+    /// As [`Self::forwarding_state`], routing around faulted components.
+    /// Because the fault state is derived purely from an immutable
+    /// schedule, prefetch workers calling this produce states
+    /// bit-identical to the inline recomputation path.
+    pub fn forwarding_state_masked(
+        &mut self,
+        constellation: &Constellation,
+        t: SimTime,
+        dests: &[NodeId],
+        faults: Option<&FaultState>,
+    ) -> ForwardingState {
+        compute_forwarding_state_with_mask(
+            &mut self.buffers,
+            &mut self.scratch,
+            constellation,
+            t,
+            dests,
+            faults,
+        )
     }
 }
 

@@ -79,10 +79,40 @@ mod tests {
 
     #[test]
     fn matches_known_vectors() {
-        // Standard FNV-1a 64 test vectors.
-        assert_eq!(fnv1a_64(b""), 0xcbf2_9ce4_8422_2325);
-        assert_eq!(fnv1a_64(b"a"), 0xaf63_dc4c_8601_ec8c);
-        assert_eq!(fnv1a_64(b"foobar"), 0x8594_4171_f739_67e8);
+        // Published FNV-1a 64 reference vectors (Noll's test suite /
+        // draft-eastlake-fnv). The empty string must equal the offset
+        // basis; the single letters and the "fo".."foobar" prefix chain
+        // pin every byte of the avalanche, not just the final value.
+        let vectors: &[(&[u8], u64)] = &[
+            (b"", 0xcbf2_9ce4_8422_2325),
+            (b"a", 0xaf63_dc4c_8601_ec8c),
+            (b"b", 0xaf63_df4c_8601_f1a5),
+            (b"c", 0xaf63_de4c_8601_eff2),
+            (b"d", 0xaf63_d94c_8601_e773),
+            (b"e", 0xaf63_d84c_8601_e5c0),
+            (b"f", 0xaf63_db4c_8601_ead9),
+            (b"fo", 0x0898_5907_b541_d342),
+            (b"foo", 0xdcb2_7518_fed9_d577),
+            (b"foob", 0xdd12_0e79_0c25_12af),
+            (b"fooba", 0xcac1_65af_a2fe_f40a),
+            (b"foobar", 0x8594_4171_f739_67e8),
+            (b"chongo was here!\n", 0x4681_0940_eff5_f915),
+        ];
+        for &(input, want) in vectors {
+            assert_eq!(fnv1a_64(input), want, "fnv1a_64({:?})", String::from_utf8_lossy(input));
+            // The incremental hasher must agree byte for byte.
+            let mut h = Fnv1a64::new();
+            h.write(input);
+            assert_eq!(h.finish(), want, "incremental {:?}", String::from_utf8_lossy(input));
+        }
+    }
+
+    #[test]
+    fn one_shot_is_const_evaluable() {
+        // The flow-hash path relies on compile-time evaluation of
+        // constant keys staying in sync with the runtime hasher.
+        const H: u64 = fnv1a_64(b"foobar");
+        assert_eq!(H, 0x8594_4171_f739_67e8);
     }
 
     #[test]

@@ -62,6 +62,15 @@ impl DetRng {
         (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
     }
 
+    /// Exponentially distributed draw with the given mean, via the
+    /// inverse CDF. Used for MTTF/MTTR fault sampling. Panics if
+    /// `mean` is not positive.
+    pub fn next_exp(&mut self, mean: f64) -> f64 {
+        assert!(mean > 0.0, "exponential mean must be positive, got {mean}");
+        // 1 - next_f64() lies in (0, 1], so the log is finite.
+        -(1.0 - self.next_f64()).ln() * mean
+    }
+
     /// Fisher–Yates shuffle of a slice.
     pub fn shuffle<T>(&mut self, slice: &mut [T]) {
         for i in (1..slice.len()).rev() {
@@ -157,6 +166,27 @@ mod tests {
             sorted.sort_unstable();
             assert_eq!(sorted, (0..n).collect::<Vec<_>>());
         }
+    }
+
+    #[test]
+    fn next_exp_is_positive_with_the_right_mean() {
+        let mut r = DetRng::new(77);
+        let n = 100_000;
+        let mean = 3.5;
+        let mut sum = 0.0;
+        for _ in 0..n {
+            let x = r.next_exp(mean);
+            assert!(x >= 0.0 && x.is_finite());
+            sum += x;
+        }
+        let measured = sum / n as f64;
+        assert!((measured - mean).abs() < 0.05, "mean {measured}, want {mean}");
+    }
+
+    #[test]
+    #[should_panic]
+    fn next_exp_rejects_nonpositive_mean() {
+        DetRng::new(1).next_exp(0.0);
     }
 
     #[test]

@@ -152,6 +152,77 @@ pub fn path_czml(
     packets
 }
 
+/// CZML packets visualizing component outages: each window becomes a red
+/// point shown only while its component is down (availability interval).
+/// Satellites are sampled along their trajectory inside the window; ground
+/// stations are static. `sat_outages` / `gs_outages` hold
+/// `(component index, down-from, up-at)` windows — plain tuples, so any
+/// fault-schedule representation can feed this without a crate dependency.
+pub fn outage_czml(
+    constellation: &Constellation,
+    sat_outages: &[(u32, SimTime, SimTime)],
+    gs_outages: &[(u32, SimTime, SimTime)],
+) -> Vec<Value> {
+    let mut packets = vec![json!({
+        "id": "document",
+        "name": format!("{} outages", constellation.name),
+        "version": "1.0",
+    })];
+    let sample = SimDuration::from_secs(10);
+    for (k, &(sat, from, until)) in sat_outages.iter().enumerate() {
+        let idx = sat as usize;
+        if idx >= constellation.satellites.len() || until <= from {
+            continue;
+        }
+        // Position samples across the window (at least the two endpoints).
+        let steps = (until.since(from) / sample).max(1);
+        let mut samples = Vec::with_capacity((steps as usize + 1) * 4);
+        for i in 0..=steps {
+            let t = (from + sample * i).min(until);
+            let geo = ecef_to_geodetic(constellation.sat_position_ecef(idx, t));
+            samples.push(json!(t.since(from).secs_f64()));
+            samples.push(json!(geo.longitude_deg));
+            samples.push(json!(geo.latitude_deg));
+            samples.push(json!(geo.altitude_km * 1000.0));
+        }
+        packets.push(json!({
+            "id": format!("outage-sat-{sat}-{k}"),
+            "name": format!("sat {sat} down"),
+            "availability":
+                format!("{}/{}", iso(from.secs_f64()), iso(until.secs_f64())),
+            "position": {
+                "epoch": iso(from.secs_f64()),
+                "cartographicDegrees": samples,
+            },
+            "point": {
+                "pixelSize": 8,
+                "color": {"rgba": [230, 30, 30, 255]},
+            },
+        }));
+    }
+    for (k, &(gs, from, until)) in gs_outages.iter().enumerate() {
+        let idx = gs as usize;
+        if idx >= constellation.ground_stations.len() || until <= from {
+            continue;
+        }
+        let station = &constellation.ground_stations[idx];
+        packets.push(json!({
+            "id": format!("outage-gs-{gs}-{k}"),
+            "name": format!("{} weather", station.name),
+            "availability":
+                format!("{}/{}", iso(from.secs_f64()), iso(until.secs_f64())),
+            "position": {
+                "cartographicDegrees": [station.longitude_deg, station.latitude_deg, 0.0],
+            },
+            "point": {
+                "pixelSize": 10,
+                "color": {"rgba": [230, 30, 30, 255]},
+            },
+        }));
+    }
+    packets
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -243,6 +314,30 @@ mod tests {
             vec![GroundStation::new("a", 5.0, 5.0), GroundStation::new("b", -15.0, 100.0)],
             GslConfig::new(10.0),
         )
+    }
+
+    #[test]
+    fn outage_czml_windows_become_availability_intervals() {
+        let c = tiny();
+        let czml = outage_czml(
+            &c,
+            &[
+                (0, SimTime::from_secs(10), SimTime::from_secs(40)),
+                (99, SimTime::from_secs(0), SimTime::from_secs(5)), // out of range: skipped
+                (1, SimTime::from_secs(5), SimTime::from_secs(5)),  // empty: skipped
+            ],
+            &[(0, SimTime::from_secs(20), SimTime::from_secs(50))],
+        );
+        assert_eq!(czml[0]["id"], "document");
+        assert_eq!(czml.len(), 3, "one sat window + one gs window survive");
+        assert_eq!(
+            czml[1]["availability"].as_str().unwrap(),
+            "2000-01-01T00:00:10Z/2000-01-01T00:00:40Z"
+        );
+        // 30 s window at 10 s sampling → 4 samples → 16 numbers.
+        assert_eq!(czml[1]["position"]["cartographicDegrees"].as_array().unwrap().len(), 16);
+        assert_eq!(czml[2]["name"], "Paris weather");
+        assert_eq!(czml[2]["point"]["color"]["rgba"][0], 230);
     }
 
     #[test]

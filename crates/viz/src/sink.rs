@@ -3,8 +3,8 @@
 //! The benchmark binaries used to each reimplement "write a series file,
 //! print the path". An [`ArtifactSink`] centralizes that: it owns the
 //! output directory, writes gnuplot series / JSON documents / CZML /
-//! plain text through the shared [`csv`](crate::csv) and
-//! [`czml`](crate::czml) formatters, and records every produced file —
+//! plain text through the shared [`crate::csv`] and
+//! [`crate::czml`] formatters, and records every produced file —
 //! name, size, and checksum — so a run can finish by emitting a
 //! `manifest.json` that states exactly what it produced. Byte checksums
 //! make regression tests one-line: two runs match iff their manifests do.

@@ -10,10 +10,25 @@ cargo fmt --all -- --check
 echo "== cargo clippy --workspace -- -D warnings"
 cargo clippy --workspace --all-targets -- -D warnings
 
+echo "== cargo doc --no-deps (warnings are errors)"
+RUSTDOCFLAGS="-D warnings" cargo doc --workspace --no-deps --quiet
+
 echo "== cargo test -q"
 cargo test -q --workspace
 
 echo "== cargo bench --no-run"
 cargo bench --workspace --no-run
+
+echo "== ext_failure_resilience smoke run (spec round-trip + faulted sim)"
+smoke_dir="$(mktemp -d)"
+trap 'rm -rf "$smoke_dir"' EXIT
+cargo run --release -q -p hypatia-bench --bin run_experiment -- \
+  ext_failure_resilience --print-spec \
+  --set duration_s=5 --set cities=10 --set pairs="Tokyo:Cairo" \
+  --set fail_fracs=0.1 --set mttr_s=5 > "$smoke_dir/spec.json"
+cargo run --release -q -p hypatia-bench --bin run_experiment -- \
+  --spec "$smoke_dir/spec.json" --out "$smoke_dir/out" > /dev/null
+test -f "$smoke_dir/out/manifest.json"
+test -f "$smoke_dir/out/ext_failure_goodput.dat"
 
 echo "All checks passed."
