@@ -9,7 +9,8 @@
 //! * per-pair changes *missed* relative to the fine baseline (Fig. 9b).
 
 use hypatia_constellation::Constellation;
-use hypatia_routing::parallel::sweep_forwarding_states;
+use hypatia_routing::incremental::RoutingConfig;
+use hypatia_routing::parallel::sweep_forwarding_states_with;
 use hypatia_routing::path::satellites_of;
 use hypatia_util::time::TimeSteps;
 use hypatia_util::{SimDuration, SimTime};
@@ -31,6 +32,9 @@ pub struct GranularityConfig {
     /// Worker threads for the snapshot-routing pipeline (0 = all cores,
     /// 1 = serial). Results are bit-identical for any value.
     pub threads: usize,
+    /// Forwarding-state recomputation strategy (full Dijkstra vs.
+    /// incremental repair). Results are byte-identical for every choice.
+    pub routing: RoutingConfig,
 }
 
 impl Default for GranularityConfig {
@@ -41,6 +45,7 @@ impl Default for GranularityConfig {
             coarse_multiples: vec![2, 20],
             min_pair_distance_km: 500.0,
             threads: 0,
+            routing: RoutingConfig::default(),
         }
     }
 }
@@ -133,15 +138,22 @@ pub fn run(constellation: &Constellation, cfg: &GranularityConfig) -> Granularit
     let mut hashes: Vec<Vec<u64>> = vec![Vec::new(); pair_list.len()];
     let times: Vec<SimTime> =
         TimeSteps::new(SimTime::ZERO, SimTime::ZERO + cfg.duration, cfg.fine_step).collect();
-    sweep_forwarding_states(constellation, &times, &dests, cfg.threads, |_, state| {
-        for (p, &(src, dst)) in pair_list.iter().enumerate() {
-            let h = state
-                .path(src, dst)
-                .map(|path| hash_path(&satellites_of(constellation, &path)))
-                .unwrap_or(0);
-            hashes[p].push(h);
-        }
-    });
+    sweep_forwarding_states_with(
+        constellation,
+        &times,
+        &dests,
+        cfg.threads,
+        cfg.routing,
+        |_, state| {
+            for (p, &(src, dst)) in pair_list.iter().enumerate() {
+                let h = state
+                    .path(src, dst)
+                    .map(|path| hash_path(&satellites_of(constellation, &path)))
+                    .unwrap_or(0);
+                hashes[p].push(h);
+            }
+        },
+    );
 
     let mut stats = Vec::new();
     let (fine_steps, fine_pairs) = changes_per_step(&hashes, 1);
@@ -182,8 +194,7 @@ mod tests {
                 duration: SimDuration::from_secs(60),
                 fine_step: SimDuration::from_millis(500),
                 coarse_multiples: vec![2, 8],
-                min_pair_distance_km: 500.0,
-                threads: 0,
+                ..GranularityConfig::default()
             },
         )
     }
@@ -200,8 +211,8 @@ mod tests {
                     duration: SimDuration::from_secs(20),
                     fine_step: SimDuration::from_millis(500),
                     coarse_multiples: vec![2, 4],
-                    min_pair_distance_km: 500.0,
                     threads,
+                    ..GranularityConfig::default()
                 },
             );
             format!("{r:?}")

@@ -10,7 +10,8 @@
 //! * Fig. 8 — ECDFs of path changes, hop-count difference and ratio.
 
 use hypatia_constellation::Constellation;
-use hypatia_routing::parallel::sweep_forwarding_states;
+use hypatia_routing::incremental::RoutingConfig;
+use hypatia_routing::parallel::sweep_forwarding_states_with;
 use hypatia_routing::path::PairTracker;
 use hypatia_util::time::TimeSteps;
 use hypatia_util::{SimDuration, SimTime};
@@ -28,6 +29,9 @@ pub struct PairSweepConfig {
     /// 1 = serial). Results are bit-identical for any value — time-steps
     /// are independent and consumed in order.
     pub threads: usize,
+    /// Forwarding-state recomputation strategy (full Dijkstra vs.
+    /// incremental repair). Results are byte-identical for every choice.
+    pub routing: RoutingConfig,
 }
 
 impl Default for PairSweepConfig {
@@ -37,6 +41,7 @@ impl Default for PairSweepConfig {
             step: SimDuration::from_millis(100),
             min_pair_distance_km: 500.0,
             threads: 0,
+            routing: RoutingConfig::default(),
         }
     }
 }
@@ -121,11 +126,18 @@ pub fn run(constellation: &Constellation, cfg: &PairSweepConfig) -> Vec<PairStat
     // result is identical to the serial loop for any thread count.
     let times: Vec<SimTime> =
         TimeSteps::new(SimTime::ZERO, SimTime::ZERO + cfg.duration, cfg.step).collect();
-    sweep_forwarding_states(constellation, &times, &dests, cfg.threads, |_, state| {
-        for (_, _, tracker) in pairs.iter_mut() {
-            tracker.observe(constellation, &state);
-        }
-    });
+    sweep_forwarding_states_with(
+        constellation,
+        &times,
+        &dests,
+        cfg.threads,
+        cfg.routing,
+        |_, state| {
+            for (_, _, tracker) in pairs.iter_mut() {
+                tracker.observe(constellation, &state);
+            }
+        },
+    );
 
     pairs
         .into_iter()
@@ -163,8 +175,7 @@ mod tests {
             &PairSweepConfig {
                 duration: SimDuration::from_secs(secs),
                 step: SimDuration::from_secs(step_s),
-                min_pair_distance_km: 500.0,
-                threads: 0,
+                ..PairSweepConfig::default()
             },
         )
     }
@@ -231,8 +242,8 @@ mod tests {
                 &PairSweepConfig {
                     duration: SimDuration::from_secs(10),
                     step: SimDuration::from_secs(2),
-                    min_pair_distance_km: 500.0,
                     threads,
+                    ..PairSweepConfig::default()
                 },
             );
             // Debug formatting captures every field bit-for-bit (NaN
@@ -253,8 +264,7 @@ mod tests {
         let cfg = PairSweepConfig {
             duration: SimDuration::from_secs(2),
             step: SimDuration::from_secs(2),
-            min_pair_distance_km: 500.0,
-            threads: 0,
+            ..PairSweepConfig::default()
         };
         let stats = run(&c, &cfg);
         assert!(stats.len() < 4950, "got {}", stats.len());

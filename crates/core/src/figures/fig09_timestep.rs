@@ -58,6 +58,7 @@ impl Experiment for Fig09 {
                 _ => 500.0,
             },
             threads: ctx.spec.threads,
+            routing: ctx.spec.routing_config(),
         };
         let scenario = ctx.scenario();
         let r = run(&scenario.constellation, &cfg);

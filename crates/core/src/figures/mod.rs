@@ -113,6 +113,7 @@ pub fn three_constellation_sweep(spec: &ExperimentSpec) -> Vec<(&'static str, Ve
             _ => 500.0,
         },
         threads: spec.threads,
+        routing: spec.routing_config(),
     };
 
     let choices = [

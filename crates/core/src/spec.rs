@@ -22,6 +22,7 @@ use hypatia_constellation::ground::top_cities;
 use hypatia_constellation::GroundStation;
 use hypatia_fault::{FaultSchedule, FaultSpec, FlapProcess, LinkCut, OutageWindow};
 use hypatia_netsim::SimConfig;
+use hypatia_routing::incremental::{RoutingConfig, RoutingMode};
 use hypatia_util::{DataRate, SimDuration};
 use serde::{Deserialize, Serialize};
 use serde_json::Value;
@@ -131,6 +132,15 @@ pub struct ExperimentSpec {
     pub threads: usize,
     /// Seed for randomized pieces (permutation matrix, loss processes).
     pub seed: u64,
+    /// Forwarding-state recomputation strategy: full Dijkstra every
+    /// snapshot, or incremental repair of the previous snapshot's trees
+    /// (the default). Output is byte-identical either way — `full` is the
+    /// escape hatch. Default values are omitted from the emitted JSON, so
+    /// existing spec files and their artifacts stay byte-identical.
+    pub routing_mode: RoutingMode,
+    /// Churn fraction (flipped edges / edges) above which incremental
+    /// repair falls back to a full recompute.
+    pub repair_churn_threshold: f64,
     /// Optional fault-injection scenario (None keeps every component up;
     /// the emitted JSON then carries no `faults` key at all, so existing
     /// spec files and their artifacts are byte-identical).
@@ -142,6 +152,7 @@ pub struct ExperimentSpec {
 impl Default for ExperimentSpec {
     fn default() -> Self {
         let sim = SimConfig::default();
+        let routing = RoutingConfig::default();
         ExperimentSpec {
             experiment: String::new(),
             constellation: ConstellationChoice::KuiperK1,
@@ -155,6 +166,8 @@ impl Default for ExperimentSpec {
             cc: CcKind::NewReno,
             threads: 0,
             seed: 1,
+            routing_mode: routing.mode,
+            repair_churn_threshold: routing.repair_churn_threshold,
             faults: None,
             params: BTreeMap::new(),
         }
@@ -179,7 +192,16 @@ impl ExperimentSpec {
             let prefetch = cfg.fstate_prefetch;
             cfg = cfg.with_fstate_prefetch(self.threads, prefetch);
         }
-        cfg
+        cfg.with_routing_mode(self.routing_mode)
+            .with_repair_churn_threshold(self.repair_churn_threshold)
+    }
+
+    /// The routing configuration this spec describes.
+    pub fn routing_config(&self) -> RoutingConfig {
+        RoutingConfig {
+            mode: self.routing_mode,
+            repair_churn_threshold: self.repair_churn_threshold,
+        }
     }
 
     /// Assemble the scenario (constellation + ground segment + sim config).
@@ -242,7 +264,9 @@ impl ExperimentSpec {
     /// Known keys address the common fields (`constellation`, `cities`,
     /// `pairs`, `min_distance_km`, `duration_s`, `step_ms`,
     /// `line_rate_mbps`, `queue_packets`, `utilization_bucket_s`, `cc`,
-    /// `threads`, `seed`) and the fault scenario (`fault_seed`,
+    /// `threads`, `seed`), the routing strategy (`routing_mode=full|
+    /// incremental`, `repair_churn_threshold`) and the fault scenario
+    /// (`fault_seed`,
     /// `sat_outage=SAT:FROM_S:UNTIL_S`, `isl_cut=A-B:FROM_S:UNTIL_S`,
     /// `gsl_weather=GS:FROM_S:UNTIL_S` — each appends a window — plus
     /// `sat_mttf_s`/`sat_mttr_s`/`isl_mttf_s`/`isl_mttr_s` for the flap
@@ -331,6 +355,21 @@ impl ExperimentSpec {
             },
             "threads" => self.threads = parse_u64(key, value)? as usize,
             "seed" => self.seed = parse_u64(key, value)?,
+            "routing_mode" => match RoutingMode::parse(value) {
+                Some(m) => self.routing_mode = m,
+                None => {
+                    return err(format!(
+                        "unknown routing mode {value:?} (expected full or incremental)"
+                    ))
+                }
+            },
+            "repair_churn_threshold" => {
+                let x = parse_f64(key, value)?;
+                if x < 0.0 {
+                    return err(format!("{key} must be non-negative, got {value}"));
+                }
+                self.repair_churn_threshold = x;
+            }
             "fault_seed" => self.faults_mut().seed = parse_u64(key, value)?,
             "sat_mttf_s" => {
                 self.faults_mut().sat_flap.get_or_insert(DEFAULT_FLAP).mttf_s =
@@ -434,6 +473,19 @@ impl ExperimentSpec {
         let _ = writeln!(s, "  \"cc\": {},", json_str(self.cc.name()));
         let _ = writeln!(s, "  \"threads\": {},", self.threads);
         let _ = writeln!(s, "  \"seed\": {},", self.seed);
+        // Routing knobs are emitted only when they differ from the
+        // defaults, keeping pre-existing spec files byte-identical.
+        let routing_defaults = RoutingConfig::default();
+        if self.routing_mode != routing_defaults.mode {
+            let _ = writeln!(s, "  \"routing_mode\": {},", json_str(self.routing_mode.as_str()));
+        }
+        if self.repair_churn_threshold != routing_defaults.repair_churn_threshold {
+            let _ = writeln!(
+                s,
+                "  \"repair_churn_threshold\": {},",
+                json_num(self.repair_churn_threshold)
+            );
+        }
         if let Some(f) = &self.faults {
             s.push_str("  \"faults\": {\n");
             let _ = writeln!(s, "    \"seed\": {},", f.seed);
@@ -566,6 +618,19 @@ impl ExperimentSpec {
         };
         spec.threads = req_u64(v, "threads")? as usize;
         spec.seed = req_u64(v, "seed")?;
+        if let Some(m) = v.get("routing_mode") {
+            let name =
+                m.as_str().ok_or_else(|| SpecError("\"routing_mode\" must be a string".into()))?;
+            spec.routing_mode = match RoutingMode::parse(name) {
+                Some(mode) => mode,
+                None => return err(format!("unknown routing mode {name:?}")),
+            };
+        }
+        if let Some(x) = v.get("repair_churn_threshold") {
+            spec.repair_churn_threshold = x
+                .as_f64()
+                .ok_or_else(|| SpecError("\"repair_churn_threshold\" must be a number".into()))?;
+        }
         spec.faults = match v.get("faults") {
             Some(fv) => Some(parse_faults(fv)?),
             None => None,
@@ -820,8 +885,7 @@ mod tests {
             cc: CcKind::NewReno,
             threads: 0,
             seed: 1,
-            faults: None,
-            params: BTreeMap::new(),
+            ..ExperimentSpec::default()
         };
         spec.params.insert("ping_interval_ms".into(), ParamValue::Num(20.0));
         spec.params.insert("frozen".into(), ParamValue::Flag(false));
@@ -993,6 +1057,58 @@ mod tests {
         let schedule = scenario.sim_config.faults.expect("schedule attached");
         assert!(!schedule.is_empty());
         assert_eq!(schedule.events().len(), 2); // one Fail + one Recover
+    }
+
+    #[test]
+    fn routing_spec_round_trips() {
+        let mut spec = sample();
+        spec.routing_mode = RoutingMode::Full;
+        spec.repair_churn_threshold = 0.25;
+        let text = spec.to_json_string();
+        assert!(text.contains("\"routing_mode\": \"full\""));
+        assert!(text.contains("\"repair_churn_threshold\": 0.25"));
+        let back = ExperimentSpec::from_json(&text).expect("parse own output");
+        assert_eq!(spec, back);
+        assert_eq!(text, back.to_json_string());
+    }
+
+    #[test]
+    fn default_routing_spec_emits_no_routing_keys() {
+        // Byte compatibility: specs at the default routing configuration
+        // serialize exactly as before the incremental engine existed.
+        let spec = sample();
+        let text = spec.to_json_string();
+        assert!(!text.contains("routing_mode"));
+        assert!(!text.contains("repair_churn_threshold"));
+        let back = ExperimentSpec::from_json(&text).unwrap();
+        assert_eq!(back.routing_mode, RoutingMode::Incremental);
+        assert_eq!(back.repair_churn_threshold, RoutingConfig::default().repair_churn_threshold);
+    }
+
+    #[test]
+    fn set_routing_keys() {
+        let mut spec = sample();
+        spec.set("routing_mode", "full").unwrap();
+        assert_eq!(spec.routing_mode, RoutingMode::Full);
+        spec.set("routing_mode", "incremental").unwrap();
+        assert_eq!(spec.routing_mode, RoutingMode::Incremental);
+        spec.set("repair_churn_threshold", "0.5").unwrap();
+        assert_eq!(spec.repair_churn_threshold, 0.5);
+
+        assert!(spec.set("routing_mode", "dijkstra").is_err());
+        assert!(spec.set("repair_churn_threshold", "-0.1").is_err());
+        assert!(spec.set("repair_churn_threshold", "lots").is_err());
+    }
+
+    #[test]
+    fn sim_config_reflects_routing() {
+        let mut spec = sample();
+        spec.set("routing_mode", "full").unwrap();
+        spec.set("repair_churn_threshold", "0.3").unwrap();
+        let cfg = spec.sim_config();
+        assert_eq!(cfg.routing.mode, RoutingMode::Full);
+        assert_eq!(cfg.routing.repair_churn_threshold, 0.3);
+        assert_eq!(spec.routing_config(), cfg.routing);
     }
 
     #[test]

@@ -2,6 +2,7 @@
 
 use crate::event::QueueKind;
 use hypatia_fault::FaultSchedule;
+use hypatia_routing::incremental::{RoutingConfig, RoutingMode};
 use hypatia_util::{DataRate, SimDuration};
 use std::sync::Arc;
 
@@ -64,6 +65,11 @@ pub struct SimConfig {
     /// `None` (the default) — and an empty schedule — leave every
     /// simulation result bit-identical to the fault-free simulator.
     pub faults: Option<Arc<FaultSchedule>>,
+    /// How forwarding states are recomputed across steps: full Dijkstra
+    /// every snapshot, or incremental repair of the previous snapshot's
+    /// trees (the default). Output is byte-identical either way — this
+    /// is purely a wall-clock knob, with `full` as the escape hatch.
+    pub routing: RoutingConfig,
 }
 
 impl Default for SimConfig {
@@ -84,6 +90,7 @@ impl Default for SimConfig {
             fstate_prefetch: 4,
             queue: QueueKind::default(),
             faults: None,
+            routing: RoutingConfig::default(),
         }
     }
 }
@@ -176,6 +183,23 @@ impl SimConfig {
         self
     }
 
+    /// Builder-style: pick the forwarding-state recomputation strategy
+    /// (full Dijkstra vs. incremental repair). Results are byte-identical
+    /// for every choice.
+    pub fn with_routing_mode(mut self, mode: RoutingMode) -> Self {
+        self.routing.mode = mode;
+        self
+    }
+
+    /// Builder-style: set the incremental-repair churn threshold — the
+    /// fraction of flipped edges between snapshots above which a full
+    /// recompute is cheaper than a repair.
+    pub fn with_repair_churn_threshold(mut self, threshold: f64) -> Self {
+        assert!(threshold >= 0.0, "churn threshold must be non-negative: {threshold}");
+        self.routing.repair_churn_threshold = threshold;
+        self
+    }
+
     /// Effective rate for an ISL device.
     pub fn effective_isl_rate(&self) -> DataRate {
         self.isl_rate.unwrap_or(self.link_rate)
@@ -204,6 +228,22 @@ mod tests {
         assert_eq!(c.effective_gsl_rate(), c.link_rate);
         assert_eq!(c.queue, QueueKind::Calendar, "calendar queue is the default");
         assert!(c.faults.is_none(), "fault injection is off by default");
+        assert_eq!(c.routing.mode, RoutingMode::Incremental, "incremental repair is the default");
+    }
+
+    #[test]
+    fn routing_builders() {
+        let c = SimConfig::default()
+            .with_routing_mode(RoutingMode::Full)
+            .with_repair_churn_threshold(0.3);
+        assert_eq!(c.routing.mode, RoutingMode::Full);
+        assert_eq!(c.routing.repair_churn_threshold, 0.3);
+    }
+
+    #[test]
+    #[should_panic]
+    fn negative_churn_threshold_rejected() {
+        SimConfig::default().with_repair_churn_threshold(-0.1);
     }
 
     #[test]

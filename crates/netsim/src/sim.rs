@@ -11,11 +11,9 @@ use crate::trace::{Trace, TraceKind};
 use hypatia_constellation::{Constellation, NodeId};
 use hypatia_fault::FaultState;
 use hypatia_orbit::geodesy::propagation_delay_km;
-use hypatia_routing::forwarding::{
-    compute_forwarding_state, compute_forwarding_state_on, compute_multipath_state,
-    compute_multipath_state_on, ForwardingState, MultipathState,
-};
-use hypatia_routing::graph::DelayGraph;
+use hypatia_routing::forwarding::{compute_multipath_state_on, ForwardingState, MultipathState};
+use hypatia_routing::graph::SnapshotBuffers;
+use hypatia_routing::incremental::IncrementalRouter;
 use hypatia_routing::parallel::{Prefetcher, SnapshotWorker};
 use hypatia_util::rng::DetRng;
 #[cfg(test)]
@@ -57,6 +55,12 @@ pub struct Simulator {
     /// state at `t` purely from the immutable schedule, so prefetched and
     /// inline states are bit-identical.
     fault_state: Option<FaultState>,
+    /// Snapshot-graph staging buffers for the inline recomputation path.
+    snapshot_buffers: SnapshotBuffers,
+    /// Inline routing engine (full Dijkstra or incremental repair, per
+    /// `config.routing`). Prefetch workers own their own routers; either
+    /// way the states are byte-identical to a full recompute.
+    router: IncrementalRouter,
     next_packet_id: u64,
     /// Deterministic PRNG for the GSL loss process.
     loss_rng: DetRng,
@@ -99,7 +103,16 @@ impl Simulator {
             ));
         }
 
-        let (fwd, mp) = Self::compute_states(&constellation, &config, &dests, SimTime::ZERO);
+        let mut snapshot_buffers = SnapshotBuffers::new();
+        let mut router = IncrementalRouter::new(config.routing);
+        let (fwd, mp) = Self::compute_states(
+            &constellation,
+            &config,
+            &dests,
+            SimTime::ZERO,
+            &mut snapshot_buffers,
+            &mut router,
+        );
         let mut queue = EventQueue::with_kind(config.queue);
         if !config.freeze_at_epoch {
             queue.schedule(SimTime::ZERO + config.fstate_step, Event::ForwardingUpdate { step: 1 });
@@ -127,11 +140,12 @@ impl Simulator {
             let step = config.fstate_step;
             let stretch = config.multipath_stretch;
             let faults = config.faults.clone();
+            let routing = config.routing;
             Prefetcher::spawn(
                 1,
                 config.fstate_threads,
                 config.fstate_prefetch,
-                SnapshotWorker::new,
+                move || SnapshotWorker::with_config(routing),
                 move |worker: &mut SnapshotWorker, k| {
                     let t = SimTime::ZERO + step * k;
                     // Pure replay of the schedule at `t` — workers never
@@ -160,6 +174,8 @@ impl Simulator {
             mp,
             fstate_prefetch,
             fault_state,
+            snapshot_buffers,
+            router,
             next_packet_id: 0,
             loss_rng,
             trace,
@@ -396,7 +412,14 @@ impl Simulator {
             self.fwd = fwd;
             self.mp = mp;
         } else {
-            let (fwd, mp) = Self::compute_states(&self.constellation, &self.config, &self.dests, t);
+            let (fwd, mp) = Self::compute_states(
+                &self.constellation,
+                &self.config,
+                &self.dests,
+                t,
+                &mut self.snapshot_buffers,
+                &mut self.router,
+            );
             self.fwd = fwd;
             if mp.is_some() {
                 self.mp = mp;
@@ -410,31 +433,23 @@ impl Simulator {
     /// Forwarding (and multipath) state at `t`. With faults configured,
     /// both are computed on one snapshot graph with the schedule's state
     /// at `t` masked out — derived purely from the immutable schedule, so
-    /// this is bit-identical however and whenever it is invoked.
+    /// this is bit-identical however and whenever it is invoked. The
+    /// router repairs from whatever snapshot it computed last (or runs
+    /// full Dijkstra, per `config.routing`); both yield the same bytes.
     fn compute_states(
         constellation: &Constellation,
         config: &SimConfig,
         dests: &[NodeId],
         t: SimTime,
+        buffers: &mut SnapshotBuffers,
+        router: &mut IncrementalRouter,
     ) -> (ForwardingState, Option<MultipathState>) {
-        match &config.faults {
-            Some(schedule) => {
-                let mask = FaultState::at(schedule, t);
-                let graph = DelayGraph::snapshot_masked(constellation, t, Some(&mask));
-                let fwd = compute_forwarding_state_on(&graph, t, dests);
-                let mp = config
-                    .multipath_stretch
-                    .map(|s| compute_multipath_state_on(&graph, t, dests, s));
-                (fwd, mp)
-            }
-            None => {
-                let fwd = compute_forwarding_state(constellation, t, dests);
-                let mp = config
-                    .multipath_stretch
-                    .map(|s| compute_multipath_state(constellation, t, dests, s));
-                (fwd, mp)
-            }
-        }
+        let mask = config.faults.as_ref().map(|s| FaultState::at(s, t));
+        let graph = buffers.snapshot_masked(constellation, t, mask.as_ref());
+        let mut fwd = ForwardingState::empty();
+        router.compute_into(graph, t, dests, &mut fwd);
+        let mp = config.multipath_stretch.map(|s| compute_multipath_state_on(graph, t, dests, s));
+        (fwd, mp)
     }
 
     /// Put a freshly-created packet into the network at its source node.
@@ -876,6 +891,43 @@ mod tests {
         }
         let heap = run(base.clone().with_queue(QueueKind::Heap));
         assert_eq!(inline, heap, "queue kinds diverged under faults");
+    }
+
+    /// `routing_mode` is a pure wall-clock knob: full recompute and
+    /// incremental repair must produce bit-identical simulations — with
+    /// and without faults, inline and prefetched.
+    #[test]
+    fn routing_modes_are_bit_identical() {
+        use hypatia_fault::{FaultSchedule, FaultSpec, OutageWindow};
+        use hypatia_routing::incremental::RoutingMode;
+        let c = constellation();
+        let (src, dst) = (c.gs_node(0), c.gs_node(1));
+        let spec = FaultSpec {
+            sat_outages: vec![OutageWindow { target: 12, from_s: 0.5, until_s: 1.5 }],
+            ..FaultSpec::default()
+        };
+        let schedule = Arc::new(FaultSchedule::compile(&spec, &c, SimDuration::from_secs(3)));
+        let run = |cfg: SimConfig| {
+            let mut sim = Simulator::new(c.clone(), cfg, vec![src, dst]);
+            let app = sim.add_app(
+                src,
+                100,
+                Box::new(PingApp::new(dst, SimDuration::from_millis(10), SimTime::from_secs(1))),
+            );
+            sim.run_until(SimTime::from_secs(2));
+            let ping: &PingApp = sim.app_as(app).unwrap();
+            (ping.rtts().to_vec(), sim.stats.clone())
+        };
+        for base in [SimConfig::default(), SimConfig::default().with_faults(schedule)] {
+            let full = run(base.clone().with_routing_mode(RoutingMode::Full));
+            let incremental = run(base.clone().with_routing_mode(RoutingMode::Incremental));
+            assert_eq!(full, incremental, "inline routing modes diverged");
+            let prefetched = run(base
+                .clone()
+                .with_routing_mode(RoutingMode::Incremental)
+                .with_fstate_prefetch(2, 4));
+            assert_eq!(full, prefetched, "prefetched incremental diverged");
+        }
     }
 
     #[test]

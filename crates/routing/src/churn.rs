@@ -159,4 +159,62 @@ mod tests {
         assert_eq!(churn.churn_fraction(), 0.0);
         assert_eq!(churn.unreachable_fraction(), 0.0);
     }
+
+    #[test]
+    fn empty_snapshot_has_no_pairs() {
+        // A state with no destinations (or no sources) yields the all-zero
+        // churn record, not a division by zero or a phantom pair.
+        let c = constellation();
+        let srcs = vec![c.gs_node(0), c.gs_node(1)];
+        let empty = compute_forwarding_state(&c, SimTime::ZERO, &[]);
+        let churn = churn_between(&empty, &empty, &srcs);
+        assert_eq!(churn, SnapshotChurn::default());
+        assert_eq!(reachability_of(&empty, &srcs), SnapshotChurn::default());
+
+        let full = compute_forwarding_state(&c, SimTime::ZERO, &srcs);
+        assert_eq!(churn_between(&full, &full, &[]), SnapshotChurn::default());
+    }
+
+    #[test]
+    fn dark_destination_contributes_no_churn_denominator() {
+        // A destination that is unreachable in one of the two states must
+        // not count towards the churn denominator: the repair-threshold
+        // decision would otherwise read a dark snapshot as route churn.
+        let c = constellation();
+        let dests = vec![c.gs_node(0), c.gs_node(1)];
+        let srcs = dests.clone();
+        let spec = FaultSpec {
+            gsl_weather: vec![OutageWindow { target: 1, from_s: 0.0, until_s: 60.0 }],
+            ..FaultSpec::default()
+        };
+        let sched = FaultSchedule::compile(&spec, &c, SimDuration::from_secs(60));
+        let state = FaultState::at(&sched, SimTime::ZERO);
+        let before = compute_forwarding_state(&c, SimTime::ZERO, &dests);
+        let after = compute_forwarding_state_masked(&c, SimTime::ZERO, &dests, Some(&state));
+        let churn = churn_between(&before, &after, &srcs);
+        assert_eq!(churn.stable_denominator, 0, "dark pairs are not comparable");
+        assert_eq!(churn.changed_pairs, 0);
+        assert_eq!(churn.churn_fraction(), 0.0);
+        assert_eq!(churn.unreachable_fraction(), 1.0);
+    }
+
+    #[test]
+    fn zero_delta_snapshots_are_churn_free_and_diff_empty() {
+        // Two snapshots of the same instant: the forwarding states match,
+        // the churn record is clean, and the graph diff the incremental
+        // router would take is empty (its repair is then a no-op).
+        let c = constellation();
+        let dests = vec![c.gs_node(0), c.gs_node(1)];
+        let a = compute_forwarding_state(&c, SimTime::ZERO, &dests);
+        let b = compute_forwarding_state(&c, SimTime::ZERO, &dests);
+        let churn = churn_between(&a, &b, &dests);
+        assert_eq!(churn.changed_pairs, 0);
+        assert_eq!(churn.unreachable_pairs, 0);
+
+        let g = crate::graph::DelayGraph::snapshot(&c, SimTime::ZERO);
+        let diff = crate::incremental::GraphDiff::between(&g, &g);
+        assert!(diff.inserted.is_empty() && diff.deleted.is_empty());
+        assert_eq!(diff.weight_changed, 0);
+        assert_eq!(diff.churn_fraction(), 0.0);
+    }
 }

@@ -8,7 +8,7 @@
 
 use crate::dijkstra::{shortest_path_tree_into, DijkstraScratch, SpTree};
 use crate::graph::{DelayGraph, SnapshotBuffers};
-use crate::multipath::{multipath_tree, MultipathTree};
+use crate::multipath::{multipath_tree_with, MultipathTree};
 use hypatia_constellation::{Constellation, NodeId};
 use hypatia_fault::FaultState;
 use hypatia_util::{SimDuration, SimTime};
@@ -58,10 +58,10 @@ pub struct ForwardingState {
     pub computed_at: SimTime,
     /// The destinations, in the order given at computation time.
     pub dests: Vec<NodeId>,
-    trees: Vec<SpTree>,
+    pub(crate) trees: Vec<SpTree>,
     /// Dense `node index → index into trees` (or [`NOT_A_DEST`]), built
     /// once at construction so per-packet lookups are O(1).
-    dest_lookup: Vec<u32>,
+    pub(crate) dest_lookup: Vec<u32>,
 }
 
 impl ForwardingState {
@@ -119,6 +119,33 @@ impl ForwardingState {
     fn dest_index(&self, dst: NodeId) -> Option<usize> {
         let idx = *self.dest_lookup.get(dst.index())?;
         (idx != NOT_A_DEST).then_some(idx as usize)
+    }
+
+    /// Fill `out` from already-computed trees, reusing its buffers. Used
+    /// by the incremental router, which keeps the authoritative trees in
+    /// its own cache; the copy is byte-identical to what
+    /// [`compute_forwarding_state_into`] builds from the same snapshot.
+    pub(crate) fn fill_from_trees(
+        out: &mut ForwardingState,
+        t: SimTime,
+        dests: &[NodeId],
+        trees: &[SpTree],
+        num_nodes: usize,
+    ) {
+        out.computed_at = t;
+        out.dests.clear();
+        out.dests.extend_from_slice(dests);
+        out.trees.resize_with(trees.len(), SpTree::empty);
+        for (dst, src) in out.trees.iter_mut().zip(trees) {
+            dst.dst = src.dst;
+            dst.dist_ns.clone_from(&src.dist_ns);
+            dst.next_hop.clone_from(&src.next_hop);
+        }
+        out.dest_lookup.clear();
+        out.dest_lookup.resize(num_nodes, NOT_A_DEST);
+        for (i, d) in dests.iter().enumerate() {
+            out.dest_lookup[d.index()] = i as u32;
+        }
     }
 }
 
@@ -264,7 +291,9 @@ pub fn compute_multipath_state_on(
     dests: &[NodeId],
     stretch: f64,
 ) -> MultipathState {
-    let trees = dests.iter().map(|d| multipath_tree(graph, d.0, stretch)).collect();
+    let mut scratch = DijkstraScratch::new();
+    let trees =
+        dests.iter().map(|d| multipath_tree_with(graph, d.0, stretch, &mut scratch)).collect();
     let dest_lookup = build_dest_lookup(dests, graph.num_nodes());
     MultipathState { computed_at: t, dests: dests.to_vec(), trees, dest_lookup }
 }

@@ -1,0 +1,706 @@
+//! Incremental snapshot routing: dynamic SSSP repair seeded from the
+//! previous snapshot's shortest-path trees.
+//!
+//! Between consecutive forwarding-state snapshots only the edge *weights*
+//! drift (satellites move) and a handful of GSL/visibility (or fault)
+//! edges flip, yet the baseline pipeline reruns full Dijkstra from every
+//! destination each step. This module diffs consecutive [`DelayGraph`]
+//! snapshots ([`GraphDiff`]), classifies affected vertices in the spirit
+//! of Ramalingam–Reps, and repairs each destination's [`SpTree`] in place
+//! ([`repair_shortest_path_tree`]); [`IncrementalRouter`] wraps the policy
+//! (full vs. repair, churn-threshold fallback) plus the per-worker caches.
+//!
+//! # Determinism and byte-identity
+//!
+//! The full Dijkstra in [`crate::dijkstra`] produces, for every vertex
+//! `v`, the exact shortest distance and the *minimum-id optimal parent*:
+//! `next_hop[v] = min { u : edge (u,v) of weight w, dist[u] + w == dist[v],
+//! and u may transit (or u == dst) }`. With strictly positive weights
+//! every optimal parent settles strictly before `v`, so each one gets to
+//! relax `v`, and the `u < old` tie-break keeps the smallest id. The
+//! repair therefore recomputes exact distances (warm-start Dijkstra from
+//! the previous tree, run to a tense-edge-free fixed point) and then
+//! rebuilds `next_hop` canonically from the distances alone. The result is
+//! byte-identical to a from-scratch computation regardless of which
+//! previous snapshot seeded the repair — which is what lets per-worker
+//! caches process snapshots at any thread count and in any order. A
+//! zero-weight edge would break the strictly-before argument, so such
+//! snapshots (never produced by real geometry) fall back to full Dijkstra.
+
+use crate::dijkstra::{shortest_path_tree_into, DijkstraScratch, SpTree, UNREACHABLE};
+use crate::forwarding::ForwardingState;
+use crate::graph::{DelayGraph, Edge};
+use hypatia_constellation::NodeId;
+use hypatia_util::SimTime;
+use serde::{Deserialize, Serialize};
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+/// How forwarding states are computed across consecutive snapshots.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub enum RoutingMode {
+    /// Full per-destination Dijkstra every snapshot (the escape hatch).
+    Full,
+    /// Repair the previous snapshot's trees; identical output.
+    #[default]
+    Incremental,
+}
+
+impl RoutingMode {
+    /// Canonical spelling, as accepted by [`RoutingMode::parse`].
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            RoutingMode::Full => "full",
+            RoutingMode::Incremental => "incremental",
+        }
+    }
+
+    /// Parse `"full"` / `"incremental"`.
+    pub fn parse(s: &str) -> Option<RoutingMode> {
+        match s {
+            "full" => Some(RoutingMode::Full),
+            "incremental" => Some(RoutingMode::Incremental),
+            _ => None,
+        }
+    }
+}
+
+/// Routing-pipeline configuration shared by the parallel sweep, the
+/// simulator prefetcher, and the bench harness.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct RoutingConfig {
+    /// Full recompute vs. incremental repair.
+    pub mode: RoutingMode,
+    /// Fall back to full Dijkstra when the fraction of flipped (inserted +
+    /// deleted) directed edges between consecutive snapshots exceeds this.
+    /// Weight-only drift never counts towards churn.
+    pub repair_churn_threshold: f64,
+}
+
+impl Default for RoutingConfig {
+    fn default() -> Self {
+        RoutingConfig { mode: RoutingMode::default(), repair_churn_threshold: 0.10 }
+    }
+}
+
+impl RoutingConfig {
+    /// Always-full configuration.
+    pub fn full() -> Self {
+        RoutingConfig { mode: RoutingMode::Full, ..Default::default() }
+    }
+
+    /// Incremental configuration with the default churn threshold.
+    pub fn incremental() -> Self {
+        RoutingConfig { mode: RoutingMode::Incremental, ..Default::default() }
+    }
+}
+
+/// Structural difference between two consecutive snapshot graphs.
+///
+/// Weight deltas are counted (they affect every ISL every snapshot);
+/// topology flips are listed explicitly, since those are what the
+/// churn-threshold fallback decision is about.
+#[derive(Debug, Clone, Default)]
+pub struct GraphDiff {
+    /// Directed edges present in `cur` but not `prev`.
+    pub inserted: Vec<(u32, u32)>,
+    /// Directed edges present in `prev` but not `cur`.
+    pub deleted: Vec<(u32, u32)>,
+    /// Directed edges present in both with a different weight.
+    pub weight_changed: usize,
+    /// Directed edges present in both with the same weight.
+    pub unchanged: usize,
+    /// Smallest edge weight in `cur` (ns); [`u64::MAX`] when edgeless.
+    pub min_delay_ns: u64,
+    /// Directed edge count of `prev`.
+    pub prev_edges: usize,
+    /// Directed edge count of `cur`.
+    pub cur_edges: usize,
+}
+
+fn find_delay(edges: &[Edge], to: u32) -> Option<u64> {
+    edges.iter().find(|e| e.to == to).map(|e| e.delay_ns)
+}
+
+impl GraphDiff {
+    /// Diff two snapshots (allocating convenience).
+    pub fn between(prev: &DelayGraph, cur: &DelayGraph) -> GraphDiff {
+        let mut diff = GraphDiff::default();
+        diff.diff_into(prev, cur);
+        diff
+    }
+
+    /// Diff two snapshots of the same node set, reusing this diff's
+    /// buffers. Graphs with differing node counts are not diffable.
+    pub fn diff_into(&mut self, prev: &DelayGraph, cur: &DelayGraph) {
+        assert_eq!(prev.num_nodes(), cur.num_nodes(), "snapshots differ in node count");
+        self.inserted.clear();
+        self.deleted.clear();
+        self.weight_changed = 0;
+        self.unchanged = 0;
+        self.min_delay_ns = u64::MAX;
+        self.prev_edges = prev.num_edges();
+        self.cur_edges = cur.num_edges();
+        for u in 0..cur.num_nodes() {
+            let pe = prev.edges(u);
+            let ce = cur.edges(u);
+            for e in ce {
+                self.min_delay_ns = self.min_delay_ns.min(e.delay_ns);
+            }
+            // Snapshot adjacency order is construction-stable, so when the
+            // neighbour sets match, the lists are positionally identical.
+            if pe.len() == ce.len() && pe.iter().zip(ce).all(|(a, b)| a.to == b.to) {
+                for (a, b) in pe.iter().zip(ce) {
+                    if a.delay_ns == b.delay_ns {
+                        self.unchanged += 1;
+                    } else {
+                        self.weight_changed += 1;
+                    }
+                }
+                continue;
+            }
+            for e in ce {
+                match find_delay(pe, e.to) {
+                    None => self.inserted.push((u as u32, e.to)),
+                    Some(w) if w == e.delay_ns => self.unchanged += 1,
+                    Some(_) => self.weight_changed += 1,
+                }
+            }
+            for e in pe {
+                if find_delay(ce, e.to).is_none() {
+                    self.deleted.push((u as u32, e.to));
+                }
+            }
+        }
+    }
+
+    /// Fraction of directed edges that flipped (inserted or deleted),
+    /// relative to the larger of the two snapshots. Zero-safe.
+    pub fn churn_fraction(&self) -> f64 {
+        let denom = self.prev_edges.max(self.cur_edges).max(1);
+        (self.inserted.len() + self.deleted.len()) as f64 / denom as f64
+    }
+
+    /// Does `cur` contain a zero-weight edge (repair would lose the
+    /// canonical-parent tie-break)?
+    pub fn has_zero_delay(&self) -> bool {
+        self.min_delay_ns == 0 && self.cur_edges > 0
+    }
+}
+
+/// Reusable working memory for [`repair_shortest_path_tree`]: the
+/// previous tree's children lists (CSR), the BFS order, and the repair
+/// heap all persist across calls.
+#[derive(Debug, Default)]
+pub struct RepairScratch {
+    /// `child_offsets[u]..child_offsets[u+1]` indexes `children` for `u`.
+    child_offsets: Vec<u32>,
+    /// Children of each vertex in the previous tree (`next_hop[v] == u`).
+    children: Vec<u32>,
+    /// Counting-sort cursors, then reused as the BFS queue.
+    cursor: Vec<u32>,
+    /// BFS visitation order over the old tree.
+    order: Vec<u32>,
+    heap: BinaryHeap<Reverse<(u64, u32)>>,
+}
+
+impl RepairScratch {
+    /// Fresh, empty scratch.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+/// Repair `tree` — an exact shortest-path tree of a *previous* snapshot
+/// with the same node set and transit flags — into the exact tree for
+/// `graph`, byte-identical to [`shortest_path_tree_into`] on `graph`.
+///
+/// Three passes: (1) re-derive distances along the old tree under the new
+/// weights (vertices whose old path broke become unreachable for now);
+/// (2) seed a heap with every vertex a single relaxation improves (the
+/// "affected" set) and run Dijkstra repair to a fixed point, which yields
+/// exact distances; (3) rebuild every `next_hop` as the minimum-id optimal
+/// parent, the canonical form full Dijkstra produces.
+///
+/// `graph` must not contain zero-weight edges (callers check via
+/// [`GraphDiff::has_zero_delay`] and fall back to full Dijkstra).
+pub fn repair_shortest_path_tree(
+    graph: &DelayGraph,
+    tree: &mut SpTree,
+    scratch: &mut RepairScratch,
+) {
+    let n = graph.num_nodes();
+    let dst = tree.dst;
+    assert_eq!(tree.dist_ns.len(), n, "tree/snapshot node count mismatch");
+
+    // Pass 1a: children lists of the old tree, by counting sort.
+    scratch.child_offsets.clear();
+    scratch.child_offsets.resize(n + 1, 0);
+    for hop in tree.next_hop.iter().flatten() {
+        scratch.child_offsets[*hop as usize + 1] += 1;
+    }
+    for v in 0..n {
+        scratch.child_offsets[v + 1] += scratch.child_offsets[v];
+    }
+    scratch.cursor.clear();
+    scratch.cursor.extend_from_slice(&scratch.child_offsets[..n]);
+    scratch.children.clear();
+    scratch.children.resize(tree.next_hop.iter().flatten().count(), 0);
+    for (v, hop) in tree.next_hop.iter().enumerate() {
+        if let Some(u) = hop {
+            let at = scratch.cursor[*u as usize];
+            scratch.children[at as usize] = v as u32;
+            scratch.cursor[*u as usize] = at + 1;
+        }
+    }
+
+    // Pass 1b: BFS from dst over the old tree, re-deriving distances with
+    // the new weights. A vertex whose parent edge disappeared (or whose
+    // parent is itself cut off) keeps UNREACHABLE; pass 2 re-discovers it
+    // if any live path remains.
+    let dist = &mut tree.dist_ns;
+    dist.iter_mut().for_each(|d| *d = UNREACHABLE);
+    dist[dst as usize] = 0;
+    scratch.order.clear();
+    scratch.order.push(dst);
+    let mut head = 0;
+    while head < scratch.order.len() {
+        let u = scratch.order[head];
+        head += 1;
+        let du = dist[u as usize];
+        let (lo, hi) = (scratch.child_offsets[u as usize], scratch.child_offsets[u as usize + 1]);
+        for i in lo..hi {
+            let v = scratch.children[i as usize];
+            if let Some(w) = find_delay(graph.edges(v as usize), u) {
+                dist[v as usize] = du + w;
+                scratch.order.push(v);
+            }
+        }
+    }
+
+    // Pass 2: seed every vertex a single relaxation improves, then repair
+    // to a fixed point. Labels only decrease, each label is the length of
+    // a real transit-valid path, and at termination no edge is tense, so
+    // the labels are the exact constrained shortest distances.
+    let heap = &mut scratch.heap;
+    heap.clear();
+    for u in 0..n {
+        let du = dist[u];
+        if du == UNREACHABLE || (u as u32 != dst && !graph.may_transit(u)) {
+            continue;
+        }
+        for e in graph.edges(u) {
+            let nd = du + e.delay_ns;
+            if nd < dist[e.to as usize] {
+                dist[e.to as usize] = nd;
+                heap.push(Reverse((nd, e.to)));
+            }
+        }
+    }
+    while let Some(Reverse((d, u))) = heap.pop() {
+        if d > dist[u as usize] {
+            continue; // stale entry
+        }
+        if u != dst && !graph.may_transit(u as usize) {
+            continue; // endpoints terminate paths, as in full Dijkstra
+        }
+        for e in graph.edges(u as usize) {
+            let nd = d + e.delay_ns;
+            if nd < dist[e.to as usize] {
+                dist[e.to as usize] = nd;
+                heap.push(Reverse((nd, e.to)));
+            }
+        }
+    }
+
+    // Pass 3: canonical next hops — the minimum-id optimal parent. Edges
+    // are symmetric, so v's in-edges are read off its own adjacency list.
+    for v in 0..n {
+        if v as u32 == dst || dist[v] == UNREACHABLE {
+            tree.next_hop[v] = None;
+            continue;
+        }
+        let dv = dist[v];
+        let mut best = u32::MAX;
+        for e in graph.edges(v) {
+            let u = e.to;
+            if (u == dst || graph.may_transit(u as usize))
+                && dist[u as usize] != UNREACHABLE
+                && dist[u as usize] + e.delay_ns == dv
+                && u < best
+            {
+                best = u;
+            }
+        }
+        debug_assert!(best != u32::MAX, "reachable vertex {v} has no optimal parent");
+        tree.next_hop[v] = (best != u32::MAX).then_some(best);
+    }
+}
+
+/// Why a snapshot was (or was not) repaired — tallied in [`RouterStats`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RouterStats {
+    /// Snapshots computed in total.
+    pub snapshots: u64,
+    /// Snapshots repaired incrementally.
+    pub repaired: u64,
+    /// Snapshots computed by full Dijkstra because the mode says so.
+    pub full_mode: u64,
+    /// Full recomputes because no valid cache existed (first snapshot, or
+    /// the destination set / node count changed).
+    pub fallback_first: u64,
+    /// Full recomputes because topology churn exceeded the threshold.
+    pub fallback_churn: u64,
+    /// Full recomputes because the snapshot contains a zero-weight edge.
+    pub fallback_zero_delay: u64,
+}
+
+/// Per-worker incremental routing engine: previous snapshot + exact trees
+/// + scratch buffers, and the full-vs-repair policy.
+///
+/// Every worker of a parallel sweep owns one router. Because repair output
+/// is byte-identical to full recompute from *any* valid cache state, the
+/// pipeline's results do not depend on which steps a worker happened to
+/// process, so any thread count and any snapshot order produce identical
+/// bytes.
+#[derive(Debug)]
+pub struct IncrementalRouter {
+    config: RoutingConfig,
+    /// Is (`prev_graph`, `trees`, `dests`) a coherent cache?
+    valid: bool,
+    prev_graph: DelayGraph,
+    dests: Vec<NodeId>,
+    trees: Vec<SpTree>,
+    scratch: DijkstraScratch,
+    repair: RepairScratch,
+    diff: GraphDiff,
+    /// Decision counters (exposed for benches and tests).
+    pub stats: RouterStats,
+}
+
+impl Default for IncrementalRouter {
+    fn default() -> Self {
+        IncrementalRouter::new(RoutingConfig::default())
+    }
+}
+
+impl IncrementalRouter {
+    /// A router with no cached state yet.
+    pub fn new(config: RoutingConfig) -> Self {
+        IncrementalRouter {
+            config,
+            valid: false,
+            prev_graph: DelayGraph::default(),
+            dests: Vec::new(),
+            trees: Vec::new(),
+            scratch: DijkstraScratch::new(),
+            repair: RepairScratch::new(),
+            diff: GraphDiff::default(),
+            stats: RouterStats::default(),
+        }
+    }
+
+    /// The active configuration.
+    pub fn config(&self) -> RoutingConfig {
+        self.config
+    }
+
+    /// Drop the cached snapshot; the next compute runs full Dijkstra.
+    pub fn invalidate(&mut self) {
+        self.valid = false;
+    }
+
+    /// Compute the forwarding state of `graph` at `t` towards `dests`
+    /// into `out`, repairing from the cached previous snapshot when the
+    /// policy allows. Byte-identical to
+    /// [`crate::forwarding::compute_forwarding_state_into`] in all modes.
+    pub fn compute_into(
+        &mut self,
+        graph: &DelayGraph,
+        t: SimTime,
+        dests: &[NodeId],
+        out: &mut ForwardingState,
+    ) {
+        self.stats.snapshots += 1;
+        let repairable = match self.config.mode {
+            RoutingMode::Full => {
+                self.stats.full_mode += 1;
+                false
+            }
+            RoutingMode::Incremental => {
+                if !self.valid
+                    || self.dests != dests
+                    || self.prev_graph.num_nodes() != graph.num_nodes()
+                {
+                    self.stats.fallback_first += 1;
+                    false
+                } else {
+                    self.diff.diff_into(&self.prev_graph, graph);
+                    if self.diff.has_zero_delay() {
+                        self.stats.fallback_zero_delay += 1;
+                        false
+                    } else if self.diff.churn_fraction() > self.config.repair_churn_threshold {
+                        self.stats.fallback_churn += 1;
+                        false
+                    } else {
+                        true
+                    }
+                }
+            }
+        };
+
+        if repairable {
+            self.stats.repaired += 1;
+            for tree in &mut self.trees {
+                repair_shortest_path_tree(graph, tree, &mut self.repair);
+            }
+        } else {
+            self.dests.clear();
+            self.dests.extend_from_slice(dests);
+            self.trees.resize_with(dests.len(), SpTree::empty);
+            for (tree, d) in self.trees.iter_mut().zip(dests) {
+                shortest_path_tree_into(graph, d.0, &mut self.scratch, tree);
+            }
+        }
+
+        // Cache the snapshot the trees now describe (except in full mode,
+        // where the cache is dead weight).
+        if self.config.mode == RoutingMode::Incremental {
+            self.prev_graph.clone_from(graph);
+            self.valid = true;
+        }
+
+        ForwardingState::fill_from_trees(out, t, dests, &self.trees, graph.num_nodes());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::forwarding::compute_forwarding_state_on;
+    use hypatia_constellation::ground::GroundStation;
+    use hypatia_constellation::gsl::GslConfig;
+    use hypatia_constellation::isl::IslLayout;
+    use hypatia_constellation::shell::ShellSpec;
+    use hypatia_constellation::Constellation;
+    use hypatia_fault::{FaultSchedule, FaultSpec, FaultState, OutageWindow};
+    use hypatia_util::{SimDuration, SimTime};
+
+    fn constellation() -> Constellation {
+        Constellation::build(
+            "inc",
+            vec![ShellSpec::new("A", 550.0, 6, 6, 53.0)],
+            IslLayout::PlusGrid,
+            vec![
+                GroundStation::new("a", 10.0, 10.0),
+                GroundStation::new("b", -20.0, 120.0),
+                GroundStation::new("c", 48.0, 2.0),
+            ],
+            GslConfig::new(25.0),
+        )
+    }
+
+    fn assert_trees_identical(a: &SpTree, b: &SpTree, ctx: &str) {
+        assert_eq!(a.dst, b.dst, "{ctx}: dst");
+        assert_eq!(a.dist_ns, b.dist_ns, "{ctx}: distances");
+        assert_eq!(a.next_hop, b.next_hop, "{ctx}: next hops");
+    }
+
+    #[test]
+    fn repair_matches_full_under_weight_drift() {
+        let c = constellation();
+        let dst = c.gs_node(0).0;
+        let mut tree =
+            crate::dijkstra::shortest_path_tree(&DelayGraph::snapshot(&c, SimTime::ZERO), dst);
+        let mut scratch = RepairScratch::new();
+        // Walk forward in time: every ISL weight drifts, GSLs flip as
+        // satellites rise and set.
+        for secs in [5u64, 10, 30, 90, 180] {
+            let g = DelayGraph::snapshot(&c, SimTime::from_secs(secs));
+            repair_shortest_path_tree(&g, &mut tree, &mut scratch);
+            let full = crate::dijkstra::shortest_path_tree(&g, dst);
+            assert_trees_identical(&tree, &full, &format!("t={secs}s"));
+        }
+    }
+
+    #[test]
+    fn repair_matches_full_across_fault_flips() {
+        let c = constellation();
+        let t = SimTime::from_secs(20);
+        let spec = FaultSpec {
+            sat_outages: vec![
+                OutageWindow { target: 3, from_s: 10.0, until_s: 40.0 },
+                OutageWindow { target: 17, from_s: 10.0, until_s: 40.0 },
+            ],
+            gsl_weather: vec![OutageWindow { target: 1, from_s: 10.0, until_s: 40.0 }],
+            ..FaultSpec::default()
+        };
+        let sched = FaultSchedule::compile(&spec, &c, SimDuration::from_secs(60));
+        let dark = FaultState::at(&sched, t);
+        let nominal = DelayGraph::snapshot(&c, t);
+        let masked = DelayGraph::snapshot_masked(&c, t, Some(&dark));
+        let mut scratch = RepairScratch::new();
+        for dst in [c.gs_node(0).0, c.gs_node(2).0] {
+            // Fault appears: repair nominal tree onto the masked graph.
+            let mut tree = crate::dijkstra::shortest_path_tree(&nominal, dst);
+            repair_shortest_path_tree(&masked, &mut tree, &mut scratch);
+            assert_trees_identical(
+                &tree,
+                &crate::dijkstra::shortest_path_tree(&masked, dst),
+                "fault onset",
+            );
+            // Fault clears: repair the masked tree back onto nominal.
+            repair_shortest_path_tree(&nominal, &mut tree, &mut scratch);
+            assert_trees_identical(
+                &tree,
+                &crate::dijkstra::shortest_path_tree(&nominal, dst),
+                "fault recovery",
+            );
+        }
+    }
+
+    #[test]
+    fn router_is_byte_identical_to_full_pipeline() {
+        let c = constellation();
+        let dests = vec![c.gs_node(0), c.gs_node(1)];
+        let mut router = IncrementalRouter::new(RoutingConfig::incremental());
+        let mut out = ForwardingState::empty();
+        for secs in 0..8u64 {
+            let t = SimTime::from_secs(secs * 15);
+            let g = DelayGraph::snapshot(&c, t);
+            router.compute_into(&g, t, &dests, &mut out);
+            let reference = compute_forwarding_state_on(&g, t, &dests);
+            assert_eq!(out.computed_at, reference.computed_at);
+            assert_eq!(out.dests, reference.dests);
+            for (a, b) in out.trees.iter().zip(&reference.trees) {
+                assert_trees_identical(a, b, &format!("t={}s", secs * 15));
+            }
+            assert_eq!(out.dest_lookup, reference.dest_lookup);
+        }
+        assert!(router.stats.repaired >= 6, "drift steps should repair: {:?}", router.stats);
+        assert_eq!(router.stats.fallback_first, 1, "{:?}", router.stats);
+    }
+
+    #[test]
+    fn first_snapshot_and_dest_change_fall_back_to_full() {
+        let c = constellation();
+        let g = DelayGraph::snapshot(&c, SimTime::ZERO);
+        let mut router = IncrementalRouter::new(RoutingConfig::incremental());
+        let mut out = ForwardingState::empty();
+        router.compute_into(&g, SimTime::ZERO, &[c.gs_node(0)], &mut out);
+        assert_eq!(router.stats.fallback_first, 1);
+        // Changing the destination set invalidates the cache.
+        router.compute_into(&g, SimTime::ZERO, &[c.gs_node(0), c.gs_node(1)], &mut out);
+        assert_eq!(router.stats.fallback_first, 2);
+        // Same dests again: repairable (zero-delta diff).
+        router.compute_into(&g, SimTime::ZERO, &[c.gs_node(0), c.gs_node(1)], &mut out);
+        assert_eq!(router.stats.repaired, 1, "{:?}", router.stats);
+    }
+
+    #[test]
+    fn churn_threshold_forces_full_recompute() {
+        let c = constellation();
+        let t = SimTime::from_secs(20);
+        // Take down a third of the satellites: a huge topology flip.
+        let spec = FaultSpec {
+            sat_outages: (0..12)
+                .map(|s| OutageWindow { target: s, from_s: 10.0, until_s: 40.0 })
+                .collect(),
+            ..FaultSpec::default()
+        };
+        let sched = FaultSchedule::compile(&spec, &c, SimDuration::from_secs(60));
+        let dark = FaultState::at(&sched, t);
+        let dests = vec![c.gs_node(0)];
+        let mut router = IncrementalRouter::new(RoutingConfig {
+            mode: RoutingMode::Incremental,
+            repair_churn_threshold: 0.05,
+        });
+        let mut out = ForwardingState::empty();
+        let nominal = DelayGraph::snapshot(&c, t);
+        router.compute_into(&nominal, t, &dests, &mut out);
+        let masked = DelayGraph::snapshot_masked(&c, t, Some(&dark));
+        router.compute_into(&masked, t, &dests, &mut out);
+        assert_eq!(router.stats.fallback_churn, 1, "{:?}", router.stats);
+        // The fallback still yields the exact reference state.
+        let reference = compute_forwarding_state_on(&masked, t, &dests);
+        for (a, b) in out.trees.iter().zip(&reference.trees) {
+            assert_trees_identical(a, b, "churn fallback");
+        }
+    }
+
+    #[test]
+    fn full_mode_never_diffs_or_repairs() {
+        let c = constellation();
+        let dests = vec![c.gs_node(0)];
+        let mut router = IncrementalRouter::new(RoutingConfig::full());
+        let mut out = ForwardingState::empty();
+        for secs in [0u64, 15, 30] {
+            let g = DelayGraph::snapshot(&c, SimTime::from_secs(secs));
+            router.compute_into(&g, SimTime::from_secs(secs), &dests, &mut out);
+        }
+        assert_eq!(router.stats.full_mode, 3);
+        assert_eq!(router.stats.repaired, 0);
+    }
+
+    #[test]
+    fn diff_between_identical_snapshots_is_empty() {
+        let c = constellation();
+        let g = DelayGraph::snapshot(&c, SimTime::from_secs(7));
+        let diff = GraphDiff::between(&g, &g);
+        assert!(diff.inserted.is_empty() && diff.deleted.is_empty());
+        assert_eq!(diff.weight_changed, 0);
+        assert_eq!(diff.unchanged, g.num_edges());
+        assert_eq!(diff.churn_fraction(), 0.0);
+        assert!(!diff.has_zero_delay());
+        assert!(diff.min_delay_ns > 0, "real geometry has positive delays");
+    }
+
+    #[test]
+    fn diff_counts_fault_flips_symmetrically() {
+        let c = constellation();
+        let t = SimTime::from_secs(20);
+        let spec = FaultSpec {
+            sat_outages: vec![OutageWindow { target: 5, from_s: 0.0, until_s: 40.0 }],
+            ..FaultSpec::default()
+        };
+        let sched = FaultSchedule::compile(&spec, &c, SimDuration::from_secs(60));
+        let dark = FaultState::at(&sched, t);
+        let nominal = DelayGraph::snapshot(&c, t);
+        let masked = DelayGraph::snapshot_masked(&c, t, Some(&dark));
+        let onset = GraphDiff::between(&nominal, &masked);
+        assert!(onset.inserted.is_empty());
+        assert_eq!(onset.deleted.len(), nominal.num_edges() - masked.num_edges());
+        assert!(onset.deleted.iter().all(|&(a, b)| a == 5 || b == 5));
+        // The reverse diff mirrors inserts and deletes.
+        let recovery = GraphDiff::between(&masked, &nominal);
+        assert_eq!(recovery.inserted.len(), onset.deleted.len());
+        assert!(recovery.deleted.is_empty());
+        assert!((onset.churn_fraction() - recovery.churn_fraction()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn diff_counts_pure_weight_drift() {
+        let c = constellation();
+        let g0 = DelayGraph::snapshot(&c, SimTime::ZERO);
+        let g1 = DelayGraph::snapshot(&c, SimTime::from_millis(100));
+        let diff = GraphDiff::between(&g0, &g1);
+        assert!(diff.weight_changed > 0, "ISL delays must drift over 100 ms");
+        // A 100 ms step flips at most a few GSLs.
+        assert!(
+            diff.churn_fraction() < 0.05,
+            "churn {} unexpectedly high: {} ins / {} del",
+            diff.churn_fraction(),
+            diff.inserted.len(),
+            diff.deleted.len()
+        );
+    }
+
+    #[test]
+    fn mode_parsing_round_trips() {
+        for mode in [RoutingMode::Full, RoutingMode::Incremental] {
+            assert_eq!(RoutingMode::parse(mode.as_str()), Some(mode));
+        }
+        assert_eq!(RoutingMode::parse("bogus"), None);
+        assert_eq!(RoutingMode::default(), RoutingMode::Incremental);
+    }
+}

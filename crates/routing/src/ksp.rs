@@ -5,7 +5,7 @@
 //!
 //! Loopless paths, deterministic order (by delay, then lexicographic).
 
-use crate::dijkstra::shortest_path_tree;
+use crate::dijkstra::{shortest_path_tree_into, DijkstraScratch, SpTree};
 use crate::graph::{DelayGraph, Edge};
 use std::collections::BinaryHeap;
 
@@ -44,35 +44,47 @@ struct MaskedGraph<'a> {
     banned_nodes: Vec<u32>,
 }
 
+/// Reusable working memory for the spur-path searches — one allocation
+/// set for all of Yen's inner Dijkstra runs instead of one per spur.
+#[derive(Default)]
+struct SpurScratch {
+    dist: Vec<u64>,
+    prev: Vec<Option<u32>>,
+    settled: Vec<bool>,
+    heap: BinaryHeap<std::cmp::Reverse<(u64, u32)>>,
+}
+
 impl MaskedGraph<'_> {
-    fn edges(&self, u: u32) -> Vec<Edge> {
-        if self.banned_nodes.contains(&u) {
-            return Vec::new();
-        }
+    fn edges(&self, u: u32) -> impl Iterator<Item = Edge> + '_ {
+        let node_banned = self.banned_nodes.contains(&u);
         self.inner
             .edges(u as usize)
             .iter()
-            .filter(|e| {
-                !self.banned_nodes.contains(&e.to) && !self.banned_edges.contains(&(u, e.to))
+            .filter(move |e| {
+                !node_banned
+                    && !self.banned_nodes.contains(&e.to)
+                    && !self.banned_edges.contains(&(u, e.to))
             })
             .copied()
-            .collect()
     }
 
     /// Dijkstra from `src` to `dst` on the masked graph.
-    fn shortest(&self, src: u32, dst: u32) -> Option<RankedPath> {
+    fn shortest(&self, src: u32, dst: u32, s: &mut SpurScratch) -> Option<RankedPath> {
         let n = self.inner.num_nodes();
-        let mut dist = vec![u64::MAX; n];
-        let mut prev: Vec<Option<u32>> = vec![None; n];
-        let mut settled = vec![false; n];
-        let mut heap: BinaryHeap<std::cmp::Reverse<(u64, u32)>> = BinaryHeap::new();
-        dist[src as usize] = 0;
-        heap.push(std::cmp::Reverse((0, src)));
-        while let Some(std::cmp::Reverse((d, u))) = heap.pop() {
-            if settled[u as usize] {
+        s.dist.clear();
+        s.dist.resize(n, u64::MAX);
+        s.prev.clear();
+        s.prev.resize(n, None);
+        s.settled.clear();
+        s.settled.resize(n, false);
+        s.heap.clear();
+        s.dist[src as usize] = 0;
+        s.heap.push(std::cmp::Reverse((0, src)));
+        while let Some(std::cmp::Reverse((d, u))) = s.heap.pop() {
+            if s.settled[u as usize] {
                 continue;
             }
-            settled[u as usize] = true;
+            s.settled[u as usize] = true;
             if u == dst {
                 break;
             }
@@ -84,24 +96,24 @@ impl MaskedGraph<'_> {
             for e in self.edges(u) {
                 let v = e.to as usize;
                 let nd = d + e.delay_ns;
-                if nd < dist[v] || (nd == dist[v] && prev[v].is_some_and(|p| u < p)) {
-                    dist[v] = nd;
-                    prev[v] = Some(u);
-                    heap.push(std::cmp::Reverse((nd, e.to)));
+                if nd < s.dist[v] || (nd == s.dist[v] && s.prev[v].is_some_and(|p| u < p)) {
+                    s.dist[v] = nd;
+                    s.prev[v] = Some(u);
+                    s.heap.push(std::cmp::Reverse((nd, e.to)));
                 }
             }
         }
-        if dist[dst as usize] == u64::MAX {
+        if s.dist[dst as usize] == u64::MAX {
             return None;
         }
         let mut nodes = vec![dst];
         let mut cur = dst;
         while cur != src {
-            cur = prev[cur as usize].expect("path reconstruction");
+            cur = s.prev[cur as usize].expect("path reconstruction");
             nodes.push(cur);
         }
         nodes.reverse();
-        Some(RankedPath { delay_ns: dist[dst as usize], nodes })
+        Some(RankedPath { delay_ns: s.dist[dst as usize], nodes })
     }
 }
 
@@ -109,7 +121,9 @@ impl MaskedGraph<'_> {
 /// paths in ascending delay order (fewer when the graph has fewer).
 pub fn k_shortest_paths(graph: &DelayGraph, src: u32, dst: u32, k: usize) -> Vec<RankedPath> {
     assert!(k >= 1, "k must be at least 1");
-    let tree = shortest_path_tree(graph, dst);
+    let mut dijkstra = DijkstraScratch::default();
+    let mut tree = SpTree::empty();
+    shortest_path_tree_into(graph, dst, &mut dijkstra, &mut tree);
     let Some(first_nodes) = tree.path_from(src) else {
         return Vec::new();
     };
@@ -119,6 +133,7 @@ pub fn k_shortest_paths(graph: &DelayGraph, src: u32, dst: u32, k: usize) -> Vec
     let mut found = vec![first];
     // Min-heap of candidates (BinaryHeap is max; use Reverse).
     let mut candidates: BinaryHeap<std::cmp::Reverse<RankedPath>> = BinaryHeap::new();
+    let mut spur_scratch = SpurScratch::default();
 
     for _ in 1..k {
         let last = found.last().expect("at least the shortest").clone();
@@ -140,7 +155,7 @@ pub fn k_shortest_paths(graph: &DelayGraph, src: u32, dst: u32, k: usize) -> Vec
             let banned_nodes: Vec<u32> = root[..i].to_vec();
 
             let masked = MaskedGraph { inner: graph, banned_edges, banned_nodes };
-            if let Some(spur) = masked.shortest(spur_node, dst) {
+            if let Some(spur) = masked.shortest(spur_node, dst, &mut spur_scratch) {
                 // Total = root delay + spur delay.
                 let mut nodes = root[..i].to_vec();
                 nodes.extend(&spur.nodes);
@@ -199,7 +214,7 @@ mod tests {
     #[test]
     fn first_path_is_the_shortest() {
         let (_, g, src, dst) = setup();
-        let tree = shortest_path_tree(&g, dst);
+        let tree = crate::dijkstra::shortest_path_tree(&g, dst);
         let paths = k_shortest_paths(&g, src, dst, 1);
         assert_eq!(paths.len(), 1);
         assert_eq!(Some(paths[0].delay_ns), tree.distance_ns(src));

@@ -14,6 +14,10 @@
 //!   validation and small topologies;
 //! * [`forwarding`] — forwarding state per time-step and lazy schedules;
 //! * [`path`] — path extraction, RTT evaluation, change tracking;
+//! * [`incremental`] — dynamic SSSP repair between consecutive snapshots:
+//!   graph diffing, Ramalingam–Reps-style tree repair, and the
+//!   churn-threshold full-recompute fallback, with output byte-identical
+//!   to full Dijkstra;
 //! * [`ksp`] — Yen's K shortest loopless paths (multipath/TE studies);
 //! * [`multipath`] — loop-free downhill-alternate forwarding (the §5.4
 //!   traffic-engineering direction, usable directly by the simulator);
@@ -30,6 +34,7 @@ pub mod dijkstra;
 pub mod floyd_warshall;
 pub mod forwarding;
 pub mod graph;
+pub mod incremental;
 pub mod ksp;
 pub mod multipath;
 pub mod parallel;
@@ -41,5 +46,8 @@ pub use forwarding::{
     compute_forwarding_state, compute_forwarding_state_masked, ForwardingState, Unreachable,
 };
 pub use graph::{DelayGraph, SnapshotBuffers};
+pub use incremental::{
+    GraphDiff, IncrementalRouter, RepairScratch, RouterStats, RoutingConfig, RoutingMode,
+};
 pub use parallel::{Prefetcher, SnapshotWorker};
 pub use path::{extract_path, path_rtt_at, PairTracker};

@@ -10,7 +10,7 @@
 //! decreases the remaining distance — so flows can be spread (e.g. by
 //! flow hash) without any inter-node coordination.
 
-use crate::dijkstra::{shortest_path_tree, SpTree, UNREACHABLE};
+use crate::dijkstra::{shortest_path_tree_into, DijkstraScratch, SpTree, UNREACHABLE};
 use crate::graph::DelayGraph;
 
 /// Per-destination alternate sets layered over a shortest-path tree.
@@ -30,8 +30,20 @@ pub struct MultipathTree {
 /// Compute downhill alternates towards `dst` with the given `stretch`
 /// (≥ 1.0; 1.0 admits only exact ties with the shortest path).
 pub fn multipath_tree(graph: &DelayGraph, dst: u32, stretch: f64) -> MultipathTree {
+    multipath_tree_with(graph, dst, stretch, &mut DijkstraScratch::new())
+}
+
+/// As [`multipath_tree`], reusing the caller's Dijkstra scratch — the
+/// per-destination loop of a multipath forwarding state shares one heap.
+pub fn multipath_tree_with(
+    graph: &DelayGraph,
+    dst: u32,
+    stretch: f64,
+    scratch: &mut DijkstraScratch,
+) -> MultipathTree {
     assert!(stretch >= 1.0, "stretch must be ≥ 1.0: {stretch}");
-    let tree = shortest_path_tree(graph, dst);
+    let mut tree = SpTree::empty();
+    shortest_path_tree_into(graph, dst, scratch, &mut tree);
     let n = graph.num_nodes();
     let mut alternates: Vec<Vec<u32>> = vec![Vec::new(); n];
 

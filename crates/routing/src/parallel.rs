@@ -20,10 +20,9 @@
 //!   while a consumer (the netsim event loop) is still busy with step `k`.
 
 use crate::dijkstra::DijkstraScratch;
-use crate::forwarding::{
-    compute_forwarding_state_with, compute_forwarding_state_with_mask, ForwardingState,
-};
+use crate::forwarding::ForwardingState;
 use crate::graph::SnapshotBuffers;
+use crate::incremental::{IncrementalRouter, RoutingConfig};
 use hypatia_constellation::{Constellation, NodeId};
 use hypatia_fault::FaultState;
 use hypatia_util::SimTime;
@@ -137,39 +136,59 @@ where
     out
 }
 
-/// Per-worker reusable routing buffers: snapshot staging + Dijkstra
-/// scratch. One of these lives on each worker thread for the lifetime of a
-/// sweep, so steady-state snapshot-routing does not allocate graphs,
-/// heaps, or position buffers.
+/// Per-worker reusable routing state: snapshot staging buffers plus the
+/// incremental routing engine (previous-snapshot cache, Dijkstra/repair
+/// scratch). One of these lives on each worker thread for the lifetime of
+/// a sweep, so steady-state snapshot-routing does not allocate graphs,
+/// heaps, or position buffers — and, in incremental mode, repairs each
+/// worker's trees from whatever snapshot that worker computed last.
+///
+/// Which steps a worker happens to process depends on thread scheduling,
+/// so the per-worker caches see a nondeterministic step subsequence. That
+/// is safe because repair output is byte-identical to a full recompute
+/// from *any* cached snapshot (see [`crate::incremental`]): results never
+/// depend on thread count or step assignment.
 #[derive(Debug, Default)]
 pub struct SnapshotWorker {
     /// Snapshot-graph construction buffers (CSR arrays, positions).
     pub buffers: SnapshotBuffers,
-    /// Dijkstra working memory (heap, settled set).
+    /// Dijkstra working memory for non-router uses (heap, settled set).
     pub scratch: DijkstraScratch,
+    /// The full-vs-incremental routing engine with its snapshot cache.
+    pub router: IncrementalRouter,
 }
 
 impl SnapshotWorker {
-    /// Fresh worker buffers.
+    /// Fresh worker buffers with the default routing configuration
+    /// (incremental repair).
     pub fn new() -> Self {
         Self::default()
     }
 
+    /// Fresh worker buffers with an explicit routing configuration.
+    pub fn with_config(config: RoutingConfig) -> Self {
+        SnapshotWorker { router: IncrementalRouter::new(config), ..Default::default() }
+    }
+
     /// Snapshot the constellation at `t` and compute forwarding state
-    /// towards `dests`, reusing this worker's buffers.
+    /// towards `dests`, reusing this worker's buffers and (in incremental
+    /// mode) repairing from the previously computed snapshot.
     pub fn forwarding_state(
         &mut self,
         constellation: &Constellation,
         t: SimTime,
         dests: &[NodeId],
     ) -> ForwardingState {
-        compute_forwarding_state_with(&mut self.buffers, &mut self.scratch, constellation, t, dests)
+        self.forwarding_state_masked(constellation, t, dests, None)
     }
 
     /// As [`Self::forwarding_state`], routing around faulted components.
-    /// Because the fault state is derived purely from an immutable
-    /// schedule, prefetch workers calling this produce states
-    /// bit-identical to the inline recomputation path.
+    /// Fault transitions reach the router as edge deletions/insertions in
+    /// the snapshot diff, so repair handles them like any other churn (and
+    /// falls back to full Dijkstra past the churn threshold). Because the
+    /// fault state is derived purely from an immutable schedule and repair
+    /// is byte-identical to full recompute, prefetch workers calling this
+    /// produce states bit-identical to the inline recomputation path.
     pub fn forwarding_state_masked(
         &mut self,
         constellation: &Constellation,
@@ -177,14 +196,10 @@ impl SnapshotWorker {
         dests: &[NodeId],
         faults: Option<&FaultState>,
     ) -> ForwardingState {
-        compute_forwarding_state_with_mask(
-            &mut self.buffers,
-            &mut self.scratch,
-            constellation,
-            t,
-            dests,
-            faults,
-        )
+        let graph = self.buffers.snapshot_masked(constellation, t, faults);
+        let mut out = ForwardingState::empty();
+        self.router.compute_into(graph, t, dests, &mut out);
+        out
     }
 }
 
@@ -198,6 +213,30 @@ pub fn sweep_forwarding_states<C>(
     times: &[SimTime],
     dests: &[NodeId],
     threads: usize,
+    consume: C,
+) where
+    C: FnMut(usize, ForwardingState),
+{
+    sweep_forwarding_states_with(
+        constellation,
+        times,
+        dests,
+        threads,
+        RoutingConfig::default(),
+        consume,
+    );
+}
+
+/// As [`sweep_forwarding_states`], with an explicit routing configuration
+/// (full recompute vs. incremental repair, churn threshold). Output is
+/// byte-identical across configurations and thread counts; the
+/// configuration only changes how fast the states are produced.
+pub fn sweep_forwarding_states_with<C>(
+    constellation: &Constellation,
+    times: &[SimTime],
+    dests: &[NodeId],
+    threads: usize,
+    routing: RoutingConfig,
     mut consume: C,
 ) where
     C: FnMut(usize, ForwardingState),
@@ -207,7 +246,7 @@ pub fn sweep_forwarding_states<C>(
         times.len() as u64,
         threads,
         2 * threads,
-        SnapshotWorker::new,
+        || SnapshotWorker::with_config(routing),
         |worker, k| worker.forwarding_state(constellation, times[k as usize], dests),
         |k, state| consume(k as usize, state),
     );
@@ -365,6 +404,29 @@ mod tests {
         let serial = collect(1);
         for threads in [2, 4, 8] {
             assert_eq!(serial, collect(threads), "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn sweep_states_identical_full_vs_incremental() {
+        let c = constellation();
+        let dests = vec![c.gs_node(0), c.gs_node(1)];
+        let times: Vec<SimTime> =
+            (0..10).map(|k| SimTime::ZERO + SimDuration::from_millis(500) * k).collect();
+        let collect = |threads: usize, routing: RoutingConfig| {
+            let mut out = Vec::new();
+            sweep_forwarding_states_with(&c, &times, &dests, threads, routing, |k, st| {
+                out.push((k, format!("{st:?}")));
+            });
+            out
+        };
+        let reference = collect(1, RoutingConfig::full());
+        for threads in [1, 2, 4, 8] {
+            assert_eq!(
+                reference,
+                collect(threads, RoutingConfig::incremental()),
+                "incremental sweep diverged at threads={threads}"
+            );
         }
     }
 

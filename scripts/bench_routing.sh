@@ -1,11 +1,18 @@
 #!/usr/bin/env bash
-# Benchmark the snapshot-routing pipeline and emit BENCH_routing.json.
+# Benchmark the snapshot-routing pipeline and append the results to
+# BENCH_routing.json.
 #
-# Runs the Criterion bench `snapshot_pipeline` (serial allocating vs
-# CSR+scratch reuse vs 4-thread parallel sweep, see
-# crates/bench/benches/snapshot_pipeline.rs) and condenses the results
-# into a small machine-readable JSON file with the speedups the design
-# targets: parallel ≥ 2x at 4 threads, reuse ≥ alloc.
+# Runs `bench_routing` (crates/bench/src/bin/bench_routing.rs) over the
+# fig09-style granularity axis (forwarding-state step 50/100/1000 ms) and
+# three fault-churn levels (no faults, 5% and 10% satellite flap
+# unavailability), under both routing modes — full Dijkstra recomputation
+# per snapshot vs the incremental repair engine — and records
+# snapshots/sec per combination plus the incremental-over-full speedup
+# the design targets (> 1x wherever consecutive snapshots are similar,
+# i.e. at fine granularity).
+#
+# Each invocation APPENDS one timestamped entry to the output file (a JSON
+# array), so the file accumulates a history across machines/commits.
 #
 # Usage: scripts/bench_routing.sh [output.json]
 
@@ -14,31 +21,68 @@ set -euo pipefail
 cd "$(dirname "$0")/.."
 out="${1:-BENCH_routing.json}"
 
-raw=$(cargo bench -p hypatia-bench --bench snapshot_pipeline -- --output-format bencher 2>&1)
-echo "$raw"
+cargo build --release -p hypatia-bench --bin bench_routing
+bin="target/release/bench_routing"
 
-# Bencher lines look like:
-#   test snapshot_pipeline/serial_alloc_24_steps ... bench: 12345678 ns/iter (+/- 99)
-echo "$raw" | python3 -c '
-import json, re, sys
+raw="$(mktemp)"
+trap 'rm -f "$raw"' EXIT
 
-ns = {}
-for line in sys.stdin:
-    m = re.match(r"test\s+(\S+)\s+\.\.\.\s+bench:\s+([\d,]+)\s+ns/iter", line)
-    if m:
-        ns[m.group(1).split("/")[-1]] = int(m.group(2).replace(",", ""))
+for step_ms in 50 100 1000; do
+    for fail_frac in 0 0.05 0.1; do
+        echo "== step_ms=$step_ms fail_frac=$fail_frac ==" >&2
+        "$bin" --step-ms "$step_ms" --fail-frac "$fail_frac" \
+            --duration-s 10 --mode both >>"$raw"
+    done
+done
 
-def ratio(a, b):
-    return round(ns[a] / ns[b], 3) if a in ns and b in ns and ns[b] else None
+python3 - "$raw" "$out" <<'PY'
+import json, subprocess, sys, time
 
-result = {
-    "bench": "snapshot_pipeline",
-    "ns_per_iter": ns,
-    "speedup_reuse_over_alloc": ratio("serial_alloc_24_steps", "serial_reuse_24_steps"),
-    "speedup_parallel4_over_alloc": ratio("serial_alloc_24_steps", "parallel_4_24_steps"),
-    "speedup_parallel4_over_reuse": ratio("serial_reuse_24_steps", "parallel_4_24_steps"),
+raw_path, out_path = sys.argv[1], sys.argv[2]
+
+runs = [json.loads(line) for line in open(raw_path) if line.strip()]
+for run in runs:
+    print(f"  step {run['step_ms']:>6}ms frac {run['fail_frac']:<5} "
+          f"{run['mode']:<12} {run['snapshots_per_sec']:>9,.1f} snapshots/s")
+
+def wall(step_ms, fail_frac, mode):
+    sel = [r for r in runs
+           if r["step_ms"] == step_ms and r["fail_frac"] == fail_frac
+           and r["mode"] == mode]
+    return sum(r["wall_s"] for r in sel)
+
+speedup = {}
+for step_ms in sorted({r["step_ms"] for r in runs}):
+    for fail_frac in sorted({r["fail_frac"] for r in runs}):
+        full = wall(step_ms, fail_frac, "full")
+        inc = wall(step_ms, fail_frac, "incremental")
+        if full > 0 and inc > 0:
+            key = f"step{step_ms:g}ms_frac{fail_frac:g}"
+            speedup[key] = round(full / inc, 3)
+
+entry = {
+    "timestamp": time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime()),
+    "bench": "bench_routing (fig09 granularity x fault churn)",
+    "runs": runs,
+    "speedup_incremental_over_full": speedup,
 }
-json.dump(result, open(sys.argv[1], "w"), indent=2)
+try:
+    commit = subprocess.run(
+        ["git", "rev-parse", "--short", "HEAD"],
+        capture_output=True, text=True, check=True,
+    ).stdout.strip()
+    entry["commit"] = commit
+except Exception:
+    pass
+
+try:
+    history = json.load(open(out_path))
+    if not isinstance(history, list):
+        history = [history]
+except (FileNotFoundError, json.JSONDecodeError):
+    history = []
+history.append(entry)
+json.dump(history, open(out_path, "w"), indent=2)
 print()
-print(f"wrote {sys.argv[1]}: {json.dumps(result)}")
-' "$out"
+print(f"wrote {out_path}: speedup incremental/full = {json.dumps(speedup)}")
+PY

@@ -19,13 +19,20 @@ cargo test -q --workspace
 echo "== cargo bench --no-run"
 cargo bench --workspace --no-run
 
+echo "== bench_routing compile + smoke (incremental repair engine)"
+cargo build --release -q -p hypatia-bench --bin bench_routing
+target/release/bench_routing --constellation telesat_t1 --cities 8 \
+  --duration-s 2 --step-ms 200 --fail-frac 0.1 --mttr-s 2 --mode both
+
 echo "== ext_failure_resilience smoke run (spec round-trip + faulted sim)"
 smoke_dir="$(mktemp -d)"
 trap 'rm -rf "$smoke_dir"' EXIT
 cargo run --release -q -p hypatia-bench --bin run_experiment -- \
   ext_failure_resilience --print-spec \
   --set duration_s=5 --set cities=10 --set pairs="Tokyo:Cairo" \
-  --set fail_fracs=0.1 --set mttr_s=5 > "$smoke_dir/spec.json"
+  --set fail_fracs=0.1 --set mttr_s=5 \
+  --set routing_mode=incremental --set repair_churn_threshold=0.2 \
+  > "$smoke_dir/spec.json"
 cargo run --release -q -p hypatia-bench --bin run_experiment -- \
   --spec "$smoke_dir/spec.json" --out "$smoke_dir/out" > /dev/null
 test -f "$smoke_dir/out/manifest.json"

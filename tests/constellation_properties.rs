@@ -1,5 +1,6 @@
 //! Cross-crate invariants of the three constellations (paper §2.2, §5.1).
 
+use hypatia::orbit::frames::ecef_to_geodetic;
 use hypatia::routing::forwarding::compute_forwarding_state;
 use hypatia::scenario::ConstellationChoice;
 use hypatia::util::{SimDuration, SimTime};
