@@ -7,6 +7,7 @@
 //! ```text
 //! bench_netsim [--queue heap|calendar] [--cities N] [--rate-mbps R]
 //!              [--duration-s S] [--seed N] [--workload udp|tcp|both]
+//!              [--shards N]
 //! ```
 //!
 //! Unlike the Criterion benches this reports *simulator events per
@@ -25,6 +26,7 @@ struct Args {
     duration_s: f64,
     seed: u64,
     workloads: Vec<Workload>,
+    shards: usize,
 }
 
 fn parse_args() -> Args {
@@ -35,6 +37,7 @@ fn parse_args() -> Args {
         duration_s: 2.0,
         seed: 2020,
         workloads: vec![Workload::Udp, Workload::Tcp],
+        shards: 1,
     };
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
@@ -53,6 +56,10 @@ fn parse_args() -> Args {
                 parsed.duration_s = value("--duration-s").parse().expect("--duration-s: seconds")
             }
             "--seed" => parsed.seed = value("--seed").parse().expect("--seed: integer"),
+            "--shards" => {
+                parsed.shards = value("--shards").parse().expect("--shards: positive integer");
+                assert!(parsed.shards >= 1, "--shards: positive integer");
+            }
             "--workload" => {
                 parsed.workloads = match value("--workload").as_str() {
                     "udp" => vec![Workload::Udp],
@@ -72,6 +79,7 @@ fn main() {
     let mut scenario =
         ScenarioBuilder::new(ConstellationChoice::KuiperK1).top_cities(args.cities).build();
     scenario.sim_config.queue = args.queue;
+    scenario.sim_config.sim_shards = args.shards;
 
     let rate = DataRate::from_bps((args.rate_mbps * 1e6).round() as u64);
     let duration = SimDuration::from_secs_f64(args.duration_s);
@@ -82,7 +90,8 @@ fn main() {
         // Hand-rolled JSON: every field is a number or a known-safe token.
         println!(
             "{{\"workload\":\"{}\",\"queue\":\"{}\",\"cities\":{},\"rate_mbps\":{},\
-             \"duration_s\":{},\"seed\":{},\"events\":{},\"wall_s\":{:.6},\
+             \"duration_s\":{},\"seed\":{},\"sim_shards\":{},\"epochs\":{},\
+             \"events\":{},\"wall_s\":{:.6},\
              \"events_per_sec\":{},\"goodput_gbps\":{:.6}}}",
             workload.name().to_lowercase(),
             args.queue.name(),
@@ -90,6 +99,8 @@ fn main() {
             args.rate_mbps,
             args.duration_s,
             args.seed,
+            p.engine.sim_shards,
+            p.engine.epochs,
             p.events,
             p.wall_s,
             events_per_sec,

@@ -12,6 +12,7 @@ use crate::scenario::Scenario;
 use hypatia_constellation::ground::GroundStation;
 use hypatia_constellation::relays::bent_pipe_ground_segment;
 use hypatia_constellation::NodeId;
+use hypatia_netsim::EngineReport;
 use hypatia_routing::forwarding::compute_forwarding_state;
 use hypatia_transport::{TcpConfig, TcpSender, TcpSink};
 use hypatia_util::time::TimeSteps;
@@ -62,6 +63,8 @@ pub struct BentPipeLeg {
     pub events: u64,
     /// Wall-clock seconds the simulation took.
     pub wall_s: f64,
+    /// How the engine executed: shard count, epochs, barriers, lookahead.
+    pub engine: EngineReport,
 }
 
 /// The two legs, ready for comparison.
@@ -134,6 +137,7 @@ fn run_leg(
         mean_computed_rtt_ms: if connected > 0 { sum / connected as f64 } else { f64::NAN },
         events: sim.stats.events,
         wall_s,
+        engine: sim.engine_report(),
     }
 }
 

@@ -9,6 +9,7 @@
 
 use crate::scenario::{Scenario, UnknownCityError};
 use hypatia_netsim::apps::PingApp;
+use hypatia_netsim::EngineReport;
 use hypatia_routing::forwarding::compute_forwarding_state;
 use hypatia_routing::path::PairTracker;
 use hypatia_util::time::TimeSteps;
@@ -54,6 +55,8 @@ pub struct RttFluctuationResult {
     pub events: u64,
     /// Wall-clock seconds the packet simulation took.
     pub wall_s: f64,
+    /// How the engine executed: shard count, epochs, barriers, lookahead.
+    pub engine: EngineReport,
 }
 
 /// Run the experiment for `(src_name, dst_name)` on `scenario`.
@@ -106,6 +109,7 @@ pub fn run(
         min_computed_ms,
         events: sim.stats.events,
         wall_s,
+        engine: sim.engine_report(),
     })
 }
 

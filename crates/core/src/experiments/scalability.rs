@@ -10,6 +10,7 @@
 
 use crate::scenario::Scenario;
 use hypatia_netsim::apps::{UdpSink, UdpSource};
+use hypatia_netsim::EngineReport;
 use hypatia_transport::{NewReno, TcpConfig, TcpSender, TcpSink};
 use hypatia_util::{DataRate, SimDuration, SimTime};
 use std::time::Instant;
@@ -48,6 +49,8 @@ pub struct ScalabilityPoint {
     pub events: u64,
     /// Wall-clock seconds the simulation took.
     pub wall_s: f64,
+    /// How the engine executed: shard count, epochs, barriers, lookahead.
+    pub engine: EngineReport,
 }
 
 /// Run one scalability point: permutation traffic at `line_rate` for
@@ -114,6 +117,7 @@ pub fn run_point(
         slowdown: wall / virtual_duration.secs_f64(),
         events: sim.stats.events,
         wall_s: wall,
+        engine: sim.engine_report(),
     }
 }
 

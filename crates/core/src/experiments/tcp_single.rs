@@ -6,6 +6,7 @@
 //! enabling the NewReno-vs-Vegas comparison of Fig. 5.
 
 use crate::scenario::{Scenario, UnknownCityError};
+use hypatia_netsim::EngineReport;
 use hypatia_routing::forwarding::compute_forwarding_state;
 use hypatia_transport::{Bbr, Cubic, NewReno, TcpConfig, TcpSender, TcpSink, Vegas};
 use hypatia_util::time::TimeSteps;
@@ -81,6 +82,8 @@ pub struct TcpSingleResult {
     pub events: u64,
     /// Wall-clock seconds the simulation took.
     pub wall_s: f64,
+    /// How the engine executed: shard count, epochs, barriers, lookahead.
+    pub engine: EngineReport,
 }
 
 impl TcpSingleResult {
@@ -153,6 +156,7 @@ pub fn run(
         reordered_arrivals: sink.ooo_arrivals,
         events: sim.stats.events,
         wall_s,
+        engine: sim.engine_report(),
     })
 }
 

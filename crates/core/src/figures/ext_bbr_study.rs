@@ -59,6 +59,7 @@ impl Experiment for ExtBbrStudy {
         for cc in [CcKind::NewReno, CcKind::Vegas, CcKind::Cubic, CcKind::Bbr] {
             let r = run(&scenario, &src, &dst, cc, duration)?;
             ctx.sink.record_sim(r.events, r.wall_s);
+            ctx.sink.record_engine(&r.engine);
             let late_pts: Vec<f64> =
                 r.throughput_series.iter().filter(|&&(t, _)| t >= half).map(|&(_, m)| m).collect();
             let late_mean = late_pts.iter().sum::<f64>() / late_pts.len().max(1) as f64;

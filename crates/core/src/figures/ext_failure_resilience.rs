@@ -31,6 +31,7 @@ use crate::spec::{ExperimentSpec, GroundSegment, PairSelection, ParamValue};
 use hypatia_constellation::NodeId;
 use hypatia_fault::{FaultKind, FaultSchedule, FaultState, FaultTarget, FlapProcess};
 use hypatia_netsim::apps::{PingApp, UdpSink, UdpSource};
+use hypatia_netsim::EngineReport;
 use hypatia_routing::churn::{churn_between, reachability_of};
 use hypatia_routing::forwarding::compute_forwarding_state_masked;
 use hypatia_util::{DataRate, SimDuration, SimTime};
@@ -111,8 +112,10 @@ impl Experiment for ExtFailureResilience {
         // Fault-free baseline (whatever faults the spec itself carries —
         // normally none — stay in, so explicit windows compose with the
         // swept flap process).
-        let (base, events, wall_s) = run_workload(&scenario, src, dst, duration, ping_interval);
+        let (base, events, wall_s, engine) =
+            run_workload(&scenario, src, dst, duration, ping_interval);
         ctx.sink.record_sim(events, wall_s);
+        ctx.sink.record_engine(&engine);
         println!(
             "{:<10} {:>14} {:>10} {:>8} {:>12} {:>12} {:>8} {:>12}",
             "fail_frac",
@@ -145,8 +148,10 @@ impl Experiment for ExtFailureResilience {
 
             let mut degraded = scenario.clone();
             degraded.sim_config.faults = Some(schedule.clone());
-            let (r, events, wall_s) = run_workload(&degraded, src, dst, duration, ping_interval);
+            let (r, events, wall_s, engine) =
+                run_workload(&degraded, src, dst, duration, ping_interval);
             ctx.sink.record_sim(events, wall_s);
+            ctx.sink.record_engine(&engine);
 
             let reroute_ms = mean_reroute_latency_ms(&schedule, ctx.spec.step);
             let (unreach_frac, churn_frac) = routing_degradation(&degraded, &schedule, duration);
@@ -224,7 +229,7 @@ fn run_workload(
     dst: NodeId,
     duration: SimDuration,
     ping_interval: SimDuration,
-) -> (DegradedRun, u64, f64) {
+) -> (DegradedRun, u64, f64, EngineReport) {
     let stop_at = SimTime::ZERO + duration;
     // UDP at half the line rate: enough headroom that queueing does not
     // mask fault-induced loss.
@@ -258,6 +263,7 @@ fn run_workload(
         },
         sim.stats.events,
         wall_s,
+        sim.engine_report(),
     )
 }
 

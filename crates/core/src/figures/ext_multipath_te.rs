@@ -69,6 +69,7 @@ impl Experiment for ExtMultipathTe {
                 &CrossTrafficConfig { duration, seed, frozen: false, multipath_stretch: stretch },
             )?;
             ctx.sink.record_sim(r.sim.stats.events, r.wall_s);
+            ctx.sink.record_engine(&r.sim.engine_report());
             let map = isl_utilization_map(
                 &r.sim,
                 snapshot_sec as usize,

@@ -97,6 +97,7 @@ impl Experiment for Fig02 {
                     p.events
                 );
                 ctx.sink.record_sim(p.events, p.wall_s);
+                ctx.sink.record_engine(&p.engine);
             }
             if with_slowdown {
                 ctx.sink.write_series(

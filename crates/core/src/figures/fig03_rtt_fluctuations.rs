@@ -61,6 +61,7 @@ impl Experiment for Fig03 {
         for (src, dst) in &pairs {
             let r = run(&scenario, src, dst, &cfg)?;
             ctx.sink.record_sim(r.events, r.wall_s);
+            ctx.sink.record_engine(&r.engine);
             println!(
                 "{:<36} {:>10.1} {:>10.1} {:>8.2} {:>12.1} {:>7}/{}",
                 format!("{src} -> {dst}"),

@@ -53,6 +53,7 @@ impl Experiment for Fig04 {
         for (src, dst) in &pairs {
             let r = run(&scenario, src, dst, cc, duration)?;
             ctx.sink.record_sim(r.events, r.wall_s);
+            ctx.sink.record_engine(&r.engine);
             let max_cwnd = r.cwnd_series.iter().map(|&(_, w)| w).fold(0.0, f64::max);
             let min_cwnd = r.cwnd_series.iter().map(|&(_, w)| w).fold(f64::INFINITY, f64::min);
             println!(

@@ -52,6 +52,7 @@ impl Experiment for Fig05 {
         for cc in [CcKind::NewReno, CcKind::Vegas] {
             let r = run(&scenario, &src, &dst, cc, duration)?;
             ctx.sink.record_sim(r.events, r.wall_s);
+            ctx.sink.record_engine(&r.engine);
             let slug = cc.name().to_lowercase();
             ctx.sink.write_series(&format!("fig05_{slug}_rtt.dat"), "t_s rtt_ms", &r.rtt_series)?;
             ctx.sink.write_series(

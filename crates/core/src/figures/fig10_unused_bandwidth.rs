@@ -68,6 +68,7 @@ impl Experiment for Fig10 {
                 &CrossTrafficConfig { duration, seed, frozen, multipath_stretch: None },
             )?;
             ctx.sink.record_sim(r.sim.stats.events, r.wall_s);
+            ctx.sink.record_engine(&r.sim.engine_report());
             let frac = r.fraction_time_unused_above(1.0 / 3.0);
             println!(
                 "{label:<12}: flows={:<4} total goodput {:>7.1} Mbps, \

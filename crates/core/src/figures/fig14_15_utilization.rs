@@ -75,6 +75,7 @@ impl Experiment for Fig14_15 {
             &CrossTrafficConfig { duration, seed, frozen: false, multipath_stretch: None },
         )?;
         ctx.sink.record_sim(r.sim.stats.events, r.wall_s);
+        ctx.sink.record_engine(&r.sim.engine_report());
         println!("flows: {}, total goodput {:.1} Mbps", r.flows, r.total_goodput_mbps);
 
         // Fig. 14: the observed path's per-link utilization at two instants.
@@ -88,7 +89,7 @@ impl Experiment for Fig14_15 {
                     print!("t={sec:>4}s path utilization per hop:");
                     let mut utils = Vec::new();
                     for w in path.windows(2) {
-                        let node = &r.sim.nodes()[w[0].index()];
+                        let node = r.sim.node(w[0]);
                         let dev = node.device_for(w[1]).expect("device");
                         let u = node.devices[dev].utilization(sec as usize).unwrap_or(0.0);
                         utils.push((w[0].0 as f64, u));

@@ -62,6 +62,7 @@ impl Experiment for Fig16_19 {
 
         for leg in [&r.isl, &r.bent_pipe] {
             ctx.sink.record_sim(leg.events, leg.wall_s);
+            ctx.sink.record_engine(&leg.engine);
             let slug = leg.label.replace('-', "_");
             println!();
             println!("[{}]", leg.label);

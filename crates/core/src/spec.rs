@@ -141,6 +141,11 @@ pub struct ExperimentSpec {
     /// Churn fraction (flipped edges / edges) above which incremental
     /// repair falls back to a full recompute.
     pub repair_churn_threshold: f64,
+    /// Shard count for the simulator's conservative parallel engine
+    /// (1 = the serial reference engine). Results are bit-identical for
+    /// any value; the default is omitted from the emitted JSON, so
+    /// existing spec files and their artifacts stay byte-identical.
+    pub sim_shards: usize,
     /// Optional fault-injection scenario (None keeps every component up;
     /// the emitted JSON then carries no `faults` key at all, so existing
     /// spec files and their artifacts are byte-identical).
@@ -168,6 +173,7 @@ impl Default for ExperimentSpec {
             seed: 1,
             routing_mode: routing.mode,
             repair_churn_threshold: routing.repair_churn_threshold,
+            sim_shards: sim.sim_shards,
             faults: None,
             params: BTreeMap::new(),
         }
@@ -194,6 +200,7 @@ impl ExperimentSpec {
         }
         cfg.with_routing_mode(self.routing_mode)
             .with_repair_churn_threshold(self.repair_churn_threshold)
+            .with_sim_shards(self.sim_shards)
     }
 
     /// The routing configuration this spec describes.
@@ -264,7 +271,9 @@ impl ExperimentSpec {
     /// Known keys address the common fields (`constellation`, `cities`,
     /// `pairs`, `min_distance_km`, `duration_s`, `step_ms`,
     /// `line_rate_mbps`, `queue_packets`, `utilization_bucket_s`, `cc`,
-    /// `threads`, `seed`), the routing strategy (`routing_mode=full|
+    /// `threads`, `seed`), the engine (`sim_shards=N` for the sharded
+    /// conservative engine, 1 = serial), the routing strategy
+    /// (`routing_mode=full|
     /// incremental`, `repair_churn_threshold`) and the fault scenario
     /// (`fault_seed`,
     /// `sat_outage=SAT:FROM_S:UNTIL_S`, `isl_cut=A-B:FROM_S:UNTIL_S`,
@@ -355,6 +364,13 @@ impl ExperimentSpec {
             },
             "threads" => self.threads = parse_u64(key, value)? as usize,
             "seed" => self.seed = parse_u64(key, value)?,
+            "sim_shards" => {
+                let n = parse_u64(key, value)? as usize;
+                if n == 0 {
+                    return err(format!("{key} must be at least 1, got {value}"));
+                }
+                self.sim_shards = n;
+            }
             "routing_mode" => match RoutingMode::parse(value) {
                 Some(m) => self.routing_mode = m,
                 None => {
@@ -473,6 +489,11 @@ impl ExperimentSpec {
         let _ = writeln!(s, "  \"cc\": {},", json_str(self.cc.name()));
         let _ = writeln!(s, "  \"threads\": {},", self.threads);
         let _ = writeln!(s, "  \"seed\": {},", self.seed);
+        // The engine shard count is emitted only when sharding is on,
+        // keeping pre-existing spec files byte-identical.
+        if self.sim_shards != 1 {
+            let _ = writeln!(s, "  \"sim_shards\": {},", self.sim_shards);
+        }
         // Routing knobs are emitted only when they differ from the
         // defaults, keeping pre-existing spec files byte-identical.
         let routing_defaults = RoutingConfig::default();
@@ -618,6 +639,15 @@ impl ExperimentSpec {
         };
         spec.threads = req_u64(v, "threads")? as usize;
         spec.seed = req_u64(v, "seed")?;
+        if let Some(x) = v.get("sim_shards") {
+            let n = x
+                .as_u64()
+                .ok_or_else(|| SpecError("\"sim_shards\" must be a positive integer".into()))?;
+            if n == 0 {
+                return err("\"sim_shards\" must be at least 1");
+            }
+            spec.sim_shards = n as usize;
+        }
         if let Some(m) = v.get("routing_mode") {
             let name =
                 m.as_str().ok_or_else(|| SpecError("\"routing_mode\" must be a string".into()))?;
@@ -1109,6 +1139,31 @@ mod tests {
         assert_eq!(cfg.routing.mode, RoutingMode::Full);
         assert_eq!(cfg.routing.repair_churn_threshold, 0.3);
         assert_eq!(spec.routing_config(), cfg.routing);
+    }
+
+    #[test]
+    fn sim_shards_round_trips_and_defaults_to_omitted() {
+        // Byte compatibility: specs at the default (serial) engine serialize
+        // exactly as before the sharded engine existed.
+        let spec = sample();
+        let text = spec.to_json_string();
+        assert!(!text.contains("sim_shards"));
+        let back = ExperimentSpec::from_json(&text).unwrap();
+        assert_eq!(back.sim_shards, 1);
+
+        let mut spec = sample();
+        spec.set("sim_shards", "4").unwrap();
+        assert_eq!(spec.sim_shards, 4);
+        let text = spec.to_json_string();
+        assert!(text.contains("\"sim_shards\": 4"));
+        let back = ExperimentSpec::from_json(&text).expect("parse own output");
+        assert_eq!(spec, back);
+        assert_eq!(text, back.to_json_string());
+        assert_eq!(spec.sim_config().sim_shards, 4);
+
+        assert!(spec.set("sim_shards", "0").is_err());
+        assert!(spec.set("sim_shards", "many").is_err());
+        assert!(ExperimentSpec::from_json("{\"experiment\": \"e\", \"sim_shards\": 0}").is_err());
     }
 
     #[test]

@@ -77,7 +77,11 @@ impl AppCtx {
 ///
 /// The `as_any` pair enables retrieving a concrete application (and its
 /// recorded results) back from the simulator after a run.
-pub trait Application: 'static {
+///
+/// `Send` is required because the sharded engine executes each shard's
+/// applications on a worker thread; an application only ever runs on the
+/// shard owning its node, so `Sync` is not needed.
+pub trait Application: Send + 'static {
     /// Called once when the application is installed (typically sets the
     /// first timer or sends the first packet).
     fn on_start(&mut self, ctx: &mut AppCtx);

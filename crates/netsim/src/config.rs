@@ -70,6 +70,13 @@ pub struct SimConfig {
     /// trees (the default). Output is byte-identical either way — this
     /// is purely a wall-clock knob, with `full` as the escape hatch.
     pub routing: RoutingConfig,
+    /// Number of spatial shards the event engine partitions the node set
+    /// into. `1` (the default) runs the serial reference engine; `N > 1`
+    /// executes shards in parallel up to a conservative lookahead horizon
+    /// derived from the minimum cross-shard propagation delay. Every
+    /// simulation observable is bit-identical for any value — this is
+    /// purely a wall-clock knob. Clamped to the satellite count.
+    pub sim_shards: usize,
 }
 
 impl Default for SimConfig {
@@ -91,6 +98,7 @@ impl Default for SimConfig {
             queue: QueueKind::default(),
             faults: None,
             routing: RoutingConfig::default(),
+            sim_shards: 1,
         }
     }
 }
@@ -200,6 +208,15 @@ impl SimConfig {
         self
     }
 
+    /// Builder-style: partition the event engine into `shards` spatial
+    /// shards executed in parallel (1 = the serial reference engine).
+    /// Results are bit-identical for every value.
+    pub fn with_sim_shards(mut self, shards: usize) -> Self {
+        assert!(shards >= 1, "at least one shard is required");
+        self.sim_shards = shards;
+        self
+    }
+
     /// Effective rate for an ISL device.
     pub fn effective_isl_rate(&self) -> DataRate {
         self.isl_rate.unwrap_or(self.link_rate)
@@ -229,6 +246,19 @@ mod tests {
         assert_eq!(c.queue, QueueKind::Calendar, "calendar queue is the default");
         assert!(c.faults.is_none(), "fault injection is off by default");
         assert_eq!(c.routing.mode, RoutingMode::Incremental, "incremental repair is the default");
+        assert_eq!(c.sim_shards, 1, "the serial engine is the default");
+    }
+
+    #[test]
+    fn shard_builder() {
+        let c = SimConfig::default().with_sim_shards(4);
+        assert_eq!(c.sim_shards, 4);
+    }
+
+    #[test]
+    #[should_panic]
+    fn zero_shards_rejected() {
+        SimConfig::default().with_sim_shards(0);
     }
 
     #[test]

@@ -1,8 +1,14 @@
 //! The discrete-event queue.
 //!
-//! Events are totally ordered by `(time, insertion sequence)`: two events at
-//! the same instant execute in the order they were scheduled. This, plus
-//! integer timestamps, makes runs bit-reproducible.
+//! Events are totally ordered by `(time, key)`. The key is either an
+//! insertion sequence ([`EventQueue::schedule`] — two events at the same
+//! instant execute in the order they were scheduled) or an explicit
+//! canonical key supplied by the caller ([`EventQueue::schedule_keyed`]).
+//! The simulator uses canonical keys derived from the *originating* node,
+//! which makes the total order independent of how the node set is sharded:
+//! the sharded engine and the serial engine pop the same events in the
+//! same per-node order. Either way, integer timestamps plus a total event
+//! order make runs bit-reproducible.
 //!
 //! Two scheduler implementations preserve that exact total order:
 //!
@@ -327,11 +333,20 @@ impl EventQueue {
         }
     }
 
-    /// Schedule `event` at absolute time `at`.
+    /// Schedule `event` at absolute time `at`, tie-broken by insertion
+    /// order among same-instant events.
     pub fn schedule(&mut self, at: SimTime, event: Event) {
         let seq = self.seq;
         self.seq += 1;
-        let s = Scheduled { at, seq, event };
+        self.schedule_keyed(at, seq, event);
+    }
+
+    /// Schedule `event` at `at` with an explicit tie-break key. Same-instant
+    /// events pop in increasing key order regardless of insertion order.
+    /// Callers must not mix auto-sequenced and keyed scheduling on one
+    /// queue unless they can rule out `(at, key)` collisions.
+    pub fn schedule_keyed(&mut self, at: SimTime, key: u64, event: Event) {
+        let s = Scheduled { at, seq: key, event };
         match &mut self.imp {
             QueueImpl::Heap(heap) => heap.push(Reverse(s)),
             QueueImpl::Calendar(cal) => cal.schedule(s),
@@ -357,6 +372,21 @@ impl EventQueue {
                 heap.pop().map(|Reverse(s)| (s.at, s.event))
             }
             QueueImpl::Calendar(cal) => cal.pop_before(t_end).map(|s| (s.at, s.event)),
+        }
+    }
+
+    /// [`Self::pop_before`], but also returning the event's tie-break key.
+    /// The sharded engine tags trace records with this key so traces from
+    /// different shards merge into one canonical `(time, key)` order.
+    pub fn pop_entry_before(&mut self, t_end: SimTime) -> Option<(SimTime, u64, Event)> {
+        match &mut self.imp {
+            QueueImpl::Heap(heap) => {
+                if heap.peek().is_none_or(|Reverse(s)| s.at > t_end) {
+                    return None;
+                }
+                heap.pop().map(|Reverse(s)| (s.at, s.seq, s.event))
+            }
+            QueueImpl::Calendar(cal) => cal.pop_before(t_end).map(|s| (s.at, s.seq, s.event)),
         }
     }
 
@@ -475,6 +505,36 @@ mod tests {
             let (t, _) = q.pop_before(SimTime::from_millis(25)).unwrap();
             assert_eq!(t, SimTime::from_millis(20));
             assert!(q.pop_before(SimTime::MAX).is_none());
+        }
+    }
+
+    #[test]
+    fn keyed_scheduling_orders_same_instant_events_by_key() {
+        for mut q in both_kinds() {
+            let t = SimTime::from_millis(5);
+            // Insertion order deliberately disagrees with key order.
+            q.schedule_keyed(t, 30, Event::ForwardingUpdate { step: 3 });
+            q.schedule_keyed(t, 10, Event::ForwardingUpdate { step: 1 });
+            q.schedule_keyed(SimTime::from_millis(1), 99, Event::ForwardingUpdate { step: 0 });
+            q.schedule_keyed(t, 20, Event::ForwardingUpdate { step: 2 });
+            let order: Vec<(u64, u64)> = std::iter::from_fn(|| q.pop_entry_before(SimTime::MAX))
+                .map(|(_, key, e)| match e {
+                    Event::ForwardingUpdate { step } => (key, step),
+                    _ => unreachable!(),
+                })
+                .collect();
+            assert_eq!(order, vec![(99, 0), (10, 1), (20, 2), (30, 3)]);
+        }
+    }
+
+    #[test]
+    fn pop_entry_before_matches_pop_before() {
+        for mut q in both_kinds() {
+            q.schedule_keyed(SimTime::from_millis(10), 7, Event::ForwardingUpdate { step: 1 });
+            assert!(q.pop_entry_before(SimTime::from_millis(9)).is_none());
+            let (t, key, _) = q.pop_entry_before(SimTime::from_millis(10)).unwrap();
+            assert_eq!((t, key), (SimTime::from_millis(10), 7));
+            assert!(q.is_empty());
         }
     }
 

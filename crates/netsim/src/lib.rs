@@ -19,9 +19,15 @@
 //!   forwarding state;
 //! * **pre-filled MAC/ARP state**: there is no address-resolution traffic.
 //!
-//! Determinism: integer-nanosecond timestamps, a total event order
-//! (time, insertion sequence), and no wall-clock or thread dependence make
-//! every run bit-reproducible.
+//! Determinism: integer-nanosecond timestamps and a canonical total event
+//! order `(time, key)` — where a key encodes the originating node and its
+//! scheduling sequence — make every run bit-reproducible. The same order
+//! governs both engines of the [`sim`] module: the serial reference loop
+//! and the sharded conservative-parallel engine
+//! ([`SimConfig::with_sim_shards`]), which partitions nodes into spatial
+//! [`shard`]s executed concurrently up to the minimum cross-shard
+//! propagation delay. Parallelism is a pure wall-clock knob: observables
+//! are bit-identical at any shard count.
 //!
 //! Applications (ping, UDP CBR, bursty on/off here; TCP in
 //! `hypatia-transport`) attach to nodes via the [`app::Application`] trait
@@ -43,6 +49,7 @@ pub mod device;
 pub mod event;
 pub mod node;
 pub mod packet;
+pub mod shard;
 pub mod sim;
 pub mod stats;
 pub mod trace;
@@ -51,5 +58,5 @@ pub use app::{AppCtx, Application};
 pub use config::SimConfig;
 pub use event::QueueKind;
 pub use packet::{Packet, Payload, Segment};
-pub use sim::Simulator;
+pub use sim::{EngineReport, Simulator};
 pub use stats::SimStats;

@@ -92,6 +92,17 @@ pub struct Packet {
     pub flow_hash: u64,
 }
 
+/// The globally unique id of the `seq`-th packet originated at `src`.
+///
+/// Ids are per-origin-node (source node in the high bits, a per-node
+/// sequence in the low bits) rather than a single global counter, so that
+/// id assignment is independent of the interleaving of events across nodes
+/// — the property that lets the sharded engine allocate ids without any
+/// cross-shard coordination while staying bit-identical to a serial run.
+pub fn packet_id(src: NodeId, seq: u32) -> u64 {
+    ((src.0 as u64) << 32) | seq as u64
+}
+
 /// Hash a packet's flow key. Every packet of a flow gets the same value, so
 /// multipath spreading keeps flows on one path (no reordering) while
 /// different flows spread across loop-free alternates.
@@ -174,6 +185,14 @@ mod tests {
         assert_eq!(fwd, flow_hash(NodeId(3), NodeId(9), 1000, 80), "deterministic");
         assert_ne!(fwd, flow_hash(NodeId(9), NodeId(3), 80, 1000), "reverse differs");
         assert_ne!(fwd, flow_hash(NodeId(3), NodeId(9), 1001, 80), "port matters");
+    }
+
+    #[test]
+    fn packet_ids_are_unique_per_origin() {
+        assert_eq!(packet_id(NodeId(0), 0), 0);
+        assert_eq!(packet_id(NodeId(0), 1), 1);
+        assert_eq!(packet_id(NodeId(1), 0), 1 << 32);
+        assert_ne!(packet_id(NodeId(2), 7), packet_id(NodeId(7), 2));
     }
 
     #[test]

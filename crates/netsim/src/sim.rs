@@ -1,72 +1,106 @@
-//! The simulator core: event loop, forwarding, delivery.
+//! The simulator facade: engine selection, coordinator state, merged views.
+//!
+//! Node-level event handling lives in [`crate::shard`]; this module owns
+//! what is global to a run — forwarding recomputation, the fault-schedule
+//! cursor, and the engine driving the shards:
+//!
+//! * **Serial reference engine** (`sim_shards = 1`, the default): one
+//!   shard owns every node, and coordinator events (forwarding swaps,
+//!   fault updates) live in its queue exactly as classic sequential
+//!   simulation would have them, chained one step ahead.
+//! * **Sharded conservative engine** (`sim_shards > 1`): coordinator
+//!   events never enter a queue; the epoch loop applies them at barriers
+//!   and runs every shard's window in parallel up to the conservative
+//!   lookahead (minimum cross-shard propagation delay), exchanging
+//!   cross-shard arrivals through per-shard outboxes at each barrier.
+//!
+//! Both engines process events in the same canonical `(time, key)` order
+//! (see `crate::shard` for the key construction), so every observable of a
+//! run — stats, traces, application state, RTT samples — is bit-identical
+//! at any shard count.
 
-use crate::app::{AppAction, AppCtx, Application};
+use crate::app::Application;
 use crate::config::SimConfig;
-use crate::device::{Device, DeviceKind};
-use crate::event::{Event, EventQueue};
+use crate::event::Event;
 use crate::node::Node;
-use crate::packet::{flow_hash, Packet, Payload};
+use crate::shard::{fault_key, Outbound, Partition, Shard, FORWARDING_KEY};
 use crate::stats::SimStats;
-use crate::trace::{Trace, TraceKind};
+use crate::trace::Trace;
 use hypatia_constellation::{Constellation, NodeId};
 use hypatia_fault::FaultState;
-use hypatia_orbit::geodesy::propagation_delay_km;
 use hypatia_routing::forwarding::{compute_multipath_state_on, ForwardingState, MultipathState};
 use hypatia_routing::graph::SnapshotBuffers;
 use hypatia_routing::incremental::IncrementalRouter;
 use hypatia_routing::parallel::{Prefetcher, SnapshotWorker};
-use hypatia_util::rng::DetRng;
-#[cfg(test)]
-use hypatia_util::SimDuration;
-use hypatia_util::SimTime;
+use hypatia_util::{SimDuration, SimTime};
 use std::sync::Arc;
 
-struct AppEntry {
-    app: Option<Box<dyn Application>>,
-    node: NodeId,
-    port: u16,
+/// How the engine executed a run — recorded into experiment manifests so
+/// sharded runs are auditable (and comparable) after the fact.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EngineReport {
+    /// Number of shards the node set was partitioned into (1 = the serial
+    /// reference engine).
+    pub sim_shards: usize,
+    /// Parallel window executions (0 under the serial engine, which has no
+    /// epochs at all).
+    pub epochs: u64,
+    /// Barriers at which at least one cross-shard packet was exchanged.
+    pub barriers: u64,
+    /// Smallest conservative lookahead window used, nanoseconds. `None`
+    /// when no window was ever bounded by cross-shard geometry.
+    pub min_lookahead_ns: Option<u64>,
 }
 
 /// The packet-level simulator.
 ///
-/// Owns the node/device state, the event queue, and the current forwarding
-/// state; recomputes forwarding at the configured granularity while the
-/// event loop runs.
+/// Owns the shard set, the coordinator state (forwarding and fault
+/// cursors), and merged result views; recomputes forwarding at the
+/// configured granularity while the engine runs.
 pub struct Simulator {
     constellation: Arc<Constellation>,
     config: SimConfig,
     now: SimTime,
-    queue: EventQueue,
-    nodes: Vec<Node>,
-    apps: Vec<AppEntry>,
+    partition: Arc<Partition>,
+    shards: Vec<Shard>,
+    /// Owning shard of each installed application, by app index.
+    app_shard: Vec<u32>,
     dests: Vec<NodeId>,
-    fwd: ForwardingState,
+    /// Forwarding state currently in force (shared with every shard).
+    fwd: Arc<ForwardingState>,
     /// Multipath alternates (present when `multipath_stretch` is set).
-    mp: Option<MultipathState>,
+    mp: Option<Arc<MultipathState>>,
     /// Background forwarding-state pipeline (present when
     /// `config.fstate_threads > 0`): computes steps `k+1..k+P` while the
     /// event loop consumes step `k`. Deterministic — states are identical
     /// to inline computation and consumed strictly in step order.
     fstate_prefetch: Option<Prefetcher<(ForwardingState, Option<MultipathState>)>>,
-    /// Live fault state (present when `config.faults` is set): maintained
-    /// incrementally by [`Event::FaultUpdate`] events and consulted when
-    /// packets are forwarded, finish serializing, or arrive. Forwarding
-    /// recomputation deliberately does NOT read this — it derives the
-    /// state at `t` purely from the immutable schedule, so prefetched and
-    /// inline states are bit-identical.
-    fault_state: Option<FaultState>,
     /// Snapshot-graph staging buffers for the inline recomputation path.
     snapshot_buffers: SnapshotBuffers,
     /// Inline routing engine (full Dijkstra or incremental repair, per
     /// `config.routing`). Prefetch workers own their own routers; either
     /// way the states are byte-identical to a full recompute.
     router: IncrementalRouter,
-    next_packet_id: u64,
-    /// Deterministic PRNG for the GSL loss process.
-    loss_rng: DetRng,
-    /// Bounded per-packet trace (off unless configured).
+    /// Next forwarding step the sharded coordinator will apply (the serial
+    /// engine chains `ForwardingUpdate` queue events instead).
+    next_fwd_step: u64,
+    /// Cursor into the fault schedule for the sharded coordinator
+    /// (schedule entries at t = 0 are folded into the initial state and
+    /// skipped, exactly as the serial engine skips them).
+    next_fault_index: usize,
+    /// Events the coordinator applied outside any shard (sharded-mode
+    /// forwarding swaps and fault updates), plus the swap counter both
+    /// engines share.
+    coord_stats: SimStats,
+    epochs: u64,
+    barriers: u64,
+    min_lookahead_ns: Option<u64>,
+    /// Bounded per-packet trace: the merged view over all shards,
+    /// refreshed after every `run_until` / `add_app` (off unless
+    /// configured).
     pub trace: Trace,
-    /// Global counters.
+    /// Global counters: coordinator + all shards, refreshed with the
+    /// trace.
     pub stats: SimStats,
 }
 
@@ -77,32 +111,7 @@ impl Simulator {
     pub fn new(constellation: Arc<Constellation>, config: SimConfig, dests: Vec<NodeId>) -> Self {
         assert!(!dests.is_empty(), "at least one destination is required");
 
-        // Devices: one per ISL direction, plus one GSL device per node.
-        let mut nodes: Vec<Node> =
-            (0..constellation.num_nodes()).map(|i| Node::new(NodeId(i as u32))).collect();
-        for &(a, b) in &constellation.isls {
-            nodes[a as usize].add_device(Device::new(
-                DeviceKind::Isl { peer: NodeId(b) },
-                config.effective_isl_rate(),
-                config.queue_packets,
-                config.utilization_bucket,
-            ));
-            nodes[b as usize].add_device(Device::new(
-                DeviceKind::Isl { peer: NodeId(a) },
-                config.effective_isl_rate(),
-                config.queue_packets,
-                config.utilization_bucket,
-            ));
-        }
-        for node in nodes.iter_mut() {
-            node.add_device(Device::new(
-                DeviceKind::Gsl,
-                config.effective_gsl_rate(),
-                config.queue_packets,
-                config.utilization_bucket,
-            ));
-        }
-
+        let partition = Arc::new(Partition::new(&constellation, config.sim_shards));
         let mut snapshot_buffers = SnapshotBuffers::new();
         let mut router = IncrementalRouter::new(config.routing);
         let (fwd, mp) = Self::compute_states(
@@ -113,22 +122,52 @@ impl Simulator {
             &mut snapshot_buffers,
             &mut router,
         );
-        let mut queue = EventQueue::with_kind(config.queue);
-        if !config.freeze_at_epoch {
-            queue.schedule(SimTime::ZERO + config.fstate_step, Event::ForwardingUpdate { step: 1 });
+        let fwd = Arc::new(fwd);
+        let mp = mp.map(Arc::new);
+
+        let nshards = partition.shards();
+        let mut shards: Vec<Shard> = (0..nshards)
+            .map(|id| {
+                Shard::new(
+                    id,
+                    constellation.clone(),
+                    &config,
+                    partition.clone(),
+                    fwd.clone(),
+                    mp.clone(),
+                )
+            })
+            .collect();
+        for shard in &mut shards {
+            shard.init_outbox(nshards);
         }
 
         // Fault injection: events at t = 0 are already folded into the
-        // initial live state (and the initial forwarding computation);
-        // the first strictly-future event starts the chain, and each
-        // `FaultUpdate` schedules its successor.
-        let fault_state = config.faults.as_ref().map(|s| FaultState::at(s, SimTime::ZERO));
-        if let Some(schedule) = &config.faults {
-            if let Some(first) = schedule.events().iter().position(|e| e.t > SimTime::ZERO) {
-                queue.schedule(
-                    schedule.events()[first].t,
-                    Event::FaultUpdate { index: first as u64 },
+        // initial live state (and the initial forwarding computation); the
+        // chain starts at the first strictly-future event.
+        let next_fault_index = config.faults.as_ref().map_or(0, |s| {
+            s.events().iter().position(|e| e.t > SimTime::ZERO).unwrap_or(s.events().len())
+        });
+
+        if nshards == 1 {
+            // Serial reference engine: coordinator events are ordinary
+            // queue events with keys that sort before any node event at
+            // the same instant; each one chains its successor.
+            if !config.freeze_at_epoch {
+                shards[0].queue.schedule_keyed(
+                    SimTime::ZERO + config.fstate_step,
+                    FORWARDING_KEY,
+                    Event::ForwardingUpdate { step: 1 },
                 );
+            }
+            if let Some(schedule) = &config.faults {
+                if let Some(e) = schedule.events().get(next_fault_index) {
+                    shards[0].queue.schedule_keyed(
+                        e.t,
+                        fault_key(next_fault_index as u64),
+                        Event::FaultUpdate { index: next_fault_index as u64 },
+                    );
+                }
             }
         }
 
@@ -160,24 +199,26 @@ impl Simulator {
             )
         });
 
-        let loss_rng = DetRng::new(config.loss_seed);
         let trace = Trace::new(config.trace_limit);
         Simulator {
             constellation,
             config,
             now: SimTime::ZERO,
-            queue,
-            nodes,
-            apps: Vec::new(),
+            partition,
+            shards,
+            app_shard: Vec::new(),
             dests,
             fwd,
             mp,
             fstate_prefetch,
-            fault_state,
             snapshot_buffers,
             router,
-            next_packet_id: 0,
-            loss_rng,
+            next_fwd_step: 1,
+            next_fault_index,
+            coord_stats: SimStats::default(),
+            epochs: 0,
+            barriers: 0,
+            min_lookahead_ns: None,
             trace,
             stats: SimStats::default(),
         }
@@ -203,231 +244,264 @@ impl Simulator {
         &self.fwd
     }
 
-    /// The simulated nodes (for stats inspection).
-    pub fn nodes(&self) -> &[Node] {
-        &self.nodes
+    /// The node owned-state for `id` (devices, port bindings).
+    pub fn node(&self, id: NodeId) -> &Node {
+        &self.shards[self.partition.owner(id)].nodes[id.index()]
+    }
+
+    /// The simulated nodes in id order (for stats inspection).
+    pub fn nodes(&self) -> impl Iterator<Item = &Node> {
+        (0..self.constellation.num_nodes()).map(|i| self.node(NodeId(i as u32)))
+    }
+
+    /// How the engine has executed so far (shard count, epochs, barriers,
+    /// smallest lookahead window).
+    pub fn engine_report(&self) -> EngineReport {
+        EngineReport {
+            sim_shards: self.shards.len(),
+            epochs: self.epochs,
+            barriers: self.barriers,
+            min_lookahead_ns: self.min_lookahead_ns,
+        }
     }
 
     /// Install an application at `(node, port)`. Calls its `on_start`
     /// immediately (at the current simulation time) and returns its index.
     pub fn add_app(&mut self, node: NodeId, port: u16, app: Box<dyn Application>) -> u32 {
-        let idx = self.apps.len() as u32;
-        self.nodes[node.index()].bind_port(port, idx);
-        self.apps.push(AppEntry { app: Some(app), node, port });
-        self.with_app(idx, |app, ctx| app.on_start(ctx));
+        let idx = self.app_shard.len() as u32;
+        let shard = self.partition.owner(node);
+        self.app_shard.push(shard as u32);
+        let now = self.now;
+        self.shards[shard].install_app(idx, node, port, app, now);
+        self.refresh_views();
         idx
     }
 
     /// Borrow an installed application, downcast to its concrete type.
     pub fn app_as<T: Application>(&self, idx: u32) -> Option<&T> {
-        self.apps[idx as usize].app.as_ref()?.as_any().downcast_ref::<T>()
+        let shard = *self.app_shard.get(idx as usize)? as usize;
+        self.shards[shard].app_as(idx)
     }
 
     /// Run the event loop until simulated time `t_end` (inclusive).
     pub fn run_until(&mut self, t_end: SimTime) {
-        while let Some((t, event)) = self.queue.pop_before(t_end) {
-            debug_assert!(t >= self.now, "time went backwards");
-            self.now = t;
-            self.stats.events += 1;
-            self.handle(event);
+        if self.shards.len() == 1 {
+            self.run_serial(t_end);
+        } else {
+            self.run_sharded(t_end);
         }
         self.now = t_end;
+        for shard in &mut self.shards {
+            shard.now = t_end;
+        }
+        self.refresh_views();
     }
 
-    fn handle(&mut self, event: Event) {
-        match event {
-            Event::Arrival { node, packet } => self.arrival(node, packet),
-            Event::TxComplete { node, device } => self.tx_complete(node, device),
-            Event::ForwardingUpdate { step } => self.forwarding_update(step),
-            Event::AppTimer { app, timer_id } => {
-                self.with_app(app, |a, ctx| a.on_timer(ctx, timer_id));
+    /// The serial reference engine: one queue holds every event, including
+    /// the coordinator's, and they pop in canonical `(time, key)` order.
+    fn run_serial(&mut self, t_end: SimTime) {
+        while let Some((t, key, event)) = self.shards[0].queue.pop_entry_before(t_end) {
+            debug_assert!(t >= self.now, "time went backwards");
+            self.now = t;
+            let shard = &mut self.shards[0];
+            shard.now = t;
+            shard.stats.events += 1;
+            shard.trace.set_key(key);
+            match event {
+                Event::ForwardingUpdate { step } => self.forwarding_update_serial(step),
+                Event::FaultUpdate { index } => self.fault_update_serial(index),
+                other => self.shards[0].handle(other),
             }
-            Event::FaultUpdate { index } => self.fault_update(index),
+        }
+    }
+
+    /// The sharded conservative engine: apply coordinator events at epoch
+    /// starts, run every shard in parallel up to the barrier, exchange
+    /// cross-shard arrivals, repeat.
+    fn run_sharded(&mut self, t_end: SimTime) {
+        loop {
+            let next_node = self.shards.iter_mut().filter_map(|s| s.queue.peek_time()).min();
+            let start = match (self.next_global_time(), next_node) {
+                (Some(g), Some(n)) => g.min(n),
+                (Some(g), None) => g,
+                (None, Some(n)) => n,
+                (None, None) => break,
+            };
+            if start > t_end {
+                break;
+            }
+            self.now = start;
+            self.apply_globals_at(start);
+
+            // The window is bounded by the next coordinator event (its
+            // swap must happen before any later node event), by the
+            // conservative lookahead, and by the run horizon.
+            let mut end_incl = t_end;
+            if let Some(g) = self.next_global_time() {
+                debug_assert!(g > start, "coordinator event not consumed");
+                end_incl = end_incl.min(g - SimDuration::from_nanos(1));
+            }
+            let geom_t = if self.config.freeze_at_epoch { SimTime::ZERO } else { start };
+            if let Some(w) = self.partition.lookahead_at(&self.constellation, geom_t) {
+                end_incl = end_incl.min(start + w - SimDuration::from_nanos(1));
+                self.min_lookahead_ns =
+                    Some(self.min_lookahead_ns.map_or(w.nanos(), |m| m.min(w.nanos())));
+            }
+            debug_assert!(end_incl >= start);
+
+            let active = self
+                .shards
+                .iter_mut()
+                .filter_map(|s| s.queue.peek_time())
+                .filter(|&t| t <= end_incl)
+                .count();
+            if active <= 1 {
+                for shard in self.shards.iter_mut() {
+                    if shard.queue.peek_time().is_some_and(|t| t <= end_incl) {
+                        shard.run_window(end_incl);
+                    }
+                }
+            } else {
+                std::thread::scope(|scope| {
+                    for shard in self.shards.iter_mut() {
+                        if shard.queue.peek_time().is_some_and(|t| t <= end_incl) {
+                            scope.spawn(move || shard.run_window(end_incl));
+                        }
+                    }
+                });
+            }
+            self.epochs += 1;
+            if self.exchange_outboxes() > 0 {
+                self.barriers += 1;
+            }
         }
     }
 
-    fn arrival(&mut self, node: u32, packet: Packet) {
-        // A packet propagating towards a satellite that failed mid-flight
-        // is lost with it. Ground-station nodes never fail (weather only
-        // attenuates their GSLs), so they always receive.
-        if let Some(f) = &self.fault_state {
-            if self.constellation.is_satellite(NodeId(node)) && f.satellite_down(node as usize) {
-                self.stats.fault_drops += 1;
-                self.trace.record(self.now, NodeId(node), packet.id, TraceKind::FaultDrop);
-                return;
+    /// Move every cross-shard arrival produced in the last windows into
+    /// its destination shard's queue. Returns the number of packets moved.
+    fn exchange_outboxes(&mut self) -> u64 {
+        let mut moved = 0;
+        for src in 0..self.shards.len() {
+            let boxes: Vec<Vec<Outbound>> =
+                self.shards[src].outbox.iter_mut().map(std::mem::take).collect();
+            for (dst, entries) in boxes.into_iter().enumerate() {
+                moved += entries.len() as u64;
+                for o in entries {
+                    self.shards[dst].queue.schedule_keyed(
+                        o.at,
+                        o.key,
+                        Event::Arrival { node: o.node, packet: o.packet },
+                    );
+                }
             }
         }
-        self.stats.hop_deliveries += 1;
-        self.trace.record(self.now, NodeId(node), packet.id, TraceKind::Arrive);
-        self.process_at_node(node, packet);
+        moved
     }
 
-    /// Apply fault-schedule entry `index` to the live state and chain the
-    /// next entry. Chaining (instead of scheduling the whole schedule up
-    /// front) keeps the queue small on long flap-heavy runs.
-    fn fault_update(&mut self, index: u64) {
+    /// The next instant at which the coordinator must act (forwarding swap
+    /// or fault update), if any.
+    fn next_global_time(&self) -> Option<SimTime> {
+        let mut next: Option<SimTime> = None;
+        if !self.config.freeze_at_epoch {
+            next = Some(SimTime::ZERO + self.config.fstate_step * self.next_fwd_step);
+        }
+        if let Some(schedule) = &self.config.faults {
+            if let Some(e) = schedule.events().get(self.next_fault_index) {
+                next = Some(next.map_or(e.t, |n| n.min(e.t)));
+            }
+        }
+        next
+    }
+
+    /// Apply every coordinator event due exactly at `t`, in canonical
+    /// order: the forwarding swap (key 0) first, then fault-schedule
+    /// entries in index order — the same order the serial engine pops
+    /// them.
+    fn apply_globals_at(&mut self, t: SimTime) {
+        if !self.config.freeze_at_epoch
+            && SimTime::ZERO + self.config.fstate_step * self.next_fwd_step == t
+        {
+            let step = self.next_fwd_step;
+            let (fwd, mp) = self.take_forwarding_state(step, t);
+            self.fwd = fwd.clone();
+            self.mp = mp.clone();
+            for shard in &mut self.shards {
+                shard.set_forwarding(fwd.clone(), mp.clone());
+            }
+            self.coord_stats.forwarding_updates += 1;
+            self.coord_stats.events += 1;
+            self.next_fwd_step += 1;
+        }
+        if let Some(schedule) = self.config.faults.clone() {
+            while let Some(event) = schedule.events().get(self.next_fault_index) {
+                if event.t != t {
+                    break;
+                }
+                for shard in &mut self.shards {
+                    shard.apply_fault(event);
+                }
+                self.coord_stats.events += 1;
+                self.next_fault_index += 1;
+            }
+        }
+    }
+
+    /// Serial-engine forwarding swap: identical effect to the sharded
+    /// coordinator's, plus chaining the next step as a queue event.
+    fn forwarding_update_serial(&mut self, step: u64) {
+        let t = SimTime::ZERO + self.config.fstate_step * step;
+        debug_assert_eq!(t, self.now, "forwarding update fired at the wrong time");
+        let (fwd, mp) = self.take_forwarding_state(step, t);
+        self.fwd = fwd.clone();
+        self.mp = mp.clone();
+        self.coord_stats.forwarding_updates += 1;
+        let shard = &mut self.shards[0];
+        shard.set_forwarding(fwd, mp);
+        shard.queue.schedule_keyed(
+            t + self.config.fstate_step,
+            FORWARDING_KEY,
+            Event::ForwardingUpdate { step: step + 1 },
+        );
+    }
+
+    /// Serial-engine fault update: apply schedule entry `index` to the
+    /// live state and chain the next entry. Chaining (instead of
+    /// scheduling the whole schedule up front) keeps the queue small on
+    /// long flap-heavy runs.
+    fn fault_update_serial(&mut self, index: u64) {
         let schedule = self.config.faults.clone().expect("fault event without a schedule");
         let event = &schedule.events()[index as usize];
         debug_assert_eq!(event.t, self.now, "fault event fired at the wrong time");
-        self.fault_state.as_mut().expect("fault event without live state").apply(event);
+        self.shards[0].apply_fault(event);
         if let Some(next) = schedule.events().get(index as usize + 1) {
-            self.queue.schedule(next.t, Event::FaultUpdate { index: index + 1 });
+            self.shards[0].queue.schedule_keyed(
+                next.t,
+                fault_key(index + 1),
+                Event::FaultUpdate { index: index + 1 },
+            );
         }
     }
 
-    /// Is the directed hop `a -> b` usable under the live fault state?
-    fn link_up(&self, a: NodeId, b: NodeId) -> bool {
-        let Some(f) = &self.fault_state else { return true };
-        if f.all_up() {
-            return true;
-        }
-        let n_sats = self.constellation.num_satellites();
-        match (self.constellation.is_satellite(a), self.constellation.is_satellite(b)) {
-            (true, true) => f.isl_link_up(a.0, b.0),
-            (true, false) => f.gsl_link_up(a.index(), b.index() - n_sats),
-            (false, true) => f.gsl_link_up(b.index(), a.index() - n_sats),
-            // GS <-> GS links do not exist in the topology.
-            (false, false) => true,
-        }
-    }
-
-    /// A packet is at `node`: deliver locally or forward.
-    fn process_at_node(&mut self, node: u32, packet: Packet) {
-        if packet.dst.0 == node {
-            self.deliver(node, packet);
+    /// The forwarding (and multipath) state for `step`, from the prefetch
+    /// pipeline when one is running, else computed inline.
+    fn take_forwarding_state(
+        &mut self,
+        step: u64,
+        t: SimTime,
+    ) -> (Arc<ForwardingState>, Option<Arc<MultipathState>>) {
+        let (fwd, mp) = if let Some(prefetch) = &mut self.fstate_prefetch {
+            prefetch.take(step)
         } else {
-            self.forward(node, packet);
-        }
-    }
-
-    fn deliver(&mut self, node: u32, packet: Packet) {
-        self.stats.delivered += 1;
-        self.trace.record(self.now, NodeId(node), packet.id, TraceKind::Deliver);
-        self.stats.payload_bytes_delivered += packet.payload_bytes() as u64;
-        match packet.payload {
-            // Kernel-style echo: answer pings without an application.
-            Payload::Ping { seq } => {
-                self.stats.pings_echoed += 1;
-                let pong = Packet {
-                    id: self.alloc_packet_id(),
-                    src: NodeId(node),
-                    dst: packet.src,
-                    src_port: packet.dst_port,
-                    dst_port: packet.src_port,
-                    size_bytes: packet.size_bytes,
-                    payload: Payload::Pong { seq, ping_injected_at: packet.injected_at },
-                    injected_at: self.now,
-                    hops: 0,
-                    flow_hash: 0, // stamped by inject
-                };
-                self.inject(pong);
-            }
-            _ => match self.nodes[node as usize].app_on_port(packet.dst_port) {
-                Some(app) => self.with_app(app, |a, ctx| a.on_packet(ctx, &packet)),
-                None => self.stats.unclaimed += 1,
-            },
-        }
-    }
-
-    fn forward(&mut self, node: u32, packet: Packet) {
-        // `packet.flow_hash` was computed once at injection; forwarding a
-        // packet costs no hashing at all.
-        let chosen = match &self.mp {
-            Some(mp) => mp.next_hop(NodeId(node), packet.dst, packet.flow_hash),
-            None => self.fwd.next_hop(NodeId(node), packet.dst),
-        };
-        let Some(next_hop) = chosen else {
-            self.stats.routing_drops += 1;
-            self.trace.record(self.now, NodeId(node), packet.id, TraceKind::RoutingDrop);
-            return;
-        };
-        // Between a fault event and the next forwarding recomputation the
-        // state may still point into a failed component: those packets are
-        // lost (the paper's lossless-handoff rule covers reassignment, not
-        // destruction of the link).
-        if !self.link_up(NodeId(node), next_hop) {
-            self.stats.fault_drops += 1;
-            self.trace.record(self.now, NodeId(node), packet.id, TraceKind::FaultDrop);
-            return;
-        }
-        let Some(dev_idx) = self.nodes[node as usize].device_for(next_hop) else {
-            self.stats.routing_drops += 1;
-            self.trace.record(self.now, NodeId(node), packet.id, TraceKind::RoutingDrop);
-            return;
-        };
-        let packet_id = packet.id;
-        match self.nodes[node as usize].devices[dev_idx].enqueue(packet, next_hop, self.now) {
-            Ok(Some(ser)) => self
-                .queue
-                .schedule(self.now + ser, Event::TxComplete { node, device: dev_idx as u32 }),
-            Ok(None) => {}
-            Err(_) => {
-                self.stats.queue_drops += 1;
-                self.trace.record(self.now, NodeId(node), packet_id, TraceKind::QueueDrop);
-            }
-        }
-    }
-
-    fn tx_complete(&mut self, node: u32, device: u32) {
-        let is_gsl = matches!(
-            self.nodes[node as usize].devices[device as usize].kind,
-            crate::device::DeviceKind::Gsl
-        );
-        let (done, next) = self.nodes[node as usize].devices[device as usize].tx_complete(self.now);
-        if let Some(ser) = next {
-            self.queue.schedule(self.now + ser, Event::TxComplete { node, device });
-        }
-        // The link may have been cut while the packet serialized: it never
-        // makes it onto the channel. The device keeps draining — each
-        // queued packet is judged at its own transmission instant.
-        if !self.link_up(NodeId(node), done.next_hop) {
-            self.stats.fault_drops += 1;
-            self.trace.record(self.now, NodeId(node), done.packet.id, TraceKind::FaultDrop);
-            return;
-        }
-        // Channel impairment: GSL transmissions may be lost (weather model
-        // stand-in; disabled by default).
-        if is_gsl
-            && self.config.gsl_loss_rate > 0.0
-            && self.loss_rng.next_f64() < self.config.gsl_loss_rate
-        {
-            self.stats.channel_drops += 1;
-            self.trace.record(self.now, NodeId(node), done.packet.id, TraceKind::ChannelDrop);
-            return;
-        }
-        // Propagation from live geometry — frozen runs pin geometry to t=0.
-        let geom_t = if self.config.freeze_at_epoch { SimTime::ZERO } else { self.now };
-        let distance = self.constellation.distance_km(NodeId(node), done.next_hop, geom_t);
-        let prop = propagation_delay_km(distance);
-        let mut packet = done.packet;
-        packet.hops += 1;
-        self.queue.schedule(self.now + prop, Event::Arrival { node: done.next_hop.0, packet });
-    }
-
-    fn forwarding_update(&mut self, step: u64) {
-        let t = SimTime::ZERO + self.config.fstate_step * step;
-        debug_assert_eq!(t, self.now, "forwarding update fired at the wrong time");
-        if let Some(prefetch) = &mut self.fstate_prefetch {
-            let (fwd, mp) = prefetch.take(step);
-            self.fwd = fwd;
-            self.mp = mp;
-        } else {
-            let (fwd, mp) = Self::compute_states(
+            Self::compute_states(
                 &self.constellation,
                 &self.config,
                 &self.dests,
                 t,
                 &mut self.snapshot_buffers,
                 &mut self.router,
-            );
-            self.fwd = fwd;
-            if mp.is_some() {
-                self.mp = mp;
-            }
-        }
-        self.stats.forwarding_updates += 1;
-        self.queue
-            .schedule(t + self.config.fstate_step, Event::ForwardingUpdate { step: step + 1 });
+            )
+        };
+        (Arc::new(fwd), mp.map(Arc::new))
     }
 
     /// Forwarding (and multipath) state at `t`. With faults configured,
@@ -452,59 +526,18 @@ impl Simulator {
         (fwd, mp)
     }
 
-    /// Put a freshly-created packet into the network at its source node.
-    /// The flow hash is stamped here — once per packet, never per hop.
-    fn inject(&mut self, mut packet: Packet) {
-        packet.flow_hash = flow_hash(packet.src, packet.dst, packet.src_port, packet.dst_port);
-        self.stats.injected += 1;
-        self.trace.record(self.now, packet.src, packet.id, TraceKind::Inject);
-        self.process_at_node(packet.src.0, packet);
-    }
-
-    fn alloc_packet_id(&mut self) -> u64 {
-        let id = self.next_packet_id;
-        self.next_packet_id += 1;
-        id
-    }
-
-    /// Run `f` on app `idx` with a fresh context, then apply its actions.
-    fn with_app(&mut self, idx: u32, f: impl FnOnce(&mut dyn Application, &mut AppCtx)) {
-        let (node, port) = {
-            let entry = &self.apps[idx as usize];
-            (entry.node, entry.port)
-        };
-        let mut app = self.apps[idx as usize].app.take().expect("re-entrant app dispatch");
-        let mut ctx = AppCtx::new(self.now, node, port);
-        f(app.as_mut(), &mut ctx);
-        let actions = ctx.take_actions();
-        self.apps[idx as usize].app = Some(app);
-        self.apply_actions(idx, node, port, actions);
-    }
-
-    fn apply_actions(&mut self, app_idx: u32, node: NodeId, port: u16, actions: Vec<AppAction>) {
-        for action in actions {
-            match action {
-                AppAction::Send { dst, dst_port, size_bytes, payload } => {
-                    let packet = Packet {
-                        id: self.alloc_packet_id(),
-                        src: node,
-                        dst,
-                        src_port: port,
-                        dst_port,
-                        size_bytes,
-                        payload,
-                        injected_at: self.now,
-                        hops: 0,
-                        flow_hash: 0, // stamped by inject
-                    };
-                    self.inject(packet);
-                }
-                AppAction::Timer { delay, timer_id } => {
-                    self.queue
-                        .schedule(self.now + delay, Event::AppTimer { app: app_idx, timer_id });
-                }
-            }
+    /// Rebuild the merged `stats` / `trace` views from the coordinator and
+    /// every shard. Cheap when tracing is off; with tracing on, the merge
+    /// re-sorts into canonical `(time, key)` order, which is exactly the
+    /// order the serial engine would have recorded.
+    fn refresh_views(&mut self) {
+        let mut stats = self.coord_stats.clone();
+        for shard in &self.shards {
+            stats.merge(&shard.stats);
         }
+        self.stats = stats;
+        let parts: Vec<&Trace> = self.shards.iter().map(|s| &s.trace).collect();
+        self.trace = Trace::merged(&parts, self.config.trace_limit);
     }
 
     /// Utilization of the most loaded directed link along `path` in bucket
@@ -514,9 +547,9 @@ impl Simulator {
         assert!(path.len() >= 2, "path needs at least one hop");
         let mut worst: f64 = 0.0;
         for w in path.windows(2) {
-            let dev_idx =
-                self.nodes[w[0].index()].device_for(w[1]).expect("path hop has no device");
-            let u = self.nodes[w[0].index()].devices[dev_idx]
+            let node = self.node(w[0]);
+            let dev_idx = node.device_for(w[1]).expect("path hop has no device");
+            let u = node.devices[dev_idx]
                 .utilization(bucket_idx)
                 .expect("utilization tracking disabled");
             worst = worst.max(u);
@@ -529,6 +562,8 @@ impl Simulator {
 mod tests {
     use super::*;
     use crate::apps::ping::PingApp;
+    use crate::packet::packet_id;
+    use crate::trace::TraceKind;
     use hypatia_constellation::ground::GroundStation;
     use hypatia_constellation::gsl::GslConfig;
     use hypatia_constellation::isl::IslLayout;
@@ -622,23 +657,100 @@ mod tests {
         assert_eq!(mp_inline, mp_prefetched);
     }
 
+    /// The tentpole invariant: the sharded conservative engine is a pure
+    /// wall-clock knob. Stats, traces, and application observables must be
+    /// bit-identical to the serial reference engine at any shard count —
+    /// plain, and under faults + GSL loss.
+    #[test]
+    fn sharded_engine_is_bit_identical_to_serial() {
+        use hypatia_fault::{FaultSchedule, FaultSpec, OutageWindow};
+        let c = constellation();
+        let (src, dst) = (c.gs_node(0), c.gs_node(1));
+        let spec = FaultSpec {
+            sat_outages: vec![OutageWindow { target: 12, from_s: 0.5, until_s: 1.5 }],
+            ..FaultSpec::default()
+        };
+        let schedule = Arc::new(FaultSchedule::compile(&spec, &c, SimDuration::from_secs(2)));
+        let run = |cfg: SimConfig| {
+            let mut sim = Simulator::new(c.clone(), cfg, vec![src, dst]);
+            let app = sim.add_app(
+                src,
+                100,
+                Box::new(PingApp::new(dst, SimDuration::from_millis(10), SimTime::from_secs(1))),
+            );
+            sim.run_until(SimTime::from_secs(2));
+            let ping: &PingApp = sim.app_as(app).unwrap();
+            (ping.rtts().to_vec(), sim.stats.clone(), sim.trace.entries().to_vec())
+        };
+        let plain = SimConfig::default().with_trace_limit(100_000);
+        let faulted = plain.clone().with_faults(schedule).with_gsl_loss(0.1);
+        for base in [plain, faulted] {
+            let serial = run(base.clone());
+            assert!(serial.1.delivered > 0, "workload delivered nothing");
+            for shards in [2, 4, 8] {
+                let sharded = run(base.clone().with_sim_shards(shards));
+                assert_eq!(serial, sharded, "sim_shards={shards} diverged");
+            }
+        }
+    }
+
+    /// The engine report reflects the engine that ran.
+    #[test]
+    fn engine_report_describes_the_run() {
+        let c = constellation();
+        let (src, dst) = (c.gs_node(0), c.gs_node(1));
+        let run = |cfg: SimConfig| {
+            let mut sim = Simulator::new(c.clone(), cfg, vec![src, dst]);
+            sim.add_app(
+                src,
+                100,
+                Box::new(PingApp::new(
+                    dst,
+                    SimDuration::from_millis(20),
+                    SimTime::from_millis(500),
+                )),
+            );
+            sim.run_until(SimTime::from_secs(1));
+            sim.engine_report()
+        };
+        let serial = run(SimConfig::default());
+        assert_eq!(serial.sim_shards, 1);
+        assert_eq!(serial.epochs, 0, "the serial engine has no epochs");
+        assert_eq!(serial.min_lookahead_ns, None);
+
+        let sharded = run(SimConfig::default().with_sim_shards(4));
+        assert_eq!(sharded.sim_shards, 4);
+        assert!(sharded.epochs > 0, "no windows executed");
+        assert!(sharded.barriers > 0, "GS traffic must cross shards");
+        assert!(sharded.barriers <= sharded.epochs);
+        let w = sharded.min_lookahead_ns.expect("cross-shard geometry bounds the window");
+        // GSL bound 520 km ≈ 1.73 ms; window must be positive and below it.
+        assert!(w > 0 && w < 2_000_000, "implausible lookahead {w} ns");
+    }
+
     #[test]
     fn forwarding_updates_fire_at_granularity() {
         let c = constellation();
         let (src, dst) = (c.gs_node(0), c.gs_node(1));
-        let mut sim = Simulator::new(c.clone(), SimConfig::default(), vec![src, dst]);
-        sim.run_until(SimTime::from_secs(1));
-        // 100 ms granularity → updates at 0.1..1.0 inclusive = 10.
-        assert_eq!(sim.stats.forwarding_updates, 10);
+        for shards in [1, 4] {
+            let cfg = SimConfig::default().with_sim_shards(shards);
+            let mut sim = Simulator::new(c.clone(), cfg, vec![src, dst]);
+            sim.run_until(SimTime::from_secs(1));
+            // 100 ms granularity → updates at 0.1..1.0 inclusive = 10.
+            assert_eq!(sim.stats.forwarding_updates, 10, "sim_shards={shards}");
+        }
     }
 
     #[test]
     fn frozen_network_never_updates_forwarding() {
         let c = constellation();
         let (src, dst) = (c.gs_node(0), c.gs_node(1));
-        let mut sim = Simulator::new(c.clone(), SimConfig::default().frozen(), vec![src, dst]);
-        sim.run_until(SimTime::from_secs(2));
-        assert_eq!(sim.stats.forwarding_updates, 0);
+        for shards in [1, 4] {
+            let cfg = SimConfig::default().frozen().with_sim_shards(shards);
+            let mut sim = Simulator::new(c.clone(), cfg, vec![src, dst]);
+            sim.run_until(SimTime::from_secs(2));
+            assert_eq!(sim.stats.forwarding_updates, 0, "sim_shards={shards}");
+        }
     }
 
     #[test]
@@ -714,9 +826,9 @@ mod tests {
         sim.run_until(SimTime::from_secs(2));
         assert!(sim.trace.enabled());
 
-        // First ping (packet id 0): Inject at src, Arrive per hop, Deliver
-        // at dst.
-        let journey = sim.trace.journey(0);
+        // First ping (the 0th packet originated at src): Inject at src,
+        // Arrive per hop, Deliver at dst.
+        let journey = sim.trace.journey(packet_id(src, 0));
         assert!(journey.len() >= 3, "journey too short: {journey:?}");
         assert_eq!(journey.first().unwrap().kind, TraceKind::Inject);
         assert_eq!(journey.first().unwrap().node, src);
@@ -891,6 +1003,14 @@ mod tests {
         }
         let heap = run(base.clone().with_queue(QueueKind::Heap));
         assert_eq!(inline, heap, "queue kinds diverged under faults");
+        // And the sharded engine agrees, per queue kind, with prefetch.
+        for shards in [2, 4] {
+            let sharded = run(base.clone().with_sim_shards(shards).with_fstate_prefetch(2, 4));
+            assert_eq!(inline, sharded, "sim_shards={shards} diverged under faults");
+            let sharded_heap =
+                run(base.clone().with_sim_shards(shards).with_queue(QueueKind::Heap));
+            assert_eq!(inline, sharded_heap, "sharded heap diverged under faults");
+        }
     }
 
     /// `routing_mode` is a pure wall-clock knob: full recompute and

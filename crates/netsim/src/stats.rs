@@ -43,6 +43,24 @@ impl SimStats {
     pub fn total_drops(&self) -> u64 {
         self.routing_drops + self.queue_drops + self.channel_drops + self.fault_drops
     }
+
+    /// Fold another counter set into this one. Every field is a sum, so
+    /// merging per-shard stats in any order yields the same totals a
+    /// serial run reports.
+    pub fn merge(&mut self, other: &SimStats) {
+        self.injected += other.injected;
+        self.delivered += other.delivered;
+        self.payload_bytes_delivered += other.payload_bytes_delivered;
+        self.hop_deliveries += other.hop_deliveries;
+        self.routing_drops += other.routing_drops;
+        self.queue_drops += other.queue_drops;
+        self.channel_drops += other.channel_drops;
+        self.fault_drops += other.fault_drops;
+        self.unclaimed += other.unclaimed;
+        self.pings_echoed += other.pings_echoed;
+        self.forwarding_updates += other.forwarding_updates;
+        self.events += other.events;
+    }
 }
 
 #[cfg(test)]
@@ -62,5 +80,44 @@ mod tests {
         let stats =
             SimStats { routing_drops: 3, queue_drops: 4, fault_drops: 2, ..Default::default() };
         assert_eq!(stats.total_drops(), 9);
+    }
+
+    #[test]
+    fn merge_sums_every_field() {
+        let a = SimStats {
+            injected: 1,
+            delivered: 2,
+            payload_bytes_delivered: 3,
+            hop_deliveries: 4,
+            routing_drops: 5,
+            queue_drops: 6,
+            channel_drops: 7,
+            fault_drops: 8,
+            unclaimed: 9,
+            pings_echoed: 10,
+            forwarding_updates: 11,
+            events: 12,
+        };
+        let mut b = a.clone();
+        b.merge(&a);
+        let doubled = SimStats {
+            injected: 2,
+            delivered: 4,
+            payload_bytes_delivered: 6,
+            hop_deliveries: 8,
+            routing_drops: 10,
+            queue_drops: 12,
+            channel_drops: 14,
+            fault_drops: 16,
+            unclaimed: 18,
+            pings_echoed: 20,
+            forwarding_updates: 22,
+            events: 24,
+        };
+        assert_eq!(b, doubled);
+        // Merging a default is the identity.
+        let mut c = a.clone();
+        c.merge(&SimStats::default());
+        assert_eq!(c, a);
     }
 }

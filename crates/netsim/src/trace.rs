@@ -43,9 +43,20 @@ pub struct TraceEntry {
 }
 
 /// A bounded trace buffer.
+///
+/// Alongside each entry the trace keeps the canonical event key that was
+/// current when it was recorded (see [`Trace::set_key`]). Keys never leave
+/// the crate: they exist so per-shard traces from the sharded engine can be
+/// [merged](Trace::merged) into the exact `(time, key)` order the serial
+/// engine produces.
 #[derive(Debug, Default)]
 pub struct Trace {
     entries: Vec<TraceEntry>,
+    /// Canonical key of the event each entry was recorded under (parallel
+    /// to `entries`).
+    keys: Vec<u64>,
+    /// Key stamped on subsequent records.
+    current_key: u64,
     limit: usize,
     truncated: u64,
 }
@@ -53,7 +64,38 @@ pub struct Trace {
 impl Trace {
     /// A trace keeping at most `limit` entries (0 disables tracing).
     pub fn new(limit: usize) -> Self {
-        Trace { entries: Vec::new(), limit, truncated: 0 }
+        Trace { entries: Vec::new(), keys: Vec::new(), current_key: 0, limit, truncated: 0 }
+    }
+
+    /// Set the canonical event key stamped on subsequent records. The
+    /// simulator calls this before dispatching each event; records made
+    /// outside an event context keep the last key (or 0).
+    pub fn set_key(&mut self, key: u64) {
+        self.current_key = key;
+    }
+
+    /// Merge per-shard traces into the canonical global order.
+    ///
+    /// Each input trace's entries are already sorted by `(time, key)` —
+    /// a shard pops its queue in that order — so a stable sort of the
+    /// concatenation by `(time, key)` reproduces the order a serial run
+    /// records (equal `(time, key)` pairs only arise within one event,
+    /// which executes on a single shard, so stability preserves their
+    /// relative order). The result is truncated to `limit` and counts
+    /// every record any shard made beyond the kept set.
+    pub fn merged(parts: &[&Trace], limit: usize) -> Trace {
+        let mut tagged: Vec<(SimTime, u64, TraceEntry)> = Vec::new();
+        let mut total: u64 = 0;
+        for part in parts {
+            total += part.entries.len() as u64 + part.truncated;
+            tagged.extend(part.entries.iter().zip(part.keys.iter()).map(|(e, &k)| (e.t, k, *e)));
+        }
+        tagged.sort_by_key(|&(t, k, _)| (t, k));
+        tagged.truncate(limit);
+        let truncated = total - tagged.len() as u64;
+        let keys = tagged.iter().map(|&(_, k, _)| k).collect();
+        let entries = tagged.into_iter().map(|(_, _, e)| e).collect();
+        Trace { entries, keys, current_key: 0, limit, truncated }
     }
 
     /// Is tracing active at all?
@@ -78,6 +120,7 @@ impl Trace {
     fn record_slow(&mut self, t: SimTime, node: NodeId, packet_id: u64, kind: TraceKind) {
         if self.entries.len() < self.limit {
             self.entries.push(TraceEntry { t, node, packet_id, kind });
+            self.keys.push(self.current_key);
         } else {
             self.truncated += 1;
         }
@@ -122,6 +165,58 @@ mod tests {
         }
         assert_eq!(tr.entries().len(), 3);
         assert_eq!(tr.truncated(), 2);
+    }
+
+    #[test]
+    fn merge_reproduces_canonical_order_and_truncation() {
+        // Two "shards", each recording in its own (t, key) order.
+        let mut a = Trace::new(10);
+        a.set_key(5);
+        a.record(SimTime::from_nanos(1), NodeId(0), 1, TraceKind::Inject);
+        a.set_key(9);
+        a.record(SimTime::from_nanos(4), NodeId(0), 1, TraceKind::Arrive);
+        let mut b = Trace::new(10);
+        b.set_key(2);
+        b.record(SimTime::from_nanos(1), NodeId(1), 2, TraceKind::Inject);
+        b.set_key(7);
+        b.record(SimTime::from_nanos(4), NodeId(1), 2, TraceKind::Arrive);
+
+        let merged = Trace::merged(&[&a, &b], 10);
+        let kinds: Vec<(u64, TraceKind)> =
+            merged.entries().iter().map(|e| (e.packet_id, e.kind)).collect();
+        // t=1: key 2 before key 5; t=4: key 7 before key 9.
+        assert_eq!(
+            kinds,
+            vec![
+                (2, TraceKind::Inject),
+                (1, TraceKind::Inject),
+                (2, TraceKind::Arrive),
+                (1, TraceKind::Arrive),
+            ]
+        );
+        assert_eq!(merged.truncated(), 0);
+
+        // Truncation: keep 3 of 4, plus a pre-existing truncation on `a`.
+        let mut a2 = Trace::new(1);
+        a2.record(SimTime::from_nanos(1), NodeId(0), 1, TraceKind::Inject);
+        a2.record(SimTime::from_nanos(2), NodeId(0), 1, TraceKind::Arrive);
+        assert_eq!(a2.truncated(), 1);
+        let merged = Trace::merged(&[&a2, &b], 2);
+        assert_eq!(merged.entries().len(), 2);
+        assert_eq!(merged.truncated(), 2, "1 dropped in merge + 1 pre-truncated");
+    }
+
+    #[test]
+    fn same_event_records_stay_in_order_across_merge() {
+        // Two records under one (t, key) — e.g. Deliver then echo Inject —
+        // must keep their relative order through the merge.
+        let mut a = Trace::new(10);
+        a.set_key(42);
+        a.record(SimTime::from_nanos(9), NodeId(3), 1, TraceKind::Deliver);
+        a.record(SimTime::from_nanos(9), NodeId(3), 2, TraceKind::Inject);
+        let merged = Trace::merged(&[&a], 10);
+        assert_eq!(merged.entries()[0].kind, TraceKind::Deliver);
+        assert_eq!(merged.entries()[1].kind, TraceKind::Inject);
     }
 
     #[test]

@@ -49,7 +49,10 @@ impl CcState {
 }
 
 /// A pluggable congestion-control algorithm.
-pub trait CongestionControl: 'static {
+///
+/// `Send` so TCP endpoints (which box one of these) satisfy the
+/// `Application: Send` bound of the sharded engine.
+pub trait CongestionControl: Send + 'static {
     /// Algorithm name (for logs and plots).
     fn name(&self) -> &'static str;
 

@@ -11,6 +11,7 @@
 
 use crate::{csv, czml};
 use hypatia_netsim::trace::Trace;
+use hypatia_netsim::EngineReport;
 use serde_json::{json, Value};
 use std::io;
 use std::path::{Path, PathBuf};
@@ -26,6 +27,15 @@ pub struct ArtifactRecord {
     pub fnv64: u64,
 }
 
+/// Aggregated engine telemetry across a run's simulations.
+#[derive(Debug, Clone, Copy, Default)]
+struct EngineAggregate {
+    sim_shards: usize,
+    epochs: u64,
+    barriers: u64,
+    min_lookahead_ns: Option<u64>,
+}
+
 /// Records and writes experiment artifacts under one output directory.
 #[derive(Debug)]
 pub struct ArtifactSink {
@@ -36,6 +46,8 @@ pub struct ArtifactSink {
     sim_events: u64,
     /// Wall-clock seconds those simulations took.
     sim_wall_s: f64,
+    /// Engine telemetry (present once any simulation reported it).
+    engine: Option<EngineAggregate>,
     /// Echo `wrote <path>` lines to stdout (the bench binaries' historic
     /// behaviour); disable for tests.
     pub verbose: bool,
@@ -50,6 +62,7 @@ impl ArtifactSink {
             warnings: Vec::new(),
             sim_events: 0,
             sim_wall_s: 0.0,
+            engine: None,
             verbose: true,
         }
     }
@@ -65,6 +78,22 @@ impl ArtifactSink {
     /// Total simulated events recorded via [`ArtifactSink::record_sim`].
     pub fn sim_events(&self) -> u64 {
         self.sim_events
+    }
+
+    /// Account how the simulator engine executed a run: shard count,
+    /// epoch/barrier counts, and the smallest conservative lookahead
+    /// window. Counts sum across calls (a run may simulate several
+    /// workloads); the shard count is the last recorded and the lookahead
+    /// the smallest seen. Reported in the manifest's `perf.engine` block.
+    pub fn record_engine(&mut self, report: &EngineReport) {
+        let e = self.engine.get_or_insert_with(EngineAggregate::default);
+        e.sim_shards = report.sim_shards;
+        e.epochs += report.epochs;
+        e.barriers += report.barriers;
+        e.min_lookahead_ns = match (e.min_lookahead_ns, report.min_lookahead_ns) {
+            (Some(a), Some(b)) => Some(a.min(b)),
+            (a, b) => a.or(b),
+        };
     }
 
     /// The output directory.
@@ -186,13 +215,27 @@ impl ArtifactSink {
             } else {
                 0
             };
-            doc.as_object_mut().expect("manifest is an object").insert(
-                "perf".to_string(),
-                json!({
-                    "events": self.sim_events,
-                    "events_per_sec": rate,
-                }),
-            );
+            let mut perf = json!({
+                "events": self.sim_events,
+                "events_per_sec": rate,
+            });
+            if let Some(e) = &self.engine {
+                let mut engine = json!({
+                    "sim_shards": e.sim_shards as u64,
+                    "epochs": e.epochs,
+                    "barriers": e.barriers,
+                });
+                if let Some(ns) = e.min_lookahead_ns {
+                    engine
+                        .as_object_mut()
+                        .expect("engine is an object")
+                        .insert("min_lookahead_ns".to_string(), Value::from(ns));
+                }
+                perf.as_object_mut()
+                    .expect("perf is an object")
+                    .insert("engine".to_string(), engine);
+            }
+            doc.as_object_mut().expect("manifest is an object").insert("perf".to_string(), perf);
         }
         doc
     }
@@ -282,6 +325,50 @@ mod tests {
         assert_eq!(perf.get("events_per_sec").and_then(Value::as_u64), Some(1500));
         assert_eq!(sink.sim_events(), 1500);
         std::fs::remove_dir_all(sink.out_dir()).ok();
+    }
+
+    #[test]
+    fn engine_block_reports_sharded_runs() {
+        let mut sink = temp_sink("engine");
+        sink.record_sim(1000, 0.5);
+        assert!(
+            sink.manifest("e").get("perf").unwrap().get("engine").is_none(),
+            "no engine block without record_engine"
+        );
+        sink.record_engine(&EngineReport {
+            sim_shards: 4,
+            epochs: 10,
+            barriers: 7,
+            min_lookahead_ns: Some(1_500_000),
+        });
+        sink.record_engine(&EngineReport {
+            sim_shards: 4,
+            epochs: 5,
+            barriers: 2,
+            min_lookahead_ns: Some(1_200_000),
+        });
+        let doc = sink.manifest("e");
+        let engine = doc.get("perf").unwrap().get("engine").expect("engine block");
+        assert_eq!(engine.get("sim_shards").and_then(Value::as_u64), Some(4));
+        assert_eq!(engine.get("epochs").and_then(Value::as_u64), Some(15));
+        assert_eq!(engine.get("barriers").and_then(Value::as_u64), Some(9));
+        assert_eq!(engine.get("min_lookahead_ns").and_then(Value::as_u64), Some(1_200_000));
+
+        // Serial reports carry no lookahead; the key is omitted.
+        let mut serial = temp_sink("engine-serial");
+        serial.record_sim(10, 0.1);
+        serial.record_engine(&EngineReport {
+            sim_shards: 1,
+            epochs: 0,
+            barriers: 0,
+            min_lookahead_ns: None,
+        });
+        let doc = serial.manifest("e");
+        let engine = doc.get("perf").unwrap().get("engine").expect("engine block");
+        assert_eq!(engine.get("sim_shards").and_then(Value::as_u64), Some(1));
+        assert!(engine.get("min_lookahead_ns").is_none());
+        std::fs::remove_dir_all(sink.out_dir()).ok();
+        std::fs::remove_dir_all(serial.out_dir()).ok();
     }
 
     #[test]

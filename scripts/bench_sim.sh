@@ -8,6 +8,12 @@
 # events/sec per (scale, queue, workload) plus the calendar-over-heap
 # speedup the design targets (>= 2x on the fig02 workload).
 #
+# A second sweep runs the medium workload on the sharded conservative
+# engine at sim_shards in {1, 2, 4, 8} (calendar queue) and records
+# events/sec per shard count plus each count's speedup over the serial
+# engine — observables are bit-identical at every point, so the sweep
+# measures pure wall-clock effect.
+#
 # The line rate is 10 Gbit/s — fig02's top rate and the regime the paper
 # identifies as event-rate-bound (§3.2), where queue cost dominates. Sim
 # durations are short (fractions of a second) because at 10 Gbit/s each
@@ -41,6 +47,15 @@ for scale_spec in small:10:0.5 medium:30:0.2; do
     done
 done
 
+for shards in 1 2 4 8; do
+    echo "== sharded (30 cities, 0.2s sim), sim_shards=$shards ==" >&2
+    "$bin" --queue calendar --cities 30 --rate-mbps 10000 \
+        --duration-s 0.2 --workload both --shards "$shards" |
+        while IFS= read -r line; do
+            printf '%s\t%s\n' "sharded" "$line"
+        done >>"$raw"
+done
+
 python3 - "$raw" "$out" <<'PY'
 import json, subprocess, sys, time
 
@@ -52,8 +67,9 @@ for line in open(raw_path):
     run = json.loads(payload)
     run["scale"] = scale
     runs.append(run)
+    shards = f" shards={run['sim_shards']}" if scale == "sharded" else ""
     print(f"  {scale:<7} {run['queue']:<9} {run['workload']:<4} "
-          f"{run['events_per_sec']:>12,} events/s")
+          f"{run['events_per_sec']:>12,} events/s{shards}")
 
 def eps(scale, queue):
     # Combined UDP+TCP throughput at one (scale, queue): total events over
@@ -70,6 +86,21 @@ speedup = {
     if summary[s]["heap"]
 }
 
+def eps_shards(n):
+    sel = [r for r in runs if r["scale"] == "sharded" and r.get("sim_shards") == n]
+    wall = sum(r["wall_s"] for r in sel)
+    return round(sum(r["events"] for r in sel) / wall) if wall > 0 else 0
+
+shard_counts = sorted(
+    r["sim_shards"] for r in runs if r["scale"] == "sharded" and "sim_shards" in r
+)
+sharded = {str(n): eps_shards(n) for n in dict.fromkeys(shard_counts)}
+speedup_sharded = {
+    k: round(v / sharded["1"], 3)
+    for k, v in sharded.items()
+    if k != "1" and sharded.get("1")
+}
+
 entry = {
     "timestamp": time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime()),
     "bench": "bench_netsim (fig02 permutation workload)",
@@ -77,6 +108,8 @@ entry = {
     "runs": runs,
     "events_per_sec": summary,
     "speedup_calendar_over_heap": speedup,
+    "events_per_sec_sharded": sharded,
+    "speedup_sharded_over_serial": speedup_sharded,
 }
 try:
     commit = subprocess.run(
@@ -96,5 +129,6 @@ except (FileNotFoundError, json.JSONDecodeError):
 history.append(entry)
 json.dump(history, open(out_path, "w"), indent=2)
 print()
-print(f"wrote {out_path}: speedup calendar/heap = {json.dumps(speedup)}")
+print(f"wrote {out_path}: speedup calendar/heap = {json.dumps(speedup)}, "
+      f"sharded/serial = {json.dumps(speedup_sharded)}")
 PY

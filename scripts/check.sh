@@ -38,4 +38,28 @@ cargo run --release -q -p hypatia-bench --bin run_experiment -- \
 test -f "$smoke_dir/out/manifest.json"
 test -f "$smoke_dir/out/ext_failure_goodput.dat"
 
+echo "== sharded engine smoke run (sim_shards=4, faulted) + shard determinism"
+cargo run --release -q -p hypatia-bench --bin run_experiment -- \
+  ext_failure_resilience --out "$smoke_dir/sharded" \
+  --set duration_s=4 --set cities=10 --set pairs="Tokyo:Cairo" \
+  --set fail_fracs=0.1 --set mttr_s=2 --set sim_shards=4 > /dev/null
+test -f "$smoke_dir/sharded/manifest.json"
+grep -q '"sim_shards": 4' "$smoke_dir/sharded/manifest.json"
+cargo run --release -q -p hypatia-bench --bin run_experiment -- \
+  ext_failure_resilience --out "$smoke_dir/serial" \
+  --set duration_s=4 --set cities=10 --set pairs="Tokyo:Cairo" \
+  --set fail_fracs=0.1 --set mttr_s=2 --set sim_shards=1 > /dev/null
+# Byte-identity gate: artifact checksums must not depend on the shard
+# count; only the wall-clock rate and engine-telemetry lines may differ.
+strip_engine() {
+  python3 - "$1" <<'PY'
+import json, sys
+doc = json.load(open(sys.argv[1]))
+doc.pop("perf", None)
+print(json.dumps(doc, indent=2, sort_keys=True))
+PY
+}
+diff <(strip_engine "$smoke_dir/sharded/manifest.json") \
+     <(strip_engine "$smoke_dir/serial/manifest.json")
+
 echo "All checks passed."
