@@ -1,0 +1,104 @@
+//! Flow-count scaling probe for `scripts/bench_flows.sh`.
+//!
+//! Runs ONE point of the `ext_flow_scaling` gravity workload — a single
+//! offered flow count — and prints one JSON object to stdout. One point
+//! per process is deliberate: peak RSS (`VmHWM`) is a process-lifetime
+//! high-water mark, so sweeping in one process would report the largest
+//! point for every entry. The wrapper script loops the flow counts and
+//! collects the lines into `BENCH_flows.json`.
+//!
+//! ```text
+//! bench_flows [--flows N] [--cities N] [--flow-rate-kbps R]
+//!             [--duration-s S] [--seed N] [--shards N]
+//!             [--flow-table apps|arena]
+//! ```
+
+use hypatia::experiments::flow_scaling::run_flow_point;
+use hypatia::experiments::scalability::FlowTable;
+use hypatia::scenario::{ConstellationChoice, ScenarioBuilder};
+use hypatia_util::{DataRate, SimDuration};
+
+struct Args {
+    flows: u64,
+    cities: usize,
+    flow_rate_kbps: f64,
+    duration_s: f64,
+    seed: u64,
+    shards: usize,
+    flow_table: FlowTable,
+}
+
+fn parse_args() -> Args {
+    let mut parsed = Args {
+        flows: 1000,
+        cities: 100,
+        flow_rate_kbps: 16.0,
+        duration_s: 2.0,
+        seed: 2020,
+        shards: 1,
+        flow_table: FlowTable::Arena,
+    };
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        let mut value = |flag: &str| args.next().unwrap_or_else(|| panic!("{flag} needs a value"));
+        match a.as_str() {
+            "--flows" => {
+                parsed.flows = value("--flows").parse().expect("--flows: positive integer");
+                assert!(parsed.flows >= 1, "--flows: positive integer");
+            }
+            "--cities" => parsed.cities = value("--cities").parse().expect("--cities: integer"),
+            "--flow-rate-kbps" => {
+                parsed.flow_rate_kbps =
+                    value("--flow-rate-kbps").parse().expect("--flow-rate-kbps: number")
+            }
+            "--duration-s" => {
+                parsed.duration_s = value("--duration-s").parse().expect("--duration-s: seconds")
+            }
+            "--seed" => parsed.seed = value("--seed").parse().expect("--seed: integer"),
+            "--shards" => {
+                parsed.shards = value("--shards").parse().expect("--shards: positive integer");
+                assert!(parsed.shards >= 1, "--shards: positive integer");
+            }
+            "--flow-table" => {
+                let v = value("--flow-table");
+                parsed.flow_table = FlowTable::parse(&v)
+                    .unwrap_or_else(|| panic!("unknown flow table {v:?} (apps|arena)"));
+            }
+            other => panic!("unknown argument {other:?}"),
+        }
+    }
+    parsed
+}
+
+fn main() {
+    let args = parse_args();
+    let mut scenario =
+        ScenarioBuilder::new(ConstellationChoice::KuiperK1).top_cities(args.cities).build();
+    scenario.sim_config.sim_shards = args.shards;
+
+    let rate = DataRate::from_bps((args.flow_rate_kbps * 1e3).round() as u64);
+    let duration = SimDuration::from_secs_f64(args.duration_s);
+    let p = run_flow_point(&scenario, args.flows, args.flow_table, rate, duration, args.seed);
+    // Hand-rolled JSON: every field is a number or a known-safe token.
+    println!(
+        "{{\"flows\":{},\"flow_table\":\"{}\",\"cities\":{},\"flow_rate_kbps\":{},\
+         \"duration_s\":{},\
+         \"seed\":{},\"sim_shards\":{},\"events\":{},\"wall_s\":{:.6},\
+         \"events_per_sec\":{},\"goodput_gbps\":{:.6},\"jain\":{:.6},\
+         \"bytes_per_flow\":{:.1},\"peak_rss_bytes\":{}}}",
+        p.flows,
+        args.flow_table.name(),
+        args.cities,
+        args.flow_rate_kbps,
+        args.duration_s,
+        args.seed,
+        p.engine.sim_shards,
+        p.events,
+        p.wall_s,
+        p.events_per_sec.round() as u64,
+        p.goodput_gbps,
+        p.jain,
+        p.bytes_per_flow,
+        p.peak_rss_bytes.map_or_else(|| "null".to_string(), |b| b.to_string()),
+    );
+}

@@ -7,14 +7,14 @@
 //! ```text
 //! bench_netsim [--queue heap|calendar] [--cities N] [--rate-mbps R]
 //!              [--duration-s S] [--seed N] [--workload udp|tcp|both]
-//!              [--shards N]
+//!              [--shards N] [--flow-table apps|arena]
 //! ```
 //!
 //! Unlike the Criterion benches this reports *simulator events per
 //! wall-clock second*, the paper's own cost metric (§3.2: the simulation
 //! is bottlenecked at per-packet event processing).
 
-use hypatia::experiments::scalability::{run_point, Workload};
+use hypatia::experiments::scalability::{run_point, FlowTable, Workload};
 use hypatia::scenario::{ConstellationChoice, ScenarioBuilder};
 use hypatia_netsim::QueueKind;
 use hypatia_util::{DataRate, SimDuration};
@@ -27,6 +27,7 @@ struct Args {
     seed: u64,
     workloads: Vec<Workload>,
     shards: usize,
+    flow_table: FlowTable,
 }
 
 fn parse_args() -> Args {
@@ -38,6 +39,7 @@ fn parse_args() -> Args {
         seed: 2020,
         workloads: vec![Workload::Udp, Workload::Tcp],
         shards: 1,
+        flow_table: FlowTable::Apps,
     };
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
@@ -59,6 +61,11 @@ fn parse_args() -> Args {
             "--shards" => {
                 parsed.shards = value("--shards").parse().expect("--shards: positive integer");
                 assert!(parsed.shards >= 1, "--shards: positive integer");
+            }
+            "--flow-table" => {
+                let v = value("--flow-table");
+                parsed.flow_table = FlowTable::parse(&v)
+                    .unwrap_or_else(|| panic!("unknown flow table {v:?} (apps|arena)"));
             }
             "--workload" => {
                 parsed.workloads = match value("--workload").as_str() {
@@ -84,7 +91,7 @@ fn main() {
     let rate = DataRate::from_bps((args.rate_mbps * 1e6).round() as u64);
     let duration = SimDuration::from_secs_f64(args.duration_s);
     for workload in &args.workloads {
-        let p = run_point(&scenario, *workload, rate, duration, args.seed);
+        let p = run_point(&scenario, *workload, args.flow_table, rate, duration, args.seed);
         let events_per_sec =
             if p.wall_s > 0.0 { (p.events as f64 / p.wall_s).round() as u64 } else { 0 };
         // Hand-rolled JSON: every field is a number or a known-safe token.

@@ -8,6 +8,7 @@
 
 use hypatia_orbit::frames::{geodetic_to_ecef_ellipsoidal, GeodeticPos};
 use hypatia_orbit::geodesy::{geodesic_rtt, great_circle_distance_km};
+use hypatia_util::rng::DetRng;
 use hypatia_util::{SimDuration, Vec3};
 use serde::{Deserialize, Serialize};
 
@@ -180,6 +181,46 @@ pub fn world_cities_100() -> Vec<GroundStation> {
     top_cities(100)
 }
 
+/// A population-gravity traffic matrix over the `cities` most populous
+/// ground stations.
+///
+/// Draws `flows` ordered `(src, dst)` station-index pairs i.i.d. with
+/// probability proportional to `pop_src × pop_dst` (the classic gravity
+/// model with unit distance friction), self-pairs excluded. Populations
+/// are the metro figures embedded in [`CITIES`]. Sampling walks a
+/// cumulative weight table with one [`DetRng`] draw per flow, so the
+/// demand set is a pure function of `(cities, flows, seed)` — the same
+/// triple reproduces the same matrix bit-for-bit on every platform.
+pub fn gravity_pairs(cities: usize, flows: usize, seed: u64) -> Vec<(usize, usize)> {
+    assert!((2..=CITIES.len()).contains(&cities), "need 2..=100 cities, got {cities}");
+    let pops: Vec<f64> = CITIES[..cities].iter().map(|c| c.3 as f64).collect();
+    // Cumulative weights over the cities·(cities−1) ordered pairs, in row
+    // (src-major) order with the diagonal skipped.
+    let mut cumulative = Vec::with_capacity(cities * (cities - 1));
+    let mut total = 0.0f64;
+    for (i, &pi) in pops.iter().enumerate() {
+        for (j, &pj) in pops.iter().enumerate() {
+            if i != j {
+                total += pi * pj;
+                cumulative.push(total);
+            }
+        }
+    }
+    let mut rng = DetRng::new(seed);
+    (0..flows)
+        .map(|_| {
+            let u = rng.next_f64() * total;
+            let k = cumulative.partition_point(|&c| c <= u).min(cumulative.len() - 1);
+            // Invert the flat index: row i holds cities−1 entries whose
+            // column skips the diagonal.
+            let src = k / (cities - 1);
+            let col = k % (cities - 1);
+            let dst = if col < src { col } else { col + 1 };
+            (src, dst)
+        })
+        .collect()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -240,6 +281,52 @@ mod tests {
         // Petersburg (59.93° N) lies above Kuiper K1's 51.9° inclination.
         let sp = CITIES.iter().find(|c| c.0 == "Saint Petersburg").unwrap();
         assert!(sp.1 > 51.9);
+    }
+
+    #[test]
+    fn gravity_pairs_are_deterministic_and_valid() {
+        let a = gravity_pairs(100, 5_000, 42);
+        let b = gravity_pairs(100, 5_000, 42);
+        assert_eq!(a, b, "same (cities, flows, seed) → same matrix");
+        assert_ne!(a, gravity_pairs(100, 5_000, 43), "seed changes the draw");
+        assert_eq!(a.len(), 5_000);
+        for &(s, d) in &a {
+            assert!(s < 100 && d < 100);
+            assert_ne!(s, d, "self-pairs excluded");
+        }
+    }
+
+    #[test]
+    fn gravity_favours_populous_endpoints() {
+        // Tokyo (37.4 M) must source far more flows than Berlin (3.6 M):
+        // the marginal probability of an endpoint scales with its
+        // population share.
+        let pairs = gravity_pairs(100, 20_000, 7);
+        let count_src = |i: usize| pairs.iter().filter(|&&(s, _)| s == i).count();
+        assert!(
+            count_src(0) > 4 * count_src(99),
+            "Tokyo {} vs Berlin {}",
+            count_src(0),
+            count_src(99)
+        );
+    }
+
+    #[test]
+    fn gravity_endpoint_marginals_track_population_share() {
+        // With cities = 2 every draw is (0,1) or (1,0) with equal weight;
+        // with 10 cities the top city's endpoint share must be within a
+        // few points of its analytic marginal.
+        for &(s, d) in &gravity_pairs(2, 50, 3) {
+            assert!((s, d) == (0, 1) || (s, d) == (1, 0));
+        }
+        let n = 10usize;
+        let pairs = gravity_pairs(n, 40_000, 11);
+        let pops: Vec<f64> = CITIES[..n].iter().map(|c| c.3 as f64).collect();
+        let total: f64 = pops.iter().sum();
+        let expected = pops[0] / total; // first-order endpoint share
+        let hits = pairs.iter().filter(|&&(s, _)| s == 0).count() as f64;
+        let got = hits / pairs.len() as f64;
+        assert!((got - expected).abs() < 0.03, "share {got:.3} vs expected {expected:.3}");
     }
 
     #[test]

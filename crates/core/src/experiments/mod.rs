@@ -14,9 +14,11 @@
 //! | [`cross_traffic`] | Figs. 10, 14, 15 |
 //! | [`bent_pipe`] | Figs. 16–19 (Appendix A) |
 //! | [`gsl_selection`] | ablation: gateway vs user-terminal GSL policy (§3.1) |
+//! | [`flow_scaling`] | extension: gravity traffic matrix, 1k→1M flows |
 
 pub mod bent_pipe;
 pub mod cross_traffic;
+pub mod flow_scaling;
 pub mod granularity;
 pub mod gsl_selection;
 pub mod pair_sweep;

@@ -9,10 +9,12 @@
 //! roughly 2× UDP per delivered byte.
 
 use crate::scenario::Scenario;
+use hypatia_constellation::NodeId;
 use hypatia_netsim::apps::{UdpSink, UdpSource};
-use hypatia_netsim::EngineReport;
-use hypatia_transport::{NewReno, TcpConfig, TcpSender, TcpSink};
+use hypatia_netsim::{BulkUdpSink, BulkUdpSource, EngineReport, FlowId};
+use hypatia_transport::{BulkTcpSender, BulkTcpSink, NewReno, TcpConfig, TcpSender, TcpSink};
 use hypatia_util::{DataRate, SimDuration, SimTime};
+use std::collections::BTreeMap;
 use std::time::Instant;
 
 /// Workload type.
@@ -30,6 +32,37 @@ impl Workload {
         match self {
             Workload::Tcp => "TCP",
             Workload::Udp => "UDP",
+        }
+    }
+}
+
+/// How per-flow endpoint state is laid out in the simulator.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FlowTable {
+    /// One boxed application per flow on its own port (the seed layout).
+    Apps,
+    /// Arena flow tables: one bulk application per node holding all of
+    /// that node's flows in struct-of-arrays columns. Observables are
+    /// byte-identical to [`FlowTable::Apps`]; only memory layout and
+    /// install cost differ.
+    Arena,
+}
+
+impl FlowTable {
+    /// Display / spec name.
+    pub fn name(self) -> &'static str {
+        match self {
+            FlowTable::Apps => "apps",
+            FlowTable::Arena => "arena",
+        }
+    }
+
+    /// Parse a spec value (`apps` or `arena`).
+    pub fn parse(s: &str) -> Option<FlowTable> {
+        match s {
+            "apps" => Some(FlowTable::Apps),
+            "arena" => Some(FlowTable::Arena),
+            _ => None,
         }
     }
 }
@@ -58,6 +91,7 @@ pub struct ScalabilityPoint {
 pub fn run_point(
     scenario: &Scenario,
     workload: Workload,
+    flow_table: FlowTable,
     line_rate: DataRate,
     virtual_duration: SimDuration,
     seed: u64,
@@ -73,8 +107,8 @@ pub fn run_point(
     let mut sim = hypatia_netsim::Simulator::new(scenario.constellation.clone(), sim_config, dests);
 
     let stop = SimTime::ZERO + virtual_duration;
-    match workload {
-        Workload::Udp => {
+    match (workload, flow_table) {
+        (Workload::Udp, FlowTable::Apps) => {
             for (i, &(s, d)) in pairs.iter().enumerate() {
                 let (src, dst) = (scenario.gs(s), scenario.gs(d));
                 sim.add_app(dst, 40_000 + i as u16, Box::new(UdpSink::new()));
@@ -85,7 +119,32 @@ pub fn run_point(
                 );
             }
         }
-        Workload::Tcp => {
+        (Workload::Udp, FlowTable::Arena) => {
+            // Same ports, same packets: the legacy source addresses its own
+            // port at the destination, so the bulk table replicates that
+            // (and the 40 000-range sink ports stay bound but idle, exactly
+            // as with per-flow apps).
+            let mut sources: BTreeMap<u32, BulkUdpSource> = BTreeMap::new();
+            let mut sinks: BTreeMap<u32, (Vec<u16>, Vec<u32>)> = BTreeMap::new();
+            for (i, &(s, d)) in pairs.iter().enumerate() {
+                let (src, dst) = (scenario.gs(s), scenario.gs(d));
+                let sink = sinks.entry(dst.0).or_default();
+                sink.0.push(40_000 + i as u16);
+                sink.1.push(i as u32);
+                sources
+                    .entry(src.0)
+                    .or_insert_with(|| BulkUdpSource::new(line_rate, 1440, stop))
+                    .push(FlowId(i as u32), dst, 20_000 + i as u16, 20_000 + i as u16);
+            }
+            for (node, (ports, flows)) in sinks {
+                sim.add_app_multi(NodeId(node), &ports, Box::new(BulkUdpSink::new(flows)));
+            }
+            for (node, table) in sources {
+                let ports = table.src_ports().to_vec();
+                sim.add_app_multi(NodeId(node), &ports, Box::new(table));
+            }
+        }
+        (Workload::Tcp, FlowTable::Apps) => {
             let cfg = TcpConfig::default();
             for (i, &(s, d)) in pairs.iter().enumerate() {
                 let (src, dst) = (scenario.gs(s), scenario.gs(d));
@@ -100,6 +159,30 @@ pub fn run_point(
                         Box::new(NewReno::new()),
                     )),
                 );
+            }
+        }
+        (Workload::Tcp, FlowTable::Arena) => {
+            let cfg = TcpConfig::default();
+            let mut senders: BTreeMap<u32, BulkTcpSender> = BTreeMap::new();
+            let mut sinks: BTreeMap<u32, BulkTcpSink> = BTreeMap::new();
+            for (i, &(s, d)) in pairs.iter().enumerate() {
+                let (src, dst) = (scenario.gs(s), scenario.gs(d));
+                sinks.entry(dst.0).or_default().push(40_000 + i as u16, cfg.clone());
+                senders.entry(src.0).or_default().push(
+                    20_000 + i as u16,
+                    dst,
+                    40_000 + i as u16,
+                    cfg.clone(),
+                    Box::new(NewReno::new()),
+                );
+            }
+            for (node, table) in sinks {
+                let ports = table.ports();
+                sim.add_app_multi(NodeId(node), &ports, Box::new(table));
+            }
+            for (node, table) in senders {
+                let ports = table.ports();
+                sim.add_app_multi(NodeId(node), &ports, Box::new(table));
             }
         }
     }
@@ -125,11 +208,15 @@ pub fn run_point(
 pub fn sweep(
     scenario: &Scenario,
     workload: Workload,
+    flow_table: FlowTable,
     line_rates: &[DataRate],
     virtual_duration: SimDuration,
     seed: u64,
 ) -> Vec<ScalabilityPoint> {
-    line_rates.iter().map(|&r| run_point(scenario, workload, r, virtual_duration, seed)).collect()
+    line_rates
+        .iter()
+        .map(|&r| run_point(scenario, workload, flow_table, r, virtual_duration, seed))
+        .collect()
 }
 
 #[cfg(test)]
@@ -144,7 +231,14 @@ mod tests {
     #[test]
     fn udp_point_achieves_goodput() {
         let s = scenario();
-        let p = run_point(&s, Workload::Udp, DataRate::from_mbps(1), SimDuration::from_secs(2), 3);
+        let p = run_point(
+            &s,
+            Workload::Udp,
+            FlowTable::Apps,
+            DataRate::from_mbps(1),
+            SimDuration::from_secs(2),
+            3,
+        );
         // 10 flows at ≤1 Mbps each.
         assert!(p.goodput_gbps > 0.0005, "goodput {} Gbps", p.goodput_gbps);
         assert!(p.goodput_gbps < 0.011);
@@ -155,7 +249,14 @@ mod tests {
     #[test]
     fn tcp_point_achieves_goodput() {
         let s = scenario();
-        let p = run_point(&s, Workload::Tcp, DataRate::from_mbps(1), SimDuration::from_secs(2), 3);
+        let p = run_point(
+            &s,
+            Workload::Tcp,
+            FlowTable::Apps,
+            DataRate::from_mbps(1),
+            SimDuration::from_secs(2),
+            3,
+        );
         assert!(p.goodput_gbps > 0.0002, "goodput {} Gbps", p.goodput_gbps);
     }
 
@@ -165,6 +266,7 @@ mod tests {
         let points = sweep(
             &s,
             Workload::Udp,
+            FlowTable::Apps,
             &[DataRate::from_kbps(256), DataRate::from_mbps(2)],
             SimDuration::from_secs(2),
             3,
@@ -175,5 +277,34 @@ mod tests {
             points[1].goodput_gbps,
             points[0].goodput_gbps
         );
+    }
+
+    #[test]
+    fn arena_matches_apps_observables_exactly() {
+        // Same workload, two layouts: the arena flow table must reproduce
+        // the per-flow-apps run event for event — identical event counts
+        // and identical delivered bytes, for both UDP and TCP.
+        let s = scenario();
+        for workload in [Workload::Udp, Workload::Tcp] {
+            let rate = DataRate::from_mbps(1);
+            let dur = SimDuration::from_secs(2);
+            let apps = run_point(&s, workload, FlowTable::Apps, rate, dur, 3);
+            let arena = run_point(&s, workload, FlowTable::Arena, rate, dur, 3);
+            assert_eq!(apps.events, arena.events, "{} events", workload.name());
+            assert_eq!(
+                apps.goodput_gbps,
+                arena.goodput_gbps,
+                "{} goodput must be bit-identical",
+                workload.name()
+            );
+        }
+    }
+
+    #[test]
+    fn flow_table_parses_spec_names() {
+        assert_eq!(FlowTable::parse("apps"), Some(FlowTable::Apps));
+        assert_eq!(FlowTable::parse("arena"), Some(FlowTable::Arena));
+        assert_eq!(FlowTable::parse("soa"), None);
+        assert_eq!(FlowTable::Arena.name(), "arena");
     }
 }

@@ -5,7 +5,7 @@
 //! one core. We report the same series; absolute slowdown depends on the
 //! host CPU, the shape (slowdown ∝ goodput; TCP ≈ 2× UDP) is the result.
 
-use crate::experiments::scalability::{sweep, Workload};
+use crate::experiments::scalability::{sweep, FlowTable, Workload};
 use crate::runner::{Experiment, RunContext, RunError};
 use crate::scenario::ConstellationChoice;
 use crate::spec::{ExperimentSpec, GroundSegment, PairSelection, ParamValue};
@@ -50,6 +50,10 @@ impl Experiment for Fig02 {
         // `--set slowdown=false` drops the wall-clock slowdown artifacts,
         // leaving only deterministic outputs (for golden-manifest tests).
         spec.params.insert("slowdown".to_string(), ParamValue::Flag(true));
+        // `--set flow_table=arena` switches per-flow apps to arena tables;
+        // artifacts are byte-identical either way.
+        spec.params
+            .insert("flow_table".to_string(), ParamValue::Text(FlowTable::Apps.name().to_string()));
         spec
     }
 
@@ -71,6 +75,11 @@ impl Experiment for Fig02 {
                 .ok_or_else(|| RunError::BadSpec(format!("unknown queue kind {s:?}")))?,
         };
         let with_slowdown = ctx.spec.flag("slowdown").unwrap_or(true);
+        let flow_table = match ctx.spec.text("flow_table") {
+            None => FlowTable::Apps,
+            Some(s) => FlowTable::parse(s)
+                .ok_or_else(|| RunError::BadSpec(format!("unknown flow table {s:?}")))?,
+        };
         let mut scenario = ctx.scenario();
         scenario.sim_config.queue = queue;
 
@@ -84,7 +93,7 @@ impl Experiment for Fig02 {
             queue.name()
         );
         for workload in [Workload::Udp, Workload::Tcp] {
-            let points = sweep(&scenario, workload, &rates, duration, seed);
+            let points = sweep(&scenario, workload, flow_table, &rates, duration, seed);
             let series: Vec<(f64, f64)> =
                 points.iter().map(|p| (p.goodput_gbps, p.slowdown)).collect();
             for p in &points {

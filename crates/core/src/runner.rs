@@ -217,10 +217,11 @@ mod tests {
             "ext_multipath_diversity",
             "ext_multipath_te",
             "ext_failure_resilience",
+            "ext_flow_scaling",
         ] {
             assert!(names.iter().any(|n| n == expected), "missing {expected}");
         }
-        assert_eq!(names.len(), 19);
+        assert_eq!(names.len(), 20);
     }
 
     #[test]

@@ -146,6 +146,17 @@ pub struct ExperimentSpec {
     /// any value; the default is omitted from the emitted JSON, so
     /// existing spec files and their artifacts stay byte-identical.
     pub sim_shards: usize,
+    /// Offered flow count for traffic-matrix experiments (e.g. the gravity
+    /// model of `ext_flow_scaling`). `None` leaves the experiment's own
+    /// default in force and is omitted from the emitted JSON, so existing
+    /// spec files and their artifacts stay byte-identical.
+    pub flows: Option<u64>,
+    /// Per-flow trace sampling interval: the packet trace records only
+    /// flows whose flow hash is divisible by this (1 = every flow, the
+    /// default, omitted from the emitted JSON). Sampled-out records are
+    /// counted, and sampling never alters simulation behaviour — only
+    /// which trace rows are kept.
+    pub trace_sample_every: u64,
     /// Optional fault-injection scenario (None keeps every component up;
     /// the emitted JSON then carries no `faults` key at all, so existing
     /// spec files and their artifacts are byte-identical).
@@ -174,6 +185,8 @@ impl Default for ExperimentSpec {
             routing_mode: routing.mode,
             repair_churn_threshold: routing.repair_churn_threshold,
             sim_shards: sim.sim_shards,
+            flows: None,
+            trace_sample_every: sim.trace_sample_every,
             faults: None,
             params: BTreeMap::new(),
         }
@@ -201,6 +214,7 @@ impl ExperimentSpec {
         cfg.with_routing_mode(self.routing_mode)
             .with_repair_churn_threshold(self.repair_churn_threshold)
             .with_sim_shards(self.sim_shards)
+            .with_trace_sampling(self.trace_sample_every)
     }
 
     /// The routing configuration this spec describes.
@@ -272,7 +286,9 @@ impl ExperimentSpec {
     /// `pairs`, `min_distance_km`, `duration_s`, `step_ms`,
     /// `line_rate_mbps`, `queue_packets`, `utilization_bucket_s`, `cc`,
     /// `threads`, `seed`), the engine (`sim_shards=N` for the sharded
-    /// conservative engine, 1 = serial), the routing strategy
+    /// conservative engine, 1 = serial), the traffic matrix and trace
+    /// (`flows=N` offered flows, `trace_sample_every=K` per-flow trace
+    /// sampling; both reject 0), the routing strategy
     /// (`routing_mode=full|
     /// incremental`, `repair_churn_threshold`) and the fault scenario
     /// (`fault_seed`,
@@ -370,6 +386,20 @@ impl ExperimentSpec {
                     return err(format!("{key} must be at least 1, got {value}"));
                 }
                 self.sim_shards = n;
+            }
+            "flows" => {
+                let n = parse_u64(key, value)?;
+                if n == 0 {
+                    return err(format!("{key} must be at least 1, got {value}"));
+                }
+                self.flows = Some(n);
+            }
+            "trace_sample_every" => {
+                let n = parse_u64(key, value)?;
+                if n == 0 {
+                    return err(format!("{key} must be at least 1, got {value}"));
+                }
+                self.trace_sample_every = n;
             }
             "routing_mode" => match RoutingMode::parse(value) {
                 Some(m) => self.routing_mode = m,
@@ -493,6 +523,14 @@ impl ExperimentSpec {
         // keeping pre-existing spec files byte-identical.
         if self.sim_shards != 1 {
             let _ = writeln!(s, "  \"sim_shards\": {},", self.sim_shards);
+        }
+        // Flow-scaling knobs are likewise emitted only when set, keeping
+        // pre-existing spec files byte-identical.
+        if let Some(n) = self.flows {
+            let _ = writeln!(s, "  \"flows\": {n},");
+        }
+        if self.trace_sample_every != 1 {
+            let _ = writeln!(s, "  \"trace_sample_every\": {},", self.trace_sample_every);
         }
         // Routing knobs are emitted only when they differ from the
         // defaults, keeping pre-existing spec files byte-identical.
@@ -647,6 +685,24 @@ impl ExperimentSpec {
                 return err("\"sim_shards\" must be at least 1");
             }
             spec.sim_shards = n as usize;
+        }
+        if let Some(x) = v.get("flows") {
+            let n = x
+                .as_u64()
+                .ok_or_else(|| SpecError("\"flows\" must be a positive integer".into()))?;
+            if n == 0 {
+                return err("\"flows\" must be at least 1");
+            }
+            spec.flows = Some(n);
+        }
+        if let Some(x) = v.get("trace_sample_every") {
+            let n = x.as_u64().ok_or_else(|| {
+                SpecError("\"trace_sample_every\" must be a positive integer".into())
+            })?;
+            if n == 0 {
+                return err("\"trace_sample_every\" must be at least 1");
+            }
+            spec.trace_sample_every = n;
         }
         if let Some(m) = v.get("routing_mode") {
             let name =
@@ -1164,6 +1220,39 @@ mod tests {
         assert!(spec.set("sim_shards", "0").is_err());
         assert!(spec.set("sim_shards", "many").is_err());
         assert!(ExperimentSpec::from_json("{\"experiment\": \"e\", \"sim_shards\": 0}").is_err());
+    }
+
+    #[test]
+    fn flows_and_trace_sampling_round_trip_and_default_to_omitted() {
+        // Byte compatibility: specs without the flow-scaling knobs
+        // serialize exactly as before they existed.
+        let spec = sample();
+        let text = spec.to_json_string();
+        assert!(!text.contains("\"flows\""));
+        assert!(!text.contains("trace_sample_every"));
+        let back = ExperimentSpec::from_json(&text).unwrap();
+        assert_eq!(back.flows, None);
+        assert_eq!(back.trace_sample_every, 1);
+
+        let mut spec = sample();
+        spec.set("flows", "1000000").unwrap();
+        spec.set("trace_sample_every", "64").unwrap();
+        assert_eq!(spec.flows, Some(1_000_000));
+        assert_eq!(spec.trace_sample_every, 64);
+        let text = spec.to_json_string();
+        assert!(text.contains("\"flows\": 1000000"));
+        assert!(text.contains("\"trace_sample_every\": 64"));
+        let back = ExperimentSpec::from_json(&text).expect("parse own output");
+        assert_eq!(spec, back);
+        assert_eq!(text, back.to_json_string());
+        assert_eq!(spec.sim_config().trace_sample_every, 64);
+
+        assert!(spec.set("flows", "0").is_err());
+        assert!(spec.set("flows", "many").is_err());
+        assert!(spec.set("trace_sample_every", "0").is_err());
+        assert!(ExperimentSpec::from_json("{\"experiment\": \"e\", \"flows\": 0}").is_err());
+        assert!(ExperimentSpec::from_json("{\"experiment\": \"e\", \"trace_sample_every\": 0}")
+            .is_err());
     }
 
     #[test]

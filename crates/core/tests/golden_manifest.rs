@@ -219,6 +219,68 @@ fn faulted_fig02_manifest_is_queue_and_thread_invariant() {
     }
 }
 
+/// The arena flow table is a pure memory-layout knob: the faulted Fig. 2
+/// workload must produce byte-identical artifacts with bulk per-node flow
+/// tables as with one app per flow, across engine shard counts and queue
+/// kinds. Manifests are compared between runs with the same engine shape
+/// (the `perf.engine` block reports shard telemetry); artifact bytes must
+/// match across every combination.
+#[test]
+fn arena_flow_table_reproduces_apps_artifacts_across_engines() {
+    let base = {
+        let mut spec = ExperimentSpec {
+            experiment: "fig02_scalability".to_string(),
+            constellation: ConstellationChoice::KuiperK1,
+            ground: GroundSegment::TopCities(10),
+            pairs: PairSelection::Permutation,
+            duration: SimDuration::from_secs(1),
+            seed: 2020,
+            faults: Some(FaultSpec {
+                seed: 7,
+                gsl_weather: vec![OutageWindow { target: 2, from_s: 0.3, until_s: 0.9 }],
+                sat_flap: Some(FlapProcess::from_unavailability(0.1, 0.5)),
+                ..FaultSpec::default()
+            }),
+            ..ExperimentSpec::default()
+        };
+        spec.params.insert("line_rates_mbps".to_string(), ParamValue::List(vec![10.0]));
+        spec.params.insert("slowdown".to_string(), ParamValue::Flag(false));
+        spec
+    };
+    let variant = |flow_table: &str, queue: &str, shards: usize| {
+        let mut spec = ExperimentSpec { sim_shards: shards, ..base.clone() };
+        spec.params.insert("flow_table".to_string(), ParamValue::Text(flow_table.to_string()));
+        spec.params.insert("queue".to_string(), ParamValue::Text(queue.to_string()));
+        spec
+    };
+
+    let dir_serial = temp_dir("arena_ref_serial");
+    let dir_sharded = temp_dir("arena_ref_sharded");
+    let (apps, serial_manifest) = run_quiet(variant("apps", "calendar", 1), &dir_serial);
+    let (apps_sharded, sharded_manifest) = run_quiet(variant("apps", "calendar", 4), &dir_sharded);
+    assert!(!apps.is_empty(), "arena golden: expected artifacts, got none");
+    assert_eq!(apps, apps_sharded, "apps layout must itself be shard-invariant");
+
+    for (queue, shards) in [("calendar", 1), ("heap", 1), ("calendar", 4), ("heap", 4)] {
+        let dir = temp_dir(&format!("arena_{queue}_{shards}"));
+        let (arena, arena_manifest) = run_quiet(variant("arena", queue, shards), &dir);
+        assert_eq!(
+            apps, arena,
+            "arena artifacts diverge from apps at queue={queue}, sim_shards={shards}"
+        );
+        let reference = if shards == 1 { &serial_manifest } else { &sharded_manifest };
+        assert_eq!(
+            strip_wall_clock(reference),
+            strip_wall_clock(&arena_manifest),
+            "arena manifest diverges from apps at queue={queue}, sim_shards={shards}"
+        );
+        let _ = std::fs::remove_dir_all(dir);
+    }
+
+    let _ = std::fs::remove_dir_all(dir_serial);
+    let _ = std::fs::remove_dir_all(dir_sharded);
+}
+
 /// A trivial (fault-free) FaultSpec compiles to an empty schedule and must
 /// reproduce the artifacts of a run with no fault engine at all,
 /// byte for byte.

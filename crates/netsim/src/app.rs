@@ -28,6 +28,23 @@ pub enum AppAction {
         /// Payload.
         payload: Payload,
     },
+    /// Send a packet from an explicit source port of this app's node.
+    ///
+    /// Bulk (arena) applications own many flows behind one [`Application`];
+    /// each flow keeps its own wire identity by naming its source port
+    /// explicitly instead of inheriting the context port.
+    SendFrom {
+        /// Source port stamped on the packet.
+        src_port: u16,
+        /// Destination node.
+        dst: NodeId,
+        /// Destination port.
+        dst_port: u16,
+        /// Wire size, bytes.
+        size_bytes: u32,
+        /// Payload.
+        payload: Payload,
+    },
     /// Request an [`Application::on_timer`] callback after `delay`.
     Timer {
         /// Relative delay.
@@ -47,6 +64,13 @@ pub struct AppCtx {
     pub node: NodeId,
     /// The port this application is bound to.
     pub port: u16,
+    /// Tag OR-ed into every `timer_id` passed to [`AppCtx::set_timer`].
+    ///
+    /// Defaults to 0 (a no-op). Bulk applications that multiplex many flows
+    /// behind one handler set this to `flow_index << 32` before delegating
+    /// to per-flow protocol code, so a later `on_timer` can route the firing
+    /// back to the right flow without the inner code knowing it is shared.
+    pub timer_tag: u64,
     pub(crate) actions: Vec<AppAction>,
 }
 
@@ -54,7 +78,7 @@ impl AppCtx {
     /// Create a context (public so application crates can unit-test their
     /// handlers without a full simulator).
     pub fn new(now: SimTime, node: NodeId, port: u16) -> Self {
-        AppCtx { now, node, port, actions: Vec::new() }
+        AppCtx { now, node, port, timer_tag: 0, actions: Vec::new() }
     }
 
     /// Send a packet to `(dst, dst_port)`.
@@ -62,9 +86,23 @@ impl AppCtx {
         self.actions.push(AppAction::Send { dst, dst_port, size_bytes, payload });
     }
 
-    /// Arrange an `on_timer(timer_id)` callback after `delay`.
+    /// Send a packet to `(dst, dst_port)` from an explicit source port
+    /// (bulk applications owning many flows on one node).
+    pub fn send_from(
+        &mut self,
+        src_port: u16,
+        dst: NodeId,
+        dst_port: u16,
+        size_bytes: u32,
+        payload: Payload,
+    ) {
+        self.actions.push(AppAction::SendFrom { src_port, dst, dst_port, size_bytes, payload });
+    }
+
+    /// Arrange an `on_timer(timer_id)` callback after `delay`. The context's
+    /// [`timer_tag`](AppCtx::timer_tag) is OR-ed into the id.
     pub fn set_timer(&mut self, delay: SimDuration, timer_id: u64) {
-        self.actions.push(AppAction::Timer { delay, timer_id });
+        self.actions.push(AppAction::Timer { delay, timer_id: self.timer_tag | timer_id });
     }
 
     /// Drain the buffered actions (used by the simulator and by tests).
@@ -92,6 +130,16 @@ pub trait Application: Send + 'static {
     /// A previously-set timer fired.
     fn on_timer(&mut self, ctx: &mut AppCtx, timer_id: u64);
 
+    /// Steady-state flow footprint: `(flows owned, resident bytes)`.
+    ///
+    /// `None` (the default) means the application does not participate in
+    /// footprint accounting. Bulk sources report their flow count and table
+    /// bytes; bulk sinks report `(0, bytes)` so each flow is counted once
+    /// while its state on both endpoints still lands in the byte total.
+    fn flow_footprint(&self) -> Option<(u64, u64)> {
+        None
+    }
+
     /// Downcast support.
     fn as_any(&self) -> &dyn std::any::Any;
 
@@ -114,6 +162,28 @@ mod tests {
         assert!(matches!(actions[1], AppAction::Send { dst: NodeId(5), dst_port: 99, .. }));
         // Buffer is drained.
         assert!(ctx.take_actions().is_empty());
+    }
+
+    #[test]
+    fn timer_tag_is_ored_into_timer_ids() {
+        let mut ctx = AppCtx::new(SimTime::ZERO, NodeId(0), 1);
+        ctx.timer_tag = 7 << 32;
+        ctx.set_timer(SimDuration::from_millis(1), 3);
+        let actions = ctx.take_actions();
+        assert!(
+            matches!(actions[0], AppAction::Timer { timer_id, .. } if timer_id == (7 << 32) | 3)
+        );
+    }
+
+    #[test]
+    fn send_from_carries_explicit_source_port() {
+        let mut ctx = AppCtx::new(SimTime::ZERO, NodeId(0), 1);
+        ctx.send_from(555, NodeId(9), 80, 128, Payload::Ping { seq: 0 });
+        let actions = ctx.take_actions();
+        assert!(matches!(
+            actions[0],
+            AppAction::SendFrom { src_port: 555, dst: NodeId(9), dst_port: 80, .. }
+        ));
     }
 
     #[test]

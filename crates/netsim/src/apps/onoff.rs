@@ -172,7 +172,7 @@ mod tests {
         let drain = |ctx: &mut AppCtx, pending: &mut Vec<(SimTime, u64)>, sent: &mut u64| {
             for a in ctx.take_actions() {
                 match a {
-                    AppAction::Send { .. } => *sent += 1,
+                    AppAction::Send { .. } | AppAction::SendFrom { .. } => *sent += 1,
                     AppAction::Timer { delay, timer_id } => {
                         pending.push((ctx.now + delay, timer_id))
                     }

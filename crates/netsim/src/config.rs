@@ -39,6 +39,13 @@ pub struct SimConfig {
     pub loss_seed: u64,
     /// Record up to this many per-packet trace events (0 = off).
     pub trace_limit: usize,
+    /// Per-flow trace sampling: record packet events only for flows whose
+    /// flow hash is divisible by this value (1 = record every flow, the
+    /// default). Sampling keeps each selected flow's records *complete* —
+    /// a journey is either fully traced or not traced at all — which is
+    /// what makes sampled traces usable for per-flow time series at
+    /// million-flow scale.
+    pub trace_sample_every: u64,
     /// Loop-free multipath forwarding: spread flows over downhill
     /// alternates within this delay-stretch bound (e.g. `Some(1.2)` allows
     /// detours up to 20% longer). `None` = single shortest path (paper
@@ -92,6 +99,7 @@ impl Default for SimConfig {
             gsl_loss_rate: 0.0,
             loss_seed: 7,
             trace_limit: 0,
+            trace_sample_every: 1,
             multipath_stretch: None,
             fstate_threads: 0,
             fstate_prefetch: 4,
@@ -166,6 +174,14 @@ impl SimConfig {
     /// Builder-style: enable per-packet tracing with the given buffer size.
     pub fn with_trace_limit(mut self, limit: usize) -> Self {
         self.trace_limit = limit;
+        self
+    }
+
+    /// Builder-style: trace only flows whose flow hash divides `every`
+    /// (1 = trace every flow).
+    pub fn with_trace_sampling(mut self, every: u64) -> Self {
+        assert!(every >= 1, "sampling interval must be at least 1");
+        self.trace_sample_every = every;
         self
     }
 
@@ -247,6 +263,19 @@ mod tests {
         assert!(c.faults.is_none(), "fault injection is off by default");
         assert_eq!(c.routing.mode, RoutingMode::Incremental, "incremental repair is the default");
         assert_eq!(c.sim_shards, 1, "the serial engine is the default");
+        assert_eq!(c.trace_sample_every, 1, "every flow is traced by default");
+    }
+
+    #[test]
+    fn trace_sampling_builder() {
+        let c = SimConfig::default().with_trace_sampling(8);
+        assert_eq!(c.trace_sample_every, 8);
+    }
+
+    #[test]
+    #[should_panic]
+    fn zero_trace_sampling_rejected() {
+        SimConfig::default().with_trace_sampling(0);
     }
 
     #[test]

@@ -47,6 +47,7 @@ pub mod apps;
 pub mod config;
 pub mod device;
 pub mod event;
+pub mod flow;
 pub mod node;
 pub mod packet;
 pub mod shard;
@@ -57,6 +58,7 @@ pub mod trace;
 pub use app::{AppCtx, Application};
 pub use config::SimConfig;
 pub use event::QueueKind;
+pub use flow::{BulkUdpSink, BulkUdpSource, FlowId};
 pub use packet::{Packet, Payload, Segment};
 pub use sim::{EngineReport, Simulator};
 pub use stats::SimStats;

@@ -261,7 +261,7 @@ impl Shard {
             node_packet_seq: vec![0; num_nodes],
             loss_rngs,
             outbox: Vec::new(),
-            trace: Trace::new(config.trace_limit),
+            trace: Trace::with_sampling(config.trace_limit, config.trace_sample_every),
             stats: SimStats::default(),
         }
     }
@@ -311,11 +311,32 @@ impl Shard {
         app: Box<dyn Application>,
         now: SimTime,
     ) {
+        self.install_app_multi(idx, node, &[port], app, now);
+    }
+
+    /// Install application `idx` bound to every port in `ports` (bulk
+    /// applications owning one flow endpoint per port) and run its
+    /// `on_start`. The app's context port is `ports[0]`.
+    pub(crate) fn install_app_multi(
+        &mut self,
+        idx: u32,
+        node: NodeId,
+        ports: &[u16],
+        app: Box<dyn Application>,
+        now: SimTime,
+    ) {
+        assert!(!ports.is_empty(), "an application needs at least one port");
         while self.apps.len() <= idx as usize {
             self.apps.push(None);
         }
-        self.nodes[node.index()].bind_port(port, idx);
-        self.apps[idx as usize] = Some(AppEntry { app: Some(app), node, port });
+        for &port in ports {
+            self.nodes[node.index()].bind_port(port, idx);
+        }
+        if let Some((flows, bytes)) = app.flow_footprint() {
+            self.stats.flow_count += flows;
+            self.stats.flow_state_bytes += bytes;
+        }
+        self.apps[idx as usize] = Some(AppEntry { app: Some(app), node, port: ports[0] });
         self.now = self.now.max(now);
         // Setup records sort under a fresh key of the app's node, exactly
         // as the serial engine assigns it.
@@ -366,12 +387,24 @@ impl Shard {
         if let Some(f) = &self.fault_state {
             if self.constellation.is_satellite(NodeId(node)) && f.satellite_down(node as usize) {
                 self.stats.fault_drops += 1;
-                self.trace.record(self.now, NodeId(node), packet.id, TraceKind::FaultDrop);
+                self.trace.record_flow(
+                    self.now,
+                    NodeId(node),
+                    packet.id,
+                    packet.flow_hash,
+                    TraceKind::FaultDrop,
+                );
                 return;
             }
         }
         self.stats.hop_deliveries += 1;
-        self.trace.record(self.now, NodeId(node), packet.id, TraceKind::Arrive);
+        self.trace.record_flow(
+            self.now,
+            NodeId(node),
+            packet.id,
+            packet.flow_hash,
+            TraceKind::Arrive,
+        );
         self.process_at_node(node, packet);
     }
 
@@ -402,7 +435,13 @@ impl Shard {
 
     fn deliver(&mut self, node: u32, packet: Packet) {
         self.stats.delivered += 1;
-        self.trace.record(self.now, NodeId(node), packet.id, TraceKind::Deliver);
+        self.trace.record_flow(
+            self.now,
+            NodeId(node),
+            packet.id,
+            packet.flow_hash,
+            TraceKind::Deliver,
+        );
         self.stats.payload_bytes_delivered += packet.payload_bytes() as u64;
         match packet.payload {
             // Kernel-style echo: answer pings without an application.
@@ -438,7 +477,13 @@ impl Shard {
         };
         let Some(next_hop) = chosen else {
             self.stats.routing_drops += 1;
-            self.trace.record(self.now, NodeId(node), packet.id, TraceKind::RoutingDrop);
+            self.trace.record_flow(
+                self.now,
+                NodeId(node),
+                packet.id,
+                packet.flow_hash,
+                TraceKind::RoutingDrop,
+            );
             return;
         };
         // Between a fault event and the next forwarding recomputation the
@@ -447,15 +492,28 @@ impl Shard {
         // destruction of the link).
         if !self.link_up(NodeId(node), next_hop) {
             self.stats.fault_drops += 1;
-            self.trace.record(self.now, NodeId(node), packet.id, TraceKind::FaultDrop);
+            self.trace.record_flow(
+                self.now,
+                NodeId(node),
+                packet.id,
+                packet.flow_hash,
+                TraceKind::FaultDrop,
+            );
             return;
         }
         let Some(dev_idx) = self.nodes[node as usize].device_for(next_hop) else {
             self.stats.routing_drops += 1;
-            self.trace.record(self.now, NodeId(node), packet.id, TraceKind::RoutingDrop);
+            self.trace.record_flow(
+                self.now,
+                NodeId(node),
+                packet.id,
+                packet.flow_hash,
+                TraceKind::RoutingDrop,
+            );
             return;
         };
         let packet_id = packet.id;
+        let packet_flow = packet.flow_hash;
         match self.nodes[node as usize].devices[dev_idx].enqueue(packet, next_hop, self.now) {
             Ok(Some(ser)) => {
                 let key = self.alloc_key(node);
@@ -468,7 +526,13 @@ impl Shard {
             Ok(None) => {}
             Err(_) => {
                 self.stats.queue_drops += 1;
-                self.trace.record(self.now, NodeId(node), packet_id, TraceKind::QueueDrop);
+                self.trace.record_flow(
+                    self.now,
+                    NodeId(node),
+                    packet_id,
+                    packet_flow,
+                    TraceKind::QueueDrop,
+                );
             }
         }
     }
@@ -488,7 +552,13 @@ impl Shard {
         // queued packet is judged at its own transmission instant.
         if !self.link_up(NodeId(node), done.next_hop) {
             self.stats.fault_drops += 1;
-            self.trace.record(self.now, NodeId(node), done.packet.id, TraceKind::FaultDrop);
+            self.trace.record_flow(
+                self.now,
+                NodeId(node),
+                done.packet.id,
+                done.packet.flow_hash,
+                TraceKind::FaultDrop,
+            );
             return;
         }
         // Channel impairment: GSL transmissions may be lost (weather model
@@ -498,7 +568,13 @@ impl Shard {
             && self.loss_rngs[node as usize].next_f64() < self.config.gsl_loss_rate
         {
             self.stats.channel_drops += 1;
-            self.trace.record(self.now, NodeId(node), done.packet.id, TraceKind::ChannelDrop);
+            self.trace.record_flow(
+                self.now,
+                NodeId(node),
+                done.packet.id,
+                done.packet.flow_hash,
+                TraceKind::ChannelDrop,
+            );
             return;
         }
         // Propagation from live geometry — frozen runs pin geometry to t=0.
@@ -522,7 +598,13 @@ impl Shard {
     fn inject(&mut self, mut packet: Packet) {
         packet.flow_hash = flow_hash(packet.src, packet.dst, packet.src_port, packet.dst_port);
         self.stats.injected += 1;
-        self.trace.record(self.now, packet.src, packet.id, TraceKind::Inject);
+        self.trace.record_flow(
+            self.now,
+            packet.src,
+            packet.id,
+            packet.flow_hash,
+            TraceKind::Inject,
+        );
         self.process_at_node(packet.src.0, packet);
     }
 
@@ -554,6 +636,21 @@ impl Shard {
                         src: node,
                         dst,
                         src_port: port,
+                        dst_port,
+                        size_bytes,
+                        payload,
+                        injected_at: self.now,
+                        hops: 0,
+                        flow_hash: 0, // stamped by inject
+                    };
+                    self.inject(packet);
+                }
+                AppAction::SendFrom { src_port, dst, dst_port, size_bytes, payload } => {
+                    let packet = Packet {
+                        id: self.alloc_packet_id(node.0),
+                        src: node,
+                        dst,
+                        src_port,
                         dst_port,
                         size_bytes,
                         payload,

@@ -277,6 +277,19 @@ impl Simulator {
         idx
     }
 
+    /// Install a bulk application bound to every port in `ports` at `node`
+    /// (arena flow tables: one [`Application`] owning many flow endpoints).
+    /// Calls its `on_start` immediately and returns its index.
+    pub fn add_app_multi(&mut self, node: NodeId, ports: &[u16], app: Box<dyn Application>) -> u32 {
+        let idx = self.app_shard.len() as u32;
+        let shard = self.partition.owner(node);
+        self.app_shard.push(shard as u32);
+        let now = self.now;
+        self.shards[shard].install_app_multi(idx, node, ports, app, now);
+        self.refresh_views();
+        idx
+    }
+
     /// Borrow an installed application, downcast to its concrete type.
     pub fn app_as<T: Application>(&self, idx: u32) -> Option<&T> {
         let shard = *self.app_shard.get(idx as usize)? as usize;

@@ -30,6 +30,12 @@ pub struct SimStats {
     pub forwarding_updates: u64,
     /// Events processed.
     pub events: u64,
+    /// Flows owned by installed applications that report a footprint
+    /// (see `Application::flow_footprint`; 0 when no app reports one).
+    pub flow_count: u64,
+    /// Steady-state bytes of per-flow application state behind
+    /// `flow_count` (both endpoints; excludes in-flight packets).
+    pub flow_state_bytes: u64,
 }
 
 impl SimStats {
@@ -60,6 +66,15 @@ impl SimStats {
         self.pings_echoed += other.pings_echoed;
         self.forwarding_updates += other.forwarding_updates;
         self.events += other.events;
+        self.flow_count += other.flow_count;
+        self.flow_state_bytes += other.flow_state_bytes;
+    }
+
+    /// Steady-state application bytes per flow (`None` when no installed
+    /// app reports a footprint). The million-flow scaling budget: this must
+    /// stay within tens of bytes for bulk flow tables.
+    pub fn bytes_per_flow(&self) -> Option<f64> {
+        (self.flow_count > 0).then(|| self.flow_state_bytes as f64 / self.flow_count as f64)
     }
 }
 
@@ -97,6 +112,8 @@ mod tests {
             pings_echoed: 10,
             forwarding_updates: 11,
             events: 12,
+            flow_count: 13,
+            flow_state_bytes: 14,
         };
         let mut b = a.clone();
         b.merge(&a);
@@ -113,11 +130,20 @@ mod tests {
             pings_echoed: 20,
             forwarding_updates: 22,
             events: 24,
+            flow_count: 26,
+            flow_state_bytes: 28,
         };
         assert_eq!(b, doubled);
         // Merging a default is the identity.
         let mut c = a.clone();
         c.merge(&SimStats::default());
         assert_eq!(c, a);
+    }
+
+    #[test]
+    fn bytes_per_flow_guard() {
+        assert!(SimStats::default().bytes_per_flow().is_none());
+        let s = SimStats { flow_count: 4, flow_state_bytes: 100, ..Default::default() };
+        assert_eq!(s.bytes_per_flow(), Some(25.0));
     }
 }

@@ -59,12 +59,32 @@ pub struct Trace {
     current_key: u64,
     limit: usize,
     truncated: u64,
+    /// Per-flow sampling interval: [`Trace::record_flow`] keeps only flows
+    /// whose flow hash divides this (1 = keep every flow).
+    sample_every: u64,
+    /// Records skipped because their flow was sampled out.
+    sampled_out: u64,
 }
 
 impl Trace {
     /// A trace keeping at most `limit` entries (0 disables tracing).
     pub fn new(limit: usize) -> Self {
-        Trace { entries: Vec::new(), keys: Vec::new(), current_key: 0, limit, truncated: 0 }
+        Self::with_sampling(limit, 1)
+    }
+
+    /// A trace keeping at most `limit` entries, recording only every
+    /// `sample_every`-th flow (by flow hash; 1 = every flow).
+    pub fn with_sampling(limit: usize, sample_every: u64) -> Self {
+        assert!(sample_every >= 1, "sampling interval must be at least 1");
+        Trace {
+            entries: Vec::new(),
+            keys: Vec::new(),
+            current_key: 0,
+            limit,
+            truncated: 0,
+            sample_every,
+            sampled_out: 0,
+        }
     }
 
     /// Set the canonical event key stamped on subsequent records. The
@@ -86,8 +106,12 @@ impl Trace {
     pub fn merged(parts: &[&Trace], limit: usize) -> Trace {
         let mut tagged: Vec<(SimTime, u64, TraceEntry)> = Vec::new();
         let mut total: u64 = 0;
+        let mut sampled_out: u64 = 0;
+        let mut sample_every: u64 = 1;
         for part in parts {
             total += part.entries.len() as u64 + part.truncated;
+            sampled_out += part.sampled_out;
+            sample_every = sample_every.max(part.sample_every);
             tagged.extend(part.entries.iter().zip(part.keys.iter()).map(|(e, &k)| (e.t, k, *e)));
         }
         tagged.sort_by_key(|&(t, k, _)| (t, k));
@@ -95,7 +119,7 @@ impl Trace {
         let truncated = total - tagged.len() as u64;
         let keys = tagged.iter().map(|&(_, k, _)| k).collect();
         let entries = tagged.into_iter().map(|(_, _, e)| e).collect();
-        Trace { entries, keys, current_key: 0, limit, truncated }
+        Trace { entries, keys, current_key: 0, limit, truncated, sample_every, sampled_out }
     }
 
     /// Is tracing active at all?
@@ -111,6 +135,33 @@ impl Trace {
     #[inline(always)]
     pub fn record(&mut self, t: SimTime, node: NodeId, packet_id: u64, kind: TraceKind) {
         if self.limit == 0 {
+            return;
+        }
+        self.record_slow(t, node, packet_id, kind);
+    }
+
+    /// Record a packet event subject to per-flow sampling: the record is
+    /// kept only when the packet's flow hash divides the sampling interval,
+    /// so a sampled flow keeps *every* record of *every* one of its packets
+    /// (complete journeys) while the rest of the flow population costs
+    /// nothing beyond the skip counter.
+    ///
+    /// The disabled check comes first so performance runs (tracing off) pay
+    /// one predictable branch and never touch the sampling counter.
+    #[inline(always)]
+    pub fn record_flow(
+        &mut self,
+        t: SimTime,
+        node: NodeId,
+        packet_id: u64,
+        flow_hash: u64,
+        kind: TraceKind,
+    ) {
+        if self.limit == 0 {
+            return;
+        }
+        if self.sample_every > 1 && !flow_hash.is_multiple_of(self.sample_every) {
+            self.sampled_out += 1;
             return;
         }
         self.record_slow(t, node, packet_id, kind);
@@ -136,6 +187,13 @@ impl Trace {
     /// silently presenting a truncated journey as complete.
     pub fn truncated(&self) -> u64 {
         self.truncated
+    }
+
+    /// Records skipped because per-flow sampling excluded their flow.
+    /// Artifact sinks consult this (like [`Trace::truncated`]) to warn
+    /// that an emitted trace covers a sampled subset of flows.
+    pub fn sampled_out(&self) -> u64 {
+        self.sampled_out
     }
 
     /// The journey of one packet: its entries in order.
@@ -217,6 +275,63 @@ mod tests {
         let merged = Trace::merged(&[&a], 10);
         assert_eq!(merged.entries()[0].kind, TraceKind::Deliver);
         assert_eq!(merged.entries()[1].kind, TraceKind::Inject);
+    }
+
+    #[test]
+    fn sampling_keeps_selected_flows_records_exactly() {
+        // Flows are selected by hash divisibility: with K = 4, flows whose
+        // hash ≡ 0 (mod 4) keep every record; the rest keep none.
+        let every = 4;
+        let mut sampled = Trace::with_sampling(1000, every);
+        let mut full = Trace::new(1000);
+        for flow in 0..16u64 {
+            let hash = flow * 3 + 1; // arbitrary, covers both residues
+            for hop in 0..5u64 {
+                let kind = match hop {
+                    0 => TraceKind::Inject,
+                    4 => TraceKind::Deliver,
+                    _ => TraceKind::Arrive,
+                };
+                sampled.record_flow(SimTime::from_nanos(hop), NodeId(hop as u32), flow, hash, kind);
+                full.record_flow(SimTime::from_nanos(hop), NodeId(hop as u32), flow, hash, kind);
+            }
+        }
+        let mut kept = 0;
+        for flow in 0..16u64 {
+            let hash = flow * 3 + 1;
+            if hash % every == 0 {
+                kept += 1;
+                // A selected flow's journey is byte-identical to the
+                // unsampled trace — nothing is thinned within the flow.
+                assert_eq!(sampled.journey(flow), full.journey(flow), "flow {flow}");
+                assert_eq!(sampled.journey(flow).len(), 5);
+            } else {
+                assert!(sampled.journey(flow).is_empty(), "flow {flow} leaked records");
+            }
+        }
+        assert!(kept > 0, "test covers no selected flow");
+        assert_eq!(sampled.sampled_out() + sampled.entries().len() as u64, 16 * 5);
+        assert_eq!(sampled.truncated(), 0, "sampling is not truncation");
+    }
+
+    #[test]
+    fn sampling_interval_one_records_everything() {
+        let mut tr = Trace::with_sampling(10, 1);
+        tr.record_flow(SimTime::ZERO, NodeId(0), 1, 12345, TraceKind::Inject);
+        assert_eq!(tr.entries().len(), 1);
+        assert_eq!(tr.sampled_out(), 0);
+    }
+
+    #[test]
+    fn merge_sums_sampled_out() {
+        let mut a = Trace::with_sampling(10, 2);
+        a.record_flow(SimTime::from_nanos(1), NodeId(0), 1, 3, TraceKind::Inject); // out
+        a.record_flow(SimTime::from_nanos(2), NodeId(0), 2, 4, TraceKind::Inject); // kept
+        let mut b = Trace::with_sampling(10, 2);
+        b.record_flow(SimTime::from_nanos(3), NodeId(1), 3, 5, TraceKind::Inject); // out
+        let merged = Trace::merged(&[&a, &b], 10);
+        assert_eq!(merged.entries().len(), 1);
+        assert_eq!(merged.sampled_out(), 2);
     }
 
     #[test]

@@ -22,6 +22,7 @@
 
 pub mod tcp;
 
+pub use tcp::bulk::{BulkTcpSender, BulkTcpSink};
 pub use tcp::cc::{bbr::Bbr, cubic::Cubic, newreno::NewReno, vegas::Vegas, CongestionControl};
 pub use tcp::config::TcpConfig;
 pub use tcp::sender::TcpSender;

@@ -1,5 +1,6 @@
 //! TCP: configuration, RTT estimation, congestion control, endpoints.
 
+pub mod bulk;
 pub mod cc;
 pub mod config;
 pub mod rtt;

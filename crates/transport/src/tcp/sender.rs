@@ -30,6 +30,11 @@ pub struct TcpSender {
     cfg: TcpConfig,
     dst: NodeId,
     dst_port: u16,
+    /// Explicit source port for every emitted segment. `None` (the
+    /// default) inherits the install port from the context — the classic
+    /// one-app-per-flow layout. Bulk flow tables set it per flow so many
+    /// senders can share one application slot (and one context port).
+    src_port: Option<u16>,
     cc: Box<dyn CongestionControl>,
     st: CcState,
     /// Oldest unacknowledged byte.
@@ -69,6 +74,7 @@ impl TcpSender {
             cfg,
             dst,
             dst_port,
+            src_port: None,
             cc,
             st,
             snd_una: 0,
@@ -84,6 +90,14 @@ impl TcpSender {
             rto_armed: false,
             log: SenderLog::default(),
         }
+    }
+
+    /// Stamp every outgoing segment with this source port instead of the
+    /// install port. Required when the sender shares an application slot
+    /// with other flows (see [`crate::BulkTcpSender`]).
+    pub fn with_source_port(mut self, port: u16) -> Self {
+        self.src_port = Some(port);
+        self
     }
 
     /// Effective window: cwnd plus recovery inflation.
@@ -134,7 +148,12 @@ impl TcpSender {
             ts_echo: SimTime::ZERO,
             fin: false,
         };
-        ctx.send(self.dst, self.dst_port, len + HEADER_BYTES, Payload::Seg(seg));
+        match self.src_port {
+            Some(p) => {
+                ctx.send_from(p, self.dst, self.dst_port, len + HEADER_BYTES, Payload::Seg(seg))
+            }
+            None => ctx.send(self.dst, self.dst_port, len + HEADER_BYTES, Payload::Seg(seg)),
+        }
     }
 
     /// Send as much new data as the window allows.

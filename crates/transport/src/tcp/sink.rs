@@ -11,6 +11,10 @@ use std::collections::BTreeMap;
 /// application-level flow progress (paper §3.3's logged metric).
 pub struct TcpSink {
     cfg: TcpConfig,
+    /// Explicit source port for outgoing ACKs. `None` (the default)
+    /// inherits the install port from the context; bulk flow tables set
+    /// it per flow so many sinks can share one application slot.
+    src_port: Option<u16>,
     /// Next in-order byte expected.
     rcv_nxt: u64,
     /// Out-of-order buffer: start byte → length.
@@ -36,6 +40,7 @@ impl TcpSink {
     pub fn new(cfg: TcpConfig) -> Self {
         TcpSink {
             cfg,
+            src_port: None,
             rcv_nxt: 0,
             ooo: BTreeMap::new(),
             pending_acks: 0,
@@ -46,6 +51,14 @@ impl TcpSink {
             dup_arrivals: 0,
             peer: None,
         }
+    }
+
+    /// Stamp every outgoing ACK with this source port instead of the
+    /// install port. Required when the sink shares an application slot
+    /// with other flows (see [`crate::BulkTcpSink`]).
+    pub fn with_source_port(mut self, port: u16) -> Self {
+        self.src_port = Some(port);
+        self
     }
 
     /// Bytes received in order so far (flow progress).
@@ -85,7 +98,10 @@ impl TcpSink {
             ts_echo,
             fin: false,
         };
-        ctx.send(to, to_port, HEADER_BYTES, Payload::Seg(seg));
+        match self.src_port {
+            Some(p) => ctx.send_from(p, to, to_port, HEADER_BYTES, Payload::Seg(seg)),
+            None => ctx.send(to, to_port, HEADER_BYTES, Payload::Seg(seg)),
+        }
         self.pending_acks = 0;
         self.delack_gen += 1; // cancel any armed delayed-ACK timer
     }

@@ -11,11 +11,13 @@
 //! * [`DataRate`] / [`DataSize`] — bit-exact link-rate arithmetic;
 //! * [`rng`] — a small deterministic PRNG for reproducible workloads;
 //! * [`hash`] — FNV-1a 64 hashing for manifests and per-flow spreading;
+//! * [`mem`] — peak-RSS introspection for the scaling benchmarks;
 //! * [`angle`] — degree/radian helpers and angle wrapping.
 
 pub mod angle;
 pub mod constants;
 pub mod hash;
+pub mod mem;
 pub mod rng;
 pub mod time;
 pub mod units;

@@ -1,0 +1,52 @@
+//! Process memory introspection for scaling benchmarks.
+//!
+//! The flow-scaling experiments report peak resident set size alongside
+//! event throughput, so memory regressions show up in the same manifest
+//! as performance ones. Linux exposes the high-water mark as `VmHWM` in
+//! `/proc/self/status`; other platforms return `None` and the benchmarks
+//! simply omit the column.
+
+/// Peak resident set size (high-water mark) of the current process, in
+/// bytes. `None` when the platform does not expose it.
+pub fn peak_rss_bytes() -> Option<u64> {
+    #[cfg(target_os = "linux")]
+    {
+        let status = std::fs::read_to_string("/proc/self/status").ok()?;
+        parse_vm_hwm(&status)
+    }
+    #[cfg(not(target_os = "linux"))]
+    {
+        None
+    }
+}
+
+/// Parse the `VmHWM` line of a `/proc/<pid>/status` dump into bytes.
+#[allow(dead_code)] // non-Linux builds only use it from tests
+fn parse_vm_hwm(status: &str) -> Option<u64> {
+    let line = status.lines().find(|l| l.starts_with("VmHWM:"))?;
+    // Format: "VmHWM:      123456 kB"
+    let kb: u64 = line.split_whitespace().nth(1)?.parse().ok()?;
+    Some(kb * 1024)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_a_proc_status_dump() {
+        let status = "Name:\tcargo\nVmPeak:\t  999 kB\nVmHWM:\t    4321 kB\nThreads:\t1\n";
+        assert_eq!(parse_vm_hwm(status), Some(4321 * 1024));
+        assert_eq!(parse_vm_hwm("Name:\tcargo\n"), None);
+    }
+
+    #[cfg(target_os = "linux")]
+    #[test]
+    fn linux_reports_a_positive_peak() {
+        // Touch some memory so the high-water mark is clearly nonzero.
+        let v = vec![1u8; 1 << 20];
+        assert!(v.iter().map(|&b| b as u64).sum::<u64>() > 0);
+        let peak = peak_rss_bytes().expect("VmHWM present on Linux");
+        assert!(peak > 1 << 20, "peak {peak} bytes");
+    }
+}

@@ -154,6 +154,12 @@ impl ArtifactSink {
                 trace.truncated()
             ));
         }
+        if trace.sampled_out() > 0 {
+            self.warn(format!(
+                "trace {name} is sampled: {} events from unsampled flows dropped",
+                trace.sampled_out()
+            ));
+        }
         let mut text = String::from("# t_s node packet_id kind\n");
         for e in trace.entries() {
             text.push_str(&format!(
@@ -383,6 +389,22 @@ mod tests {
         sink.write_trace("trace.txt", &tr).unwrap();
         assert_eq!(sink.warnings().len(), 1);
         assert!(sink.warnings()[0].contains("partial"), "{}", sink.warnings()[0]);
+        std::fs::remove_dir_all(sink.out_dir()).ok();
+    }
+
+    #[test]
+    fn sampled_trace_warns() {
+        use hypatia_constellation::NodeId;
+        use hypatia_netsim::trace::TraceKind;
+        use hypatia_util::SimTime;
+        let mut tr = Trace::with_sampling(8, 2);
+        // flow hash 2 is kept (divisible by 2), hash 3 is sampled out.
+        tr.record_flow(SimTime::ZERO, NodeId(0), 1, 2, TraceKind::Inject);
+        tr.record_flow(SimTime::ZERO, NodeId(0), 2, 3, TraceKind::Inject);
+        let mut sink = temp_sink("sampled-trace");
+        sink.write_trace("trace.txt", &tr).unwrap();
+        assert_eq!(sink.warnings().len(), 1);
+        assert!(sink.warnings()[0].contains("sampled"), "{}", sink.warnings()[0]);
         std::fs::remove_dir_all(sink.out_dir()).ok();
     }
 

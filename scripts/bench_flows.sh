@@ -1,0 +1,77 @@
+#!/usr/bin/env bash
+# Benchmark offered-load scaling (the ext_flow_scaling gravity workload)
+# and append the results to BENCH_flows.json.
+#
+# Runs `bench_flows` (crates/bench/src/bin/bench_flows.rs) once per flow
+# count, 1k -> 1M, over the 100-city Kuiper K1 ground segment. One process
+# per point is deliberate: peak RSS is read from VmHWM, a process-lifetime
+# high-water mark, so per-point numbers require per-point processes. Each
+# line records events/sec, goodput, Jain fairness, steady-state bytes per
+# flow, and peak RSS.
+#
+# Each invocation APPENDS one timestamped entry to the output file (a JSON
+# array), so the file accumulates a history across machines/commits.
+#
+# Usage: scripts/bench_flows.sh [output.json] [flow counts...]
+
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+out="${1:-BENCH_flows.json}"
+shift $(( $# > 0 ? 1 : 0 ))
+counts=("${@:-}")
+if [ -z "${counts[0]:-}" ]; then
+    counts=(1000 10000 100000 1000000)
+fi
+
+cargo build --release -p hypatia-bench --bin bench_flows
+bin="target/release/bench_flows"
+
+raw="$(mktemp)"
+trap 'rm -f "$raw"' EXIT
+
+for flows in "${counts[@]}"; do
+    echo "== $flows flows (100 cities, 2s sim, 16 kbps/flow) ==" >&2
+    "$bin" --flows "$flows" --cities 100 --flow-rate-kbps 16 \
+        --duration-s 2 >>"$raw"
+done
+
+python3 - "$raw" "$out" <<'PY'
+import json, os, subprocess, sys, time
+
+raw_path, out_path = sys.argv[1], sys.argv[2]
+
+runs = [json.loads(line) for line in open(raw_path) if line.strip()]
+for run in runs:
+    rss = run.get("peak_rss_bytes")
+    rss_mb = f"{rss / 2**20:,.0f} MB" if rss else "-"
+    print(f"  {run['flows']:>9,} flows  {run['events_per_sec']:>12,} events/s  "
+          f"jain={run['jain']:.4f}  {run['bytes_per_flow']:.1f} B/flow  "
+          f"peak RSS {rss_mb}")
+
+entry = {
+    "timestamp": time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime()),
+    "bench": "bench_flows (gravity traffic matrix, arena flow tables)",
+    "cores": os.cpu_count(),
+    "runs": runs,
+}
+try:
+    commit = subprocess.run(
+        ["git", "rev-parse", "--short", "HEAD"],
+        capture_output=True, text=True, check=True,
+    ).stdout.strip()
+    entry["commit"] = commit
+except Exception:
+    pass
+
+try:
+    history = json.load(open(out_path))
+    if not isinstance(history, list):
+        history = [history]
+except (FileNotFoundError, json.JSONDecodeError):
+    history = []
+history.append(entry)
+json.dump(history, open(out_path, "w"), indent=2)
+print()
+print(f"wrote {out_path}: {len(runs)} points")
+PY

@@ -57,7 +57,7 @@ for shards in 1 2 4 8; do
 done
 
 python3 - "$raw" "$out" <<'PY'
-import json, subprocess, sys, time
+import json, os, subprocess, sys, time
 
 raw_path, out_path = sys.argv[1], sys.argv[2]
 
@@ -105,6 +105,9 @@ entry = {
     "timestamp": time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime()),
     "bench": "bench_netsim (fig02 permutation workload)",
     "threads": 1,
+    # Host core count (nproc): lets readers tell overhead-bound
+    # single-core shard entries apart from real multi-core speedups.
+    "cores": os.cpu_count(),
     "runs": runs,
     "events_per_sec": summary,
     "speedup_calendar_over_heap": speedup,

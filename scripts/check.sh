@@ -62,4 +62,27 @@ PY
 diff <(strip_engine "$smoke_dir/sharded/manifest.json") \
      <(strip_engine "$smoke_dir/serial/manifest.json")
 
+echo "== ext_flow_scaling smoke run (10k gravity flows, trace sampling on)"
+cargo run --release -q -p hypatia-bench --bin run_experiment -- \
+  ext_flow_scaling --out "$smoke_dir/flows10k" \
+  --set flows=10000 --set trace_sample_every=8 \
+  --set cities=20 --set duration_s=1 > /dev/null
+test -f "$smoke_dir/flows10k/manifest.json"
+test -f "$smoke_dir/flows10k/ext_flow_scaling_events_per_sec.dat"
+grep -q 'trace sampling active' "$smoke_dir/flows10k/manifest.json"
+
+echo "== flow-table determinism gate (1k flows, sampling off: arena vs apps)"
+cargo run --release -q -p hypatia-bench --bin run_experiment -- \
+  ext_flow_scaling --out "$smoke_dir/flows_arena" \
+  --set flows=1000 --set flow_table=arena --set perf_series=false \
+  --set cities=20 --set duration_s=1 > /dev/null
+cargo run --release -q -p hypatia-bench --bin run_experiment -- \
+  ext_flow_scaling --out "$smoke_dir/flows_apps" \
+  --set flows=1000 --set flow_table=apps --set perf_series=false \
+  --set cities=20 --set duration_s=1 > /dev/null
+# Byte-identity gate: arena flow tables must reproduce the per-flow-apps
+# artifacts exactly; only wall-clock perf lines may differ.
+diff <(strip_engine "$smoke_dir/flows_arena/manifest.json") \
+     <(strip_engine "$smoke_dir/flows_apps/manifest.json")
+
 echo "All checks passed."
