@@ -1,0 +1,113 @@
+//! Hybrid fluid/packet probe for `scripts/bench_fluid.sh`.
+//!
+//! Runs ONE point of the `ext_hybrid_mode` gravity workload — a single
+//! (flow count, simulation mode) pair — and prints one JSON object to
+//! stdout. One point per process keeps the wall-clock numbers honest
+//! (no cross-mode allocator warm-up) and matches the other bench
+//! probes. The wrapper script loops flow counts × modes and collects
+//! the lines into `BENCH_fluid.json`.
+//!
+//! ```text
+//! bench_hybrid [--flows N] [--mode packet|fluid|hybrid] [--cities N]
+//!              [--flow-rate-kbps R] [--fluid-threshold-kbps X]
+//!              [--duration-s S] [--seed N] [--shards N]
+//! ```
+
+use hypatia::experiments::hybrid::run_hybrid_point;
+use hypatia::scenario::{ConstellationChoice, ScenarioBuilder};
+use hypatia_netsim::SimMode;
+use hypatia_util::{DataRate, SimDuration};
+
+struct Args {
+    flows: u64,
+    mode: SimMode,
+    cities: usize,
+    flow_rate_kbps: f64,
+    fluid_threshold_kbps: f64,
+    duration_s: f64,
+    seed: u64,
+    shards: usize,
+}
+
+fn parse_args() -> Args {
+    let mut parsed = Args {
+        flows: 1000,
+        mode: SimMode::Hybrid,
+        cities: 100,
+        flow_rate_kbps: 256.0,
+        fluid_threshold_kbps: 0.0,
+        duration_s: 2.0,
+        seed: 2020,
+        shards: 1,
+    };
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        let mut value = |flag: &str| args.next().unwrap_or_else(|| panic!("{flag} needs a value"));
+        match a.as_str() {
+            "--flows" => {
+                parsed.flows = value("--flows").parse().expect("--flows: positive integer");
+                assert!(parsed.flows >= 1, "--flows: positive integer");
+            }
+            "--mode" => {
+                let v = value("--mode");
+                parsed.mode = SimMode::parse(&v)
+                    .unwrap_or_else(|| panic!("unknown mode {v:?} (packet|fluid|hybrid)"));
+            }
+            "--cities" => parsed.cities = value("--cities").parse().expect("--cities: integer"),
+            "--flow-rate-kbps" => {
+                parsed.flow_rate_kbps =
+                    value("--flow-rate-kbps").parse().expect("--flow-rate-kbps: number")
+            }
+            "--fluid-threshold-kbps" => {
+                parsed.fluid_threshold_kbps =
+                    value("--fluid-threshold-kbps").parse().expect("--fluid-threshold-kbps: number")
+            }
+            "--duration-s" => {
+                parsed.duration_s = value("--duration-s").parse().expect("--duration-s: seconds")
+            }
+            "--seed" => parsed.seed = value("--seed").parse().expect("--seed: integer"),
+            "--shards" => {
+                parsed.shards = value("--shards").parse().expect("--shards: positive integer");
+                assert!(parsed.shards >= 1, "--shards: positive integer");
+            }
+            other => panic!("unknown argument {other:?}"),
+        }
+    }
+    parsed
+}
+
+fn main() {
+    let args = parse_args();
+    let mut scenario =
+        ScenarioBuilder::new(ConstellationChoice::KuiperK1).top_cities(args.cities).build();
+    scenario.sim_config.sim_shards = args.shards;
+
+    let rate = DataRate::from_bps((args.flow_rate_kbps * 1e3).round() as u64);
+    let threshold = DataRate::from_bps((args.fluid_threshold_kbps * 1e3).round() as u64);
+    let duration = SimDuration::from_secs_f64(args.duration_s);
+    let p =
+        run_hybrid_point(&scenario, args.flows, args.mode, rate, threshold, duration, args.seed);
+    // Hand-rolled JSON: every field is a number or a known-safe token.
+    println!(
+        "{{\"flows\":{},\"mode\":\"{}\",\"cities\":{},\"flow_rate_kbps\":{},\
+         \"fluid_threshold_kbps\":{},\"duration_s\":{},\"seed\":{},\"sim_shards\":{},\
+         \"events\":{},\"wall_s\":{:.6},\"events_per_sec\":{},\"goodput_gbps\":{:.6},\
+         \"jain\":{:.6},\"fluid_flows\":{},\"fluid_resolves\":{},\"ping_rtts\":{}}}",
+        p.flows,
+        p.mode.name(),
+        args.cities,
+        args.flow_rate_kbps,
+        args.fluid_threshold_kbps,
+        args.duration_s,
+        args.seed,
+        p.engine.sim_shards,
+        p.events,
+        p.wall_s,
+        p.events_per_sec.round() as u64,
+        p.goodput_gbps,
+        p.jain,
+        p.fluid_flows,
+        p.fluid_resolves,
+        p.ping_rtts,
+    );
+}

@@ -215,7 +215,11 @@ mod tests {
         let one_hot = jain_index(&[12.0, 0.0, 0.0, 0.0]);
         assert!((one_hot - 0.25).abs() < 1e-12, "{one_hot}");
         assert_eq!(jain_index(&[]), 1.0);
+        // All-zero vectors (nothing delivered at all) must report 1.0,
+        // not NaN from the 0/0 ratio — a hybrid run where every bulk
+        // flow went fluid leaves exactly this packet-side vector.
         assert_eq!(jain_index(&[0.0, 0.0]), 1.0);
+        assert_eq!(jain_index(&[0.0; 64]), 1.0);
     }
 
     #[test]

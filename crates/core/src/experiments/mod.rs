@@ -15,12 +15,14 @@
 //! | [`bent_pipe`] | Figs. 16–19 (Appendix A) |
 //! | [`gsl_selection`] | ablation: gateway vs user-terminal GSL policy (§3.1) |
 //! | [`flow_scaling`] | extension: gravity traffic matrix, 1k→1M flows |
+//! | [`hybrid`] | extension: hybrid fluid/packet simulation of bulk traffic |
 
 pub mod bent_pipe;
 pub mod cross_traffic;
 pub mod flow_scaling;
 pub mod granularity;
 pub mod gsl_selection;
+pub mod hybrid;
 pub mod pair_sweep;
 pub mod rtt_fluctuations;
 pub mod scalability;

@@ -11,6 +11,7 @@
 pub mod ext_bbr_study;
 pub mod ext_failure_resilience;
 pub mod ext_flow_scaling;
+pub mod ext_hybrid_mode;
 pub mod ext_multipath_diversity;
 pub mod ext_multipath_te;
 pub mod fig02_scalability;
@@ -57,6 +58,7 @@ pub fn builtin_experiments() -> Vec<Box<dyn Experiment>> {
         Box::new(ext_multipath_te::ExtMultipathTe),
         Box::new(ext_failure_resilience::ExtFailureResilience),
         Box::new(ext_flow_scaling::ExtFlowScaling),
+        Box::new(ext_hybrid_mode::ExtHybridMode),
     ]
 }
 

@@ -218,10 +218,11 @@ mod tests {
             "ext_multipath_te",
             "ext_failure_resilience",
             "ext_flow_scaling",
+            "ext_hybrid_mode",
         ] {
             assert!(names.iter().any(|n| n == expected), "missing {expected}");
         }
-        assert_eq!(names.len(), 20);
+        assert_eq!(names.len(), 21);
     }
 
     #[test]
@@ -237,11 +238,27 @@ mod tests {
     }
 
     #[test]
+    fn spec_lookup_reports_unknown_names_as_typed_errors() {
+        // The `--print-spec` path surfaces this error verbatim: it must
+        // name the request and carry the registry, not panic.
+        let runner = ExperimentRunner::new();
+        match runner.spec("fig99_nope", false) {
+            Err(RunError::UnknownExperiment { name, available }) => {
+                assert_eq!(name, "fig99_nope");
+                assert_eq!(available, runner.names());
+            }
+            other => panic!("expected UnknownExperiment, got {other:?}"),
+        }
+    }
+
+    #[test]
     fn every_spec_round_trips_and_names_itself() {
         let runner = ExperimentRunner::new();
         for name in runner.names() {
             for full in [false, true] {
-                let spec = runner.spec(&name, full).unwrap();
+                let spec = runner
+                    .spec(&name, full)
+                    .unwrap_or_else(|e| panic!("spec lookup for {name} (full={full}): {e}"));
                 assert_eq!(spec.experiment, name);
                 let back = ExperimentSpec::from_json(&spec.to_json_string())
                     .unwrap_or_else(|e| panic!("{name} (full={full}): {e}"));

@@ -21,7 +21,7 @@ use crate::scenario::{ConstellationChoice, Scenario, ScenarioBuilder};
 use hypatia_constellation::ground::top_cities;
 use hypatia_constellation::GroundStation;
 use hypatia_fault::{FaultSchedule, FaultSpec, FlapProcess, LinkCut, OutageWindow};
-use hypatia_netsim::SimConfig;
+use hypatia_netsim::{SimConfig, SimMode};
 use hypatia_routing::incremental::{RoutingConfig, RoutingMode};
 use hypatia_util::{DataRate, SimDuration};
 use serde::{Deserialize, Serialize};
@@ -146,6 +146,17 @@ pub struct ExperimentSpec {
     /// any value; the default is omitted from the emitted JSON, so
     /// existing spec files and their artifacts stay byte-identical.
     pub sim_shards: usize,
+    /// Simulation mode: pure packet-level (the default), pure fluid, or
+    /// hybrid — bulk flows modelled analytically by the max-min fair
+    /// fluid solver while short flows and control traffic stay
+    /// packet-level. The default is omitted from the emitted JSON, so
+    /// existing spec files and their artifacts stay byte-identical.
+    pub sim_mode: SimMode,
+    /// Per-flow demand threshold (kbps) below which a flow stays
+    /// packet-level even in fluid/hybrid mode (0 = experiment default;
+    /// omitted from the emitted JSON at 0, keeping existing spec files
+    /// byte-identical).
+    pub fluid_threshold_kbps: f64,
     /// Offered flow count for traffic-matrix experiments (e.g. the gravity
     /// model of `ext_flow_scaling`). `None` leaves the experiment's own
     /// default in force and is omitted from the emitted JSON, so existing
@@ -185,6 +196,8 @@ impl Default for ExperimentSpec {
             routing_mode: routing.mode,
             repair_churn_threshold: routing.repair_churn_threshold,
             sim_shards: sim.sim_shards,
+            sim_mode: sim.sim_mode,
+            fluid_threshold_kbps: 0.0,
             flows: None,
             trace_sample_every: sim.trace_sample_every,
             faults: None,
@@ -214,6 +227,7 @@ impl ExperimentSpec {
         cfg.with_routing_mode(self.routing_mode)
             .with_repair_churn_threshold(self.repair_churn_threshold)
             .with_sim_shards(self.sim_shards)
+            .with_sim_mode(self.sim_mode)
             .with_trace_sampling(self.trace_sample_every)
     }
 
@@ -286,7 +300,9 @@ impl ExperimentSpec {
     /// `pairs`, `min_distance_km`, `duration_s`, `step_ms`,
     /// `line_rate_mbps`, `queue_packets`, `utilization_bucket_s`, `cc`,
     /// `threads`, `seed`), the engine (`sim_shards=N` for the sharded
-    /// conservative engine, 1 = serial), the traffic matrix and trace
+    /// conservative engine, 1 = serial; `sim_mode=packet|fluid|hybrid`
+    /// with `fluid_threshold_kbps=X` keeping flows below the threshold
+    /// packet-level), the traffic matrix and trace
     /// (`flows=N` offered flows, `trace_sample_every=K` per-flow trace
     /// sampling; both reject 0), the routing strategy
     /// (`routing_mode=full|
@@ -386,6 +402,21 @@ impl ExperimentSpec {
                     return err(format!("{key} must be at least 1, got {value}"));
                 }
                 self.sim_shards = n;
+            }
+            "sim_mode" => match SimMode::parse(value) {
+                Some(m) => self.sim_mode = m,
+                None => {
+                    return err(format!(
+                        "unknown sim mode {value:?} (expected packet, fluid, or hybrid)"
+                    ))
+                }
+            },
+            "fluid_threshold_kbps" => {
+                let x = parse_f64(key, value)?;
+                if x < 0.0 {
+                    return err(format!("{key} must be non-negative, got {value}"));
+                }
+                self.fluid_threshold_kbps = x;
             }
             "flows" => {
                 let n = parse_u64(key, value)?;
@@ -523,6 +554,15 @@ impl ExperimentSpec {
         // keeping pre-existing spec files byte-identical.
         if self.sim_shards != 1 {
             let _ = writeln!(s, "  \"sim_shards\": {},", self.sim_shards);
+        }
+        // The fluid-mode knobs are emitted only when hybrid/fluid simulation
+        // is on, keeping pre-existing spec files byte-identical.
+        if self.sim_mode != SimMode::Packet {
+            let _ = writeln!(s, "  \"sim_mode\": {},", json_str(self.sim_mode.name()));
+        }
+        if self.fluid_threshold_kbps != 0.0 {
+            let _ =
+                writeln!(s, "  \"fluid_threshold_kbps\": {},", json_num(self.fluid_threshold_kbps));
         }
         // Flow-scaling knobs are likewise emitted only when set, keeping
         // pre-existing spec files byte-identical.
@@ -685,6 +725,23 @@ impl ExperimentSpec {
                 return err("\"sim_shards\" must be at least 1");
             }
             spec.sim_shards = n as usize;
+        }
+        if let Some(m) = v.get("sim_mode") {
+            let name =
+                m.as_str().ok_or_else(|| SpecError("\"sim_mode\" must be a string".into()))?;
+            spec.sim_mode = match SimMode::parse(name) {
+                Some(mode) => mode,
+                None => return err(format!("unknown sim mode {name:?}")),
+            };
+        }
+        if let Some(x) = v.get("fluid_threshold_kbps") {
+            let t = x
+                .as_f64()
+                .ok_or_else(|| SpecError("\"fluid_threshold_kbps\" must be a number".into()))?;
+            if t < 0.0 {
+                return err("\"fluid_threshold_kbps\" must be non-negative");
+            }
+            spec.fluid_threshold_kbps = t;
         }
         if let Some(x) = v.get("flows") {
             let n = x
@@ -1220,6 +1277,44 @@ mod tests {
         assert!(spec.set("sim_shards", "0").is_err());
         assert!(spec.set("sim_shards", "many").is_err());
         assert!(ExperimentSpec::from_json("{\"experiment\": \"e\", \"sim_shards\": 0}").is_err());
+    }
+
+    #[test]
+    fn sim_mode_round_trips_and_defaults_to_omitted() {
+        // Byte compatibility: packet-mode specs serialize exactly as
+        // before the fluid subsystem existed.
+        let spec = sample();
+        let text = spec.to_json_string();
+        assert!(!text.contains("sim_mode"));
+        assert!(!text.contains("fluid_threshold_kbps"));
+        let back = ExperimentSpec::from_json(&text).unwrap();
+        assert_eq!(back.sim_mode, SimMode::Packet);
+        assert_eq!(back.fluid_threshold_kbps, 0.0);
+
+        let mut spec = sample();
+        spec.set("sim_mode", "hybrid").unwrap();
+        spec.set("fluid_threshold_kbps", "128").unwrap();
+        assert_eq!(spec.sim_mode, SimMode::Hybrid);
+        assert_eq!(spec.fluid_threshold_kbps, 128.0);
+        let text = spec.to_json_string();
+        assert!(text.contains("\"sim_mode\": \"hybrid\""));
+        assert!(text.contains("\"fluid_threshold_kbps\": 128"));
+        let back = ExperimentSpec::from_json(&text).expect("parse own output");
+        assert_eq!(spec, back);
+        assert_eq!(text, back.to_json_string());
+        assert_eq!(spec.sim_config().sim_mode, SimMode::Hybrid);
+
+        spec.set("sim_mode", "fluid").unwrap();
+        assert_eq!(spec.sim_mode, SimMode::Fluid);
+        spec.set("sim_mode", "packet").unwrap();
+        assert_eq!(spec.sim_mode, SimMode::Packet);
+
+        assert!(spec.set("sim_mode", "analytic").is_err());
+        assert!(spec.set("fluid_threshold_kbps", "-1").is_err());
+        assert!(spec.set("fluid_threshold_kbps", "slow").is_err());
+        assert!(ExperimentSpec::from_json("{\"experiment\": \"e\", \"sim_mode\": \"x\"}").is_err());
+        assert!(ExperimentSpec::from_json("{\"experiment\": \"e\", \"fluid_threshold_kbps\": -2}")
+            .is_err());
     }
 
     #[test]

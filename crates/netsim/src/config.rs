@@ -1,6 +1,7 @@
 //! Simulation configuration.
 
 use crate::event::QueueKind;
+use crate::fluid::SimMode;
 use hypatia_fault::FaultSchedule;
 use hypatia_routing::incremental::{RoutingConfig, RoutingMode};
 use hypatia_util::{DataRate, SimDuration};
@@ -84,6 +85,12 @@ pub struct SimConfig {
     /// simulation observable is bit-identical for any value — this is
     /// purely a wall-clock knob. Clamped to the satellite count.
     pub sim_shards: usize,
+    /// How bulk flows are simulated: packet-level for everything (the
+    /// default), analytically via the max-min fluid solver, or hybrid —
+    /// fluid bulk flows whose aggregate per-link load is subtracted from
+    /// device capacity so packet-level traffic sees the residual (see
+    /// [`crate::fluid`]).
+    pub sim_mode: SimMode,
 }
 
 impl Default for SimConfig {
@@ -107,6 +114,7 @@ impl Default for SimConfig {
             faults: None,
             routing: RoutingConfig::default(),
             sim_shards: 1,
+            sim_mode: SimMode::default(),
         }
     }
 }
@@ -233,6 +241,14 @@ impl SimConfig {
         self
     }
 
+    /// Builder-style: pick how bulk flows are simulated (packet, fluid,
+    /// or hybrid). Packet-level behaviour is unchanged unless fluid
+    /// flows are actually installed.
+    pub fn with_sim_mode(mut self, mode: SimMode) -> Self {
+        self.sim_mode = mode;
+        self
+    }
+
     /// Effective rate for an ISL device.
     pub fn effective_isl_rate(&self) -> DataRate {
         self.isl_rate.unwrap_or(self.link_rate)
@@ -264,6 +280,7 @@ mod tests {
         assert_eq!(c.routing.mode, RoutingMode::Incremental, "incremental repair is the default");
         assert_eq!(c.sim_shards, 1, "the serial engine is the default");
         assert_eq!(c.trace_sample_every, 1, "every flow is traced by default");
+        assert_eq!(c.sim_mode, SimMode::Packet, "packet-level simulation is the default");
     }
 
     #[test]
@@ -303,6 +320,12 @@ mod tests {
     #[should_panic]
     fn negative_churn_threshold_rejected() {
         SimConfig::default().with_repair_churn_threshold(-0.1);
+    }
+
+    #[test]
+    fn sim_mode_builder() {
+        let c = SimConfig::default().with_sim_mode(SimMode::Hybrid);
+        assert_eq!(c.sim_mode, SimMode::Hybrid);
     }
 
     #[test]

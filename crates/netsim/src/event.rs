@@ -70,6 +70,14 @@ pub enum Event {
         /// Index into the run's compiled `FaultSchedule`.
         index: u64,
     },
+    /// A fluid-flow finish boundary: re-solve the coordinator's fluid
+    /// rate allocation with the finished demand removed, and
+    /// chain-schedule the next boundary. Serial engine only — the
+    /// sharded engine consumes boundaries at epoch starts.
+    FluidUpdate {
+        /// Index into the fluid network's sorted boundary schedule.
+        index: u64,
+    },
 }
 
 #[derive(Debug)]

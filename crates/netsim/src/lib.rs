@@ -33,7 +33,10 @@
 //! `hypatia-transport`) attach to nodes via the [`app::Application`] trait
 //! and a port demux.
 //!
-//! Extensions beyond the paper's model (all off by default): per-kind
+//! Extensions beyond the paper's model (all off by default): hybrid
+//! fluid/packet simulation ([`SimConfig::with_sim_mode`] — bulk flows
+//! modelled analytically by the max-min fair [`fluid`] solver while
+//! short flows and control traffic stay packet-level), per-kind
 //! ISL/GSL rates, a deterministic GSL loss process (weather stand-in),
 //! loop-free multipath forwarding ([`SimConfig::with_multipath`]), a
 //! bounded per-packet [`trace`], and deterministic fault injection
@@ -48,6 +51,7 @@ pub mod config;
 pub mod device;
 pub mod event;
 pub mod flow;
+pub mod fluid;
 pub mod node;
 pub mod packet;
 pub mod shard;
@@ -59,6 +63,7 @@ pub use app::{AppCtx, Application};
 pub use config::SimConfig;
 pub use event::QueueKind;
 pub use flow::{BulkUdpSink, BulkUdpSource, FlowId};
+pub use fluid::SimMode;
 pub use packet::{Packet, Payload, Segment};
 pub use sim::{EngineReport, Simulator};
 pub use stats::SimStats;

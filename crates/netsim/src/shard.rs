@@ -37,7 +37,7 @@ use hypatia_orbit::geodesy::propagation_delay_km;
 use hypatia_routing::forwarding::{ForwardingState, MultipathState};
 use hypatia_util::hash::Fnv1a64;
 use hypatia_util::rng::DetRng;
-use hypatia_util::{SimDuration, SimTime};
+use hypatia_util::{DataRate, SimDuration, SimTime};
 use std::sync::Arc;
 
 /// Canonical key of a forwarding-state swap: sorts before every other
@@ -48,6 +48,14 @@ pub(crate) const FORWARDING_KEY: u64 = 0;
 /// swap, before any node event, in schedule order.
 pub(crate) fn fault_key(index: u64) -> u64 {
     1 + index
+}
+
+/// Canonical key of fluid-boundary `index`: after every same-instant
+/// forwarding/fault key, before any node event (node keys start at
+/// `1 << 32`). Boundary schedules stay far below `2^31` entries.
+pub(crate) fn fluid_key(index: u64) -> u64 {
+    debug_assert!(index < 1 << 31, "fluid boundary index overflows its key range");
+    (1 << 31) + index
 }
 
 /// Upper bound on relative speed between any two nodes, km/s (two LEO
@@ -286,6 +294,31 @@ impl Shard {
         self.fault_state.as_mut().expect("fault event without live state").apply(event);
     }
 
+    /// Set residual device rates pushed by the coordinator's fluid solver
+    /// (hybrid mode): each change names a directed link — `(node, peer)`
+    /// for an ISL, `(node, GSL_PEER)` for the node's shared GSL device —
+    /// and the rate its device serializes at from now on. Non-owned nodes
+    /// are skipped, so broadcasting the full change set to every shard is
+    /// correct. A transmission already in flight keeps the rate it
+    /// started with (rates are sampled at `start_tx`), which is the same
+    /// on every engine because changes apply at canonical instants.
+    pub(crate) fn apply_link_rates(&mut self, changes: &[((u32, u32), DataRate)]) {
+        for &((node, peer), rate) in changes {
+            if self.partition.owner(NodeId(node)) != self.id {
+                continue;
+            }
+            let n = &mut self.nodes[node as usize];
+            let idx = if peer == crate::fluid::GSL_PEER {
+                n.gsl_device()
+            } else {
+                n.device_for(NodeId(peer))
+            };
+            if let Some(idx) = idx {
+                n.devices[idx].rate = rate;
+            }
+        }
+    }
+
     /// Allocate the canonical key of an event originated by `origin`'s
     /// handler. Keys increase in the origin node's execution order, which
     /// is shard-count-independent.
@@ -373,7 +406,9 @@ impl Shard {
             Event::AppTimer { app, timer_id } => {
                 self.with_app(app, |a, ctx| a.on_timer(ctx, timer_id));
             }
-            Event::ForwardingUpdate { .. } | Event::FaultUpdate { .. } => {
+            Event::ForwardingUpdate { .. }
+            | Event::FaultUpdate { .. }
+            | Event::FluidUpdate { .. } => {
                 unreachable!("coordinator event dispatched to a shard")
             }
         }

@@ -22,17 +22,18 @@
 use crate::app::Application;
 use crate::config::SimConfig;
 use crate::event::Event;
+use crate::fluid::{FluidNet, SimMode};
 use crate::node::Node;
-use crate::shard::{fault_key, Outbound, Partition, Shard, FORWARDING_KEY};
+use crate::shard::{fault_key, fluid_key, Outbound, Partition, Shard, FORWARDING_KEY};
 use crate::stats::SimStats;
-use crate::trace::Trace;
+use crate::trace::{Trace, TraceKind};
 use hypatia_constellation::{Constellation, NodeId};
 use hypatia_fault::FaultState;
 use hypatia_routing::forwarding::{compute_multipath_state_on, ForwardingState, MultipathState};
 use hypatia_routing::graph::SnapshotBuffers;
 use hypatia_routing::incremental::IncrementalRouter;
 use hypatia_routing::parallel::{Prefetcher, SnapshotWorker};
-use hypatia_util::{SimDuration, SimTime};
+use hypatia_util::{DataRate, SimDuration, SimTime};
 use std::sync::Arc;
 
 /// How the engine executed a run — recorded into experiment manifests so
@@ -92,6 +93,20 @@ pub struct Simulator {
     /// forwarding swaps and fault updates), plus the swap counter both
     /// engines share.
     coord_stats: SimStats,
+    /// The fluid-flow network (fluid/hybrid modes; `None` under packet
+    /// mode). Coordinator-owned: rates re-solve only at canonical global
+    /// instants, which is what keeps sharded runs bit-identical.
+    fluid: Option<FluidNet>,
+    /// Fluid flows installed since the last boundary rebuild.
+    fluid_dirty: bool,
+    /// Has `run_until` been called? Fluid installs are rejected after
+    /// that: the serial engine chains boundary events through its queue,
+    /// and late installs would leave stale chains the sharded engine
+    /// (which rebuilds its schedule) would not replay.
+    started: bool,
+    /// Trace records made by the coordinator itself (fluid re-solves);
+    /// merged ahead of the shard traces in `refresh_views`.
+    coord_trace: Trace,
     epochs: u64,
     barriers: u64,
     min_lookahead_ns: Option<u64>,
@@ -200,6 +215,9 @@ impl Simulator {
         });
 
         let trace = Trace::new(config.trace_limit);
+        let fluid = (config.sim_mode != SimMode::Packet)
+            .then(|| FluidNet::new(config.effective_isl_rate(), config.effective_gsl_rate()));
+        let coord_trace = Trace::new(config.trace_limit);
         Simulator {
             constellation,
             config,
@@ -216,6 +234,10 @@ impl Simulator {
             next_fwd_step: 1,
             next_fault_index,
             coord_stats: SimStats::default(),
+            fluid,
+            fluid_dirty: false,
+            started: false,
+            coord_trace,
             epochs: 0,
             barriers: 0,
             min_lookahead_ns: None,
@@ -296,8 +318,47 @@ impl Simulator {
         self.shards[shard].app_as(idx)
     }
 
+    /// Install one fluid flow (fluid/hybrid modes; see [`crate::fluid`]):
+    /// `demand` offered wire rate from `src` to `dst` until `stop_at`,
+    /// `payload_bytes` of goodput per packet-equivalent on the wire. Must
+    /// be called before the first `run_until`; rates are solved at run
+    /// start and re-solved at forwarding swaps, fault updates, and flow
+    /// finish boundaries.
+    pub fn add_fluid_flow(
+        &mut self,
+        flow_id: u32,
+        src: NodeId,
+        dst: NodeId,
+        demand: DataRate,
+        payload_bytes: u32,
+        stop_at: SimTime,
+    ) {
+        assert!(
+            self.config.sim_mode != SimMode::Packet,
+            "fluid flows require sim_mode fluid or hybrid"
+        );
+        assert!(!self.started, "fluid flows must be installed before the run starts");
+        self.fluid.as_mut().expect("fluid network exists in fluid/hybrid modes").add_flow(
+            flow_id,
+            src,
+            dst,
+            demand,
+            payload_bytes,
+            stop_at,
+        );
+        self.fluid_dirty = true;
+    }
+
+    /// The fluid-flow network, when `sim_mode` is fluid or hybrid (for
+    /// per-flow delivered-byte and rate inspection).
+    pub fn fluid(&self) -> Option<&FluidNet> {
+        self.fluid.as_ref()
+    }
+
     /// Run the event loop until simulated time `t_end` (inclusive).
     pub fn run_until(&mut self, t_end: SimTime) {
+        self.flush_fluid_installs();
+        self.started = true;
         if self.shards.len() == 1 {
             self.run_serial(t_end);
         } else {
@@ -323,6 +384,7 @@ impl Simulator {
             match event {
                 Event::ForwardingUpdate { step } => self.forwarding_update_serial(step),
                 Event::FaultUpdate { index } => self.fault_update_serial(index),
+                Event::FluidUpdate { index } => self.fluid_update_serial(index),
                 other => self.shards[0].handle(other),
             }
         }
@@ -411,8 +473,8 @@ impl Simulator {
         moved
     }
 
-    /// The next instant at which the coordinator must act (forwarding swap
-    /// or fault update), if any.
+    /// The next instant at which the coordinator must act (forwarding
+    /// swap, fault update, or fluid finish boundary), if any.
     fn next_global_time(&self) -> Option<SimTime> {
         let mut next: Option<SimTime> = None;
         if !self.config.freeze_at_epoch {
@@ -423,14 +485,24 @@ impl Simulator {
                 next = Some(next.map_or(e.t, |n| n.min(e.t)));
             }
         }
+        if let Some((t, _)) = self.fluid.as_ref().and_then(|f| f.next_boundary()) {
+            next = Some(next.map_or(t, |n| n.min(t)));
+        }
         next
     }
 
     /// Apply every coordinator event due exactly at `t`, in canonical
     /// order: the forwarding swap (key 0) first, then fault-schedule
-    /// entries in index order — the same order the serial engine pops
-    /// them.
+    /// entries in index order, then the fluid finish boundary — the same
+    /// order the serial engine pops them. Each trigger re-solves the
+    /// fluid allocation under its own key, exactly as the serial engine's
+    /// per-event handlers do, so re-solve counts and trace records match
+    /// bit for bit.
     fn apply_globals_at(&mut self, t: SimTime) {
+        // Captured before any same-instant re-solve advances the cursor:
+        // the serial engine still pops the boundary event afterwards.
+        let due_boundary =
+            self.fluid.as_ref().and_then(|f| f.next_boundary()).filter(|&(bt, _)| bt == t);
         if !self.config.freeze_at_epoch
             && SimTime::ZERO + self.config.fstate_step * self.next_fwd_step == t
         {
@@ -444,6 +516,7 @@ impl Simulator {
             self.coord_stats.forwarding_updates += 1;
             self.coord_stats.events += 1;
             self.next_fwd_step += 1;
+            self.resolve_fluid(t, FORWARDING_KEY);
         }
         if let Some(schedule) = self.config.faults.clone() {
             while let Some(event) = schedule.events().get(self.next_fault_index) {
@@ -454,8 +527,14 @@ impl Simulator {
                     shard.apply_fault(event);
                 }
                 self.coord_stats.events += 1;
+                let index = self.next_fault_index as u64;
                 self.next_fault_index += 1;
+                self.resolve_fluid(t, fault_key(index));
             }
+        }
+        if let Some((_, index)) = due_boundary {
+            self.coord_stats.events += 1;
+            self.resolve_fluid(t, fluid_key(index));
         }
     }
 
@@ -475,6 +554,7 @@ impl Simulator {
             FORWARDING_KEY,
             Event::ForwardingUpdate { step: step + 1 },
         );
+        self.resolve_fluid(t, FORWARDING_KEY);
     }
 
     /// Serial-engine fault update: apply schedule entry `index` to the
@@ -492,6 +572,75 @@ impl Simulator {
                 fault_key(index + 1),
                 Event::FaultUpdate { index: index + 1 },
             );
+        }
+        let t = self.now;
+        self.resolve_fluid(t, fault_key(index));
+    }
+
+    /// Serial-engine fluid boundary: re-solve with the finished demand
+    /// removed and chain the next boundary. The sharded coordinator
+    /// consumes boundaries in `apply_globals_at` instead; both count one
+    /// event and one re-solve per boundary, under the same key.
+    fn fluid_update_serial(&mut self, index: u64) {
+        let t = self.now;
+        self.resolve_fluid(t, fluid_key(index));
+        if let Some((bt, bi)) = self.fluid.as_ref().and_then(|f| f.next_boundary()) {
+            self.shards[0].queue.schedule_keyed(
+                bt,
+                fluid_key(bi),
+                Event::FluidUpdate { index: bi },
+            );
+        }
+    }
+
+    /// One-time lazy setup at run start: build the finish-boundary
+    /// schedule for freshly installed fluid flows, solve the initial rate
+    /// allocation, and (serial engine) chain the first boundary event.
+    /// Counts no event on either engine — installs happen outside the
+    /// event loop, like `add_app`'s `on_start`.
+    fn flush_fluid_installs(&mut self) {
+        if !self.fluid_dirty {
+            return;
+        }
+        self.fluid_dirty = false;
+        let now = self.now;
+        if let Some(f) = self.fluid.as_mut() {
+            f.rebuild_boundaries(now);
+        }
+        self.resolve_fluid(now, fluid_key(0));
+        if self.shards.len() == 1 {
+            if let Some((bt, bi)) = self.fluid.as_ref().and_then(|f| f.next_boundary()) {
+                self.shards[0].queue.schedule_keyed(
+                    bt,
+                    fluid_key(bi),
+                    Event::FluidUpdate { index: bi },
+                );
+            }
+        }
+    }
+
+    /// Recompute the fluid rate allocation at `t` (after integrating
+    /// delivered bytes up to `t` under the outgoing rates) and, in hybrid
+    /// mode, push changed residual rates to the packet devices. `key` is
+    /// the canonical key of the triggering coordinator event — stamped on
+    /// the trace record so merged traces land in serial order. No-op in
+    /// packet mode.
+    fn resolve_fluid(&mut self, t: SimTime, key: u64) {
+        let Some(fluid) = self.fluid.as_mut() else { return };
+        fluid.advance_to(t);
+        fluid.resolve(t, &self.fwd, self.shards[0].fault_state.as_ref(), &self.constellation);
+        self.coord_stats.fluid_resolves += 1;
+        self.coord_trace.set_key(key);
+        // Not a packet event: node 0 is a placeholder; the "packet id"
+        // carries the running re-solve count.
+        self.coord_trace.record(t, NodeId(0), fluid.resolves(), TraceKind::FluidResolve);
+        if self.config.sim_mode == SimMode::Hybrid {
+            let changes = fluid.residual_changes();
+            if !changes.is_empty() {
+                for shard in &mut self.shards {
+                    shard.apply_link_rates(&changes);
+                }
+            }
         }
     }
 
@@ -544,12 +693,19 @@ impl Simulator {
     /// re-sorts into canonical `(time, key)` order, which is exactly the
     /// order the serial engine would have recorded.
     fn refresh_views(&mut self) {
+        if let Some(f) = self.fluid.as_mut() {
+            f.advance_to(self.now);
+            self.coord_stats.fluid_flows = f.flow_count();
+            self.coord_stats.fluid_bytes_delivered = f.delivered_payload_bytes();
+        }
         let mut stats = self.coord_stats.clone();
         for shard in &self.shards {
             stats.merge(&shard.stats);
         }
         self.stats = stats;
-        let parts: Vec<&Trace> = self.shards.iter().map(|s| &s.trace).collect();
+        let parts: Vec<&Trace> = std::iter::once(&self.coord_trace)
+            .chain(self.shards.iter().map(|s| &s.trace))
+            .collect();
         self.trace = Trace::merged(&parts, self.config.trace_limit);
     }
 
@@ -1061,6 +1217,108 @@ mod tests {
                 .with_fstate_prefetch(2, 4));
             assert_eq!(full, prefetched, "prefetched incremental diverged");
         }
+    }
+
+    /// Fluid flows deliver `rate × time` bytes analytically, cost no
+    /// packet events, and — the tentpole invariant — every observable is
+    /// bit-identical across engines and queue kinds, because the solver
+    /// re-runs only at canonical coordinator instants.
+    #[test]
+    fn fluid_flows_deliver_analytically_and_bit_identically() {
+        use crate::event::QueueKind;
+        let c = constellation();
+        let (src, dst) = (c.gs_node(0), c.gs_node(1));
+        let run = |cfg: SimConfig| {
+            let mut sim = Simulator::new(c.clone(), cfg, vec![src, dst]);
+            let app = sim.add_app(
+                src,
+                100,
+                Box::new(PingApp::new(dst, SimDuration::from_millis(10), SimTime::from_secs(1))),
+            );
+            for i in 0..20 {
+                sim.add_fluid_flow(
+                    i,
+                    src,
+                    dst,
+                    DataRate::from_kbps(64),
+                    1440,
+                    SimTime::from_secs(1),
+                );
+            }
+            sim.run_until(SimTime::from_secs(2));
+            let ping: &PingApp = sim.app_as(app).unwrap();
+            (ping.rtts().to_vec(), sim.stats.clone(), sim.trace.entries().to_vec())
+        };
+        let base = SimConfig::default().with_sim_mode(SimMode::Hybrid).with_trace_limit(100_000);
+        let serial = run(base.clone());
+        assert_eq!(serial.1.fluid_flows, 20);
+        assert!(serial.1.fluid_resolves > 0, "solver never ran");
+        // 20 flows × 64 kbps × 1 s = 160 kB wire, × 1440/1500 payload
+        // fraction = 153.6 kB (small float slack from chunked integration).
+        let bytes = serial.1.fluid_bytes_delivered;
+        assert!((153_590..=153_610).contains(&bytes), "fluid bytes {bytes}");
+        assert!(serial.1.delivered > 0, "packet-level pings still flow in hybrid mode");
+        assert!(serial.2.iter().any(|e| e.kind == TraceKind::FluidResolve), "re-solves are traced");
+        for shards in [2, 4] {
+            for queue in [QueueKind::Heap, QueueKind::Calendar] {
+                let got = run(base.clone().with_sim_shards(shards).with_queue(queue));
+                assert_eq!(serial, got, "shards={shards} queue={queue:?} diverged");
+            }
+        }
+    }
+
+    /// Hybrid coupling: saturating fluid load pushes packet devices down
+    /// to the 1% residual floor, and expiry restores full capacity at the
+    /// next re-solve. Pure fluid mode never touches device rates.
+    #[test]
+    fn hybrid_coupling_reduces_packet_residual_rates() {
+        let c = constellation();
+        let (src, dst) = (c.gs_node(0), c.gs_node(1));
+        let cfg = SimConfig::default().with_sim_mode(SimMode::Hybrid);
+        let mut sim = Simulator::new(c.clone(), cfg, vec![src, dst]);
+        for i in 0..4 {
+            sim.add_fluid_flow(i, src, dst, DataRate::from_mbps(10), 1440, SimTime::from_secs(1));
+        }
+        sim.run_until(SimTime::from_millis(50));
+        let gsl = sim.node(src).gsl_device().expect("src has a GSL device");
+        let rate = sim.node(src).devices[gsl].rate;
+        assert_eq!(rate, DataRate::from_kbps(100), "saturated uplink sits at the 1% floor");
+        // Past the stop boundary the load vanishes and capacity returns.
+        sim.run_until(SimTime::from_secs(2));
+        assert_eq!(sim.node(src).devices[gsl].rate, DataRate::from_mbps(10));
+
+        let cfg = SimConfig::default().with_sim_mode(SimMode::Fluid);
+        let mut sim = Simulator::new(c.clone(), cfg, vec![src, dst]);
+        for i in 0..4 {
+            sim.add_fluid_flow(i, src, dst, DataRate::from_mbps(10), 1440, SimTime::from_secs(1));
+        }
+        sim.run_until(SimTime::from_millis(50));
+        let gsl = sim.node(src).gsl_device().expect("src has a GSL device");
+        assert_eq!(
+            sim.node(src).devices[gsl].rate,
+            DataRate::from_mbps(10),
+            "pure fluid mode must not throttle packet devices"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "sim_mode fluid or hybrid")]
+    fn packet_mode_rejects_fluid_flows() {
+        let c = constellation();
+        let (src, dst) = (c.gs_node(0), c.gs_node(1));
+        let mut sim = Simulator::new(c.clone(), SimConfig::default(), vec![src, dst]);
+        sim.add_fluid_flow(0, src, dst, DataRate::from_kbps(64), 1440, SimTime::from_secs(1));
+    }
+
+    #[test]
+    #[should_panic(expected = "before the run starts")]
+    fn late_fluid_install_rejected() {
+        let c = constellation();
+        let (src, dst) = (c.gs_node(0), c.gs_node(1));
+        let cfg = SimConfig::default().with_sim_mode(SimMode::Fluid);
+        let mut sim = Simulator::new(c.clone(), cfg, vec![src, dst]);
+        sim.run_until(SimTime::from_millis(1));
+        sim.add_fluid_flow(0, src, dst, DataRate::from_kbps(64), 1440, SimTime::from_secs(1));
     }
 
     #[test]

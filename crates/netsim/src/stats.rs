@@ -36,6 +36,13 @@ pub struct SimStats {
     /// Steady-state bytes of per-flow application state behind
     /// `flow_count` (both endpoints; excludes in-flight packets).
     pub flow_state_bytes: u64,
+    /// Fluid flows installed (fluid/hybrid modes; coordinator-owned).
+    pub fluid_flows: u64,
+    /// Max-min rate re-solves performed by the fluid solver.
+    pub fluid_resolves: u64,
+    /// Payload bytes delivered analytically by fluid flows (excluded
+    /// from `payload_bytes_delivered`, which stays packet-only).
+    pub fluid_bytes_delivered: u64,
 }
 
 impl SimStats {
@@ -68,6 +75,9 @@ impl SimStats {
         self.events += other.events;
         self.flow_count += other.flow_count;
         self.flow_state_bytes += other.flow_state_bytes;
+        self.fluid_flows += other.fluid_flows;
+        self.fluid_resolves += other.fluid_resolves;
+        self.fluid_bytes_delivered += other.fluid_bytes_delivered;
     }
 
     /// Steady-state application bytes per flow (`None` when no installed
@@ -114,6 +124,9 @@ mod tests {
             events: 12,
             flow_count: 13,
             flow_state_bytes: 14,
+            fluid_flows: 15,
+            fluid_resolves: 16,
+            fluid_bytes_delivered: 17,
         };
         let mut b = a.clone();
         b.merge(&a);
@@ -132,6 +145,9 @@ mod tests {
             events: 24,
             flow_count: 26,
             flow_state_bytes: 28,
+            fluid_flows: 30,
+            fluid_resolves: 32,
+            fluid_bytes_delivered: 34,
         };
         assert_eq!(b, doubled);
         // Merging a default is the identity.

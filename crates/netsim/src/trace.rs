@@ -27,6 +27,10 @@ pub enum TraceKind {
     /// Dropped by fault injection: the packet was in flight on (or
     /// forwarded into) a link or node that a scheduled fault took down.
     FaultDrop,
+    /// The coordinator's fluid solver recomputed the max-min rate
+    /// allocation (fluid/hybrid modes). Not a packet event: `node` is
+    /// always 0 and `packet_id` carries the running re-solve count.
+    FluidResolve,
 }
 
 /// One trace record.

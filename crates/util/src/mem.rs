@@ -11,13 +11,21 @@
 pub fn peak_rss_bytes() -> Option<u64> {
     #[cfg(target_os = "linux")]
     {
-        let status = std::fs::read_to_string("/proc/self/status").ok()?;
-        parse_vm_hwm(&status)
+        peak_rss_from(std::path::Path::new("/proc/self/status"))
     }
     #[cfg(not(target_os = "linux"))]
     {
         None
     }
+}
+
+/// Read the high-water mark from a `/proc/<pid>/status`-format file.
+/// An absent, unreadable, or malformed file yields `None` — the
+/// benchmarks drop the column, they never crash over introspection.
+#[allow(dead_code)] // non-Linux builds only use it from tests
+fn peak_rss_from(path: &std::path::Path) -> Option<u64> {
+    let status = std::fs::read_to_string(path).ok()?;
+    parse_vm_hwm(&status)
 }
 
 /// Parse the `VmHWM` line of a `/proc/<pid>/status` dump into bytes.
@@ -38,6 +46,36 @@ mod tests {
         let status = "Name:\tcargo\nVmPeak:\t  999 kB\nVmHWM:\t    4321 kB\nThreads:\t1\n";
         assert_eq!(parse_vm_hwm(status), Some(4321 * 1024));
         assert_eq!(parse_vm_hwm("Name:\tcargo\n"), None);
+    }
+
+    #[test]
+    fn absent_status_file_is_none_not_a_panic() {
+        let path = std::env::temp_dir().join("hypatia-mem-test-no-such-file");
+        assert_eq!(peak_rss_from(&path), None);
+    }
+
+    #[test]
+    fn malformed_status_file_is_none_not_a_panic() {
+        let dir = std::env::temp_dir();
+        for (name, content) in [
+            ("hypatia-mem-test-empty", ""),
+            ("hypatia-mem-test-no-hwm", "Name:\tcargo\nThreads:\t1\n"),
+            ("hypatia-mem-test-no-value", "VmHWM:\n"),
+            ("hypatia-mem-test-non-numeric", "VmHWM:\tlots kB\n"),
+        ] {
+            let path = dir.join(name);
+            std::fs::write(&path, content).expect("write fixture");
+            assert_eq!(peak_rss_from(&path), None, "fixture {name:?}");
+            let _ = std::fs::remove_file(&path);
+        }
+    }
+
+    #[test]
+    fn well_formed_status_file_round_trips() {
+        let path = std::env::temp_dir().join("hypatia-mem-test-well-formed");
+        std::fs::write(&path, "Name:\tcargo\nVmHWM:\t    4321 kB\n").expect("write fixture");
+        assert_eq!(peak_rss_from(&path), Some(4321 * 1024));
+        let _ = std::fs::remove_file(&path);
     }
 
     #[cfg(target_os = "linux")]

@@ -1,0 +1,100 @@
+#!/usr/bin/env bash
+# Benchmark the hybrid fluid/packet engine (the ext_hybrid_mode gravity
+# workload) and append the results to BENCH_fluid.json.
+#
+# Runs `bench_hybrid` (crates/bench/src/bin/bench_hybrid.rs) once per
+# (flow count, simulation mode) pair over the 100-city Kuiper K1 ground
+# segment — one process per point so wall-clock numbers never share
+# allocator warm-up. Each line records events, events/sec, goodput, Jain
+# fairness, the fluid solver's flow and re-solve counts, and the control
+# overlay's ping RTT samples. The headline number is the hybrid-over-
+# packet wall-clock speedup at the largest flow count: both modes
+# simulate the same two virtual seconds of the same workload, so
+# packet_wall / hybrid_wall is how much faster the hybrid engine gets
+# through it (the design targets >= 5x at 100k bulk flows).
+#
+# Each invocation APPENDS one timestamped entry to the output file (a JSON
+# array), so the file accumulates a history across machines/commits.
+#
+# Usage: scripts/bench_fluid.sh [output.json] [flow counts...]
+
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+out="${1:-BENCH_fluid.json}"
+shift $(( $# > 0 ? 1 : 0 ))
+counts=("${@:-}")
+if [ -z "${counts[0]:-}" ]; then
+    counts=(10000 100000)
+fi
+
+cargo build --release -p hypatia-bench --bin bench_hybrid
+bin="${CARGO_TARGET_DIR:-target}/release/bench_hybrid"
+
+raw="$(mktemp)"
+trap 'rm -f "$raw"' EXIT
+
+for flows in "${counts[@]}"; do
+    for mode in packet fluid hybrid; do
+        echo "== $flows flows, mode=$mode (100 cities, 2s sim, 256 kbps/flow) ==" >&2
+        "$bin" --flows "$flows" --mode "$mode" --cities 100 \
+            --flow-rate-kbps 256 --duration-s 2 >>"$raw"
+    done
+done
+
+python3 - "$raw" "$out" <<'PY'
+import json, os, subprocess, sys, time
+
+raw_path, out_path = sys.argv[1], sys.argv[2]
+
+runs = [json.loads(line) for line in open(raw_path) if line.strip()]
+for run in runs:
+    print(f"  {run['flows']:>9,} flows  {run['mode']:<7} "
+          f"{run['events_per_sec']:>12,} events/s  "
+          f"goodput={run['goodput_gbps']:.4f} Gbps  jain={run['jain']:.4f}  "
+          f"resolves={run['fluid_resolves']}")
+
+def wall(flows, mode):
+    return sum(r["wall_s"] for r in runs
+               if r["flows"] == flows and r["mode"] == mode)
+
+# Same virtual duration and workload in every mode, so the wall-clock
+# ratio is the engine speedup (events/sec is incomparable across modes:
+# the fluid solver's whole point is to need almost no events).
+speedup = {}
+for flows in sorted({r["flows"] for r in runs}):
+    packet = wall(flows, "packet")
+    for mode in ("fluid", "hybrid"):
+        this = wall(flows, mode)
+        if packet and this:
+            speedup[f"{mode}_{flows}"] = round(packet / this, 3)
+
+entry = {
+    "timestamp": time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime()),
+    "bench": "bench_hybrid (gravity bulk flows, packet vs fluid vs hybrid)",
+    # Host core count (nproc), matching the other bench appenders: lets
+    # readers compare entries recorded on different machines.
+    "cores": os.cpu_count(),
+    "runs": runs,
+    "speedup_over_packet": speedup,
+}
+try:
+    commit = subprocess.run(
+        ["git", "rev-parse", "--short", "HEAD"],
+        capture_output=True, text=True, check=True,
+    ).stdout.strip()
+    entry["commit"] = commit
+except Exception:
+    pass
+
+try:
+    history = json.load(open(out_path))
+    if not isinstance(history, list):
+        history = [history]
+except (FileNotFoundError, json.JSONDecodeError):
+    history = []
+history.append(entry)
+json.dump(history, open(out_path, "w"), indent=2)
+print()
+print(f"wrote {out_path}: speedup over packet = {json.dumps(speedup)}")
+PY

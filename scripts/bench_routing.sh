@@ -36,7 +36,7 @@ for step_ms in 50 100 1000; do
 done
 
 python3 - "$raw" "$out" <<'PY'
-import json, subprocess, sys, time
+import json, os, subprocess, sys, time
 
 raw_path, out_path = sys.argv[1], sys.argv[2]
 
@@ -63,6 +63,9 @@ for step_ms in sorted({r["step_ms"] for r in runs}):
 entry = {
     "timestamp": time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime()),
     "bench": "bench_routing (fig09 granularity x fault churn)",
+    # Host core count (nproc), matching the other bench appenders: lets
+    # readers compare entries recorded on different machines.
+    "cores": os.cpu_count(),
     "runs": runs,
     "speedup_incremental_over_full": speedup,
 }

@@ -85,4 +85,50 @@ cargo run --release -q -p hypatia-bench --bin run_experiment -- \
 diff <(strip_engine "$smoke_dir/flows_arena/manifest.json") \
      <(strip_engine "$smoke_dir/flows_apps/manifest.json")
 
+echo "== sim_mode spec round-trip (hybrid knobs survive --print-spec)"
+cargo run --release -q -p hypatia-bench --bin run_experiment -- \
+  ext_hybrid_mode --print-spec \
+  --set sim_mode=hybrid --set fluid_threshold_kbps=64 \
+  > "$smoke_dir/hybrid_spec.json"
+grep -q '"sim_mode": "hybrid"' "$smoke_dir/hybrid_spec.json"
+grep -q '"fluid_threshold_kbps": 64' "$smoke_dir/hybrid_spec.json"
+
+echo "== ext_hybrid_mode smoke run (400 gravity flows, all three modes)"
+cargo run --release -q -p hypatia-bench --bin run_experiment -- \
+  ext_hybrid_mode --out "$smoke_dir/hybrid" \
+  --set flows=400 --set cities=10 --set flow_rate_kbps=64 > /dev/null
+test -f "$smoke_dir/hybrid/manifest.json"
+test -f "$smoke_dir/hybrid/ext_hybrid_packet_goodput.dat"
+test -f "$smoke_dir/hybrid/ext_hybrid_fluid_goodput.dat"
+test -f "$smoke_dir/hybrid/ext_hybrid_hybrid_goodput.dat"
+
+echo "== hybrid-vs-packet goodput tolerance gate (fig02-scale workload)"
+# The hybrid engine must reproduce the packet reference's goodput within
+# 5% and its Jain index within 0.05 on an unbottlenecked bulk workload.
+python3 - "$smoke_dir/hybrid" <<'PY'
+import sys
+
+def series(path):
+    rows = {}
+    for line in open(path):
+        if line.startswith("#") or not line.strip():
+            continue
+        x, y = line.split()
+        rows[float(x)] = float(y)
+    return rows
+
+base = sys.argv[1]
+for metric, tol, relative in (("goodput", 0.05, True), ("jain", 0.05, False)):
+    packet = series(f"{base}/ext_hybrid_packet_{metric}.dat")
+    hybrid = series(f"{base}/ext_hybrid_hybrid_{metric}.dat")
+    assert packet.keys() == hybrid.keys(), (metric, packet, hybrid)
+    for flows, ref in packet.items():
+        diff = abs(hybrid[flows] - ref)
+        if relative:
+            assert ref > 0, (metric, flows, ref)
+            diff /= ref
+        assert diff <= tol, (metric, flows, ref, hybrid[flows], diff)
+print("hybrid-vs-packet tolerance gate passed")
+PY
+
 echo "All checks passed."
