@@ -8,13 +8,19 @@
 //! bench_netsim [--queue heap|calendar] [--cities N] [--rate-mbps R]
 //!              [--duration-s S] [--seed N] [--workload udp|tcp|both]
 //!              [--shards N] [--flow-table apps|arena]
+//!              [--checkpoint-every-s F]
 //! ```
 //!
 //! Unlike the Criterion benches this reports *simulator events per
 //! wall-clock second*, the paper's own cost metric (§3.2: the simulation
-//! is bottlenecked at per-packet event processing).
+//! is bottlenecked at per-packet event processing). With
+//! `--checkpoint-every-s` the run snapshots at that interval and the
+//! JSON's `checkpoint_count` / `checkpoint_wall_s` fields report the
+//! write overhead (both zero when checkpointing is off).
 
-use hypatia::experiments::scalability::{run_point, FlowTable, Workload};
+use hypatia::experiments::scalability::{run_point_with, FlowTable, Workload};
+use hypatia::resilience::DriveOptions;
+use hypatia::runner::Watchdog;
 use hypatia::scenario::{ConstellationChoice, ScenarioBuilder};
 use hypatia_netsim::QueueKind;
 use hypatia_util::{DataRate, SimDuration};
@@ -28,6 +34,7 @@ struct Args {
     workloads: Vec<Workload>,
     shards: usize,
     flow_table: FlowTable,
+    checkpoint_every_s: Option<f64>,
 }
 
 fn parse_args() -> Args {
@@ -40,6 +47,7 @@ fn parse_args() -> Args {
         workloads: vec![Workload::Udp, Workload::Tcp],
         shards: 1,
         flow_table: FlowTable::Apps,
+        checkpoint_every_s: None,
     };
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
@@ -67,6 +75,12 @@ fn parse_args() -> Args {
                 parsed.flow_table = FlowTable::parse(&v)
                     .unwrap_or_else(|| panic!("unknown flow table {v:?} (apps|arena)"));
             }
+            "--checkpoint-every-s" => {
+                let s: f64 =
+                    value("--checkpoint-every-s").parse().expect("--checkpoint-every-s: seconds");
+                assert!(s > 0.0, "--checkpoint-every-s: positive seconds");
+                parsed.checkpoint_every_s = Some(s);
+            }
             "--workload" => {
                 parsed.workloads = match value("--workload").as_str() {
                     "udp" => vec![Workload::Udp],
@@ -90,8 +104,27 @@ fn main() {
 
     let rate = DataRate::from_bps((args.rate_mbps * 1e6).round() as u64);
     let duration = SimDuration::from_secs_f64(args.duration_s);
+    let snap_dir = std::env::temp_dir().join(format!("bench_netsim_{}", std::process::id()));
+    let opts = match args.checkpoint_every_s {
+        Some(s) => DriveOptions {
+            checkpoint_every: Some(SimDuration::from_secs_f64(s)),
+            checkpoint_dir: Some(snap_dir.clone()),
+            ..DriveOptions::off()
+        },
+        None => DriveOptions::off(),
+    };
     for workload in &args.workloads {
-        let p = run_point(&scenario, *workload, args.flow_table, rate, duration, args.seed);
+        let (p, outcome) = run_point_with(
+            &scenario,
+            *workload,
+            args.flow_table,
+            rate,
+            duration,
+            args.seed,
+            &opts,
+            &Watchdog::unlimited(),
+        )
+        .unwrap_or_else(|e| panic!("bench point failed: {e}"));
         let events_per_sec =
             if p.wall_s > 0.0 { (p.events as f64 / p.wall_s).round() as u64 } else { 0 };
         // Hand-rolled JSON: every field is a number or a known-safe token.
@@ -99,7 +132,8 @@ fn main() {
             "{{\"workload\":\"{}\",\"queue\":\"{}\",\"cities\":{},\"rate_mbps\":{},\
              \"duration_s\":{},\"seed\":{},\"sim_shards\":{},\"epochs\":{},\
              \"events\":{},\"wall_s\":{:.6},\
-             \"events_per_sec\":{},\"goodput_gbps\":{:.6}}}",
+             \"events_per_sec\":{},\"goodput_gbps\":{:.6},\
+             \"checkpoint_count\":{},\"checkpoint_wall_s\":{:.6}}}",
             workload.name().to_lowercase(),
             args.queue.name(),
             args.cities,
@@ -112,6 +146,9 @@ fn main() {
             p.wall_s,
             events_per_sec,
             p.goodput_gbps,
+            outcome.checkpoints,
+            outcome.checkpoint_wall_s,
         );
     }
+    let _ = std::fs::remove_dir_all(&snap_dir);
 }

@@ -3,15 +3,26 @@
 //! ```text
 //! run_experiment <name> [--full] [--out <dir>] [--set key=value]...
 //! run_experiment --spec <file.json> [--out <dir>] [--set key=value]...
+//! run_experiment <name> --resume <checkpoint-dir> [--set ...]
 //! run_experiment --list
 //! run_experiment <name> [--full] [--set ...] --print-spec
 //! ```
 //!
 //! `--list` prints every registered experiment. `--print-spec` prints the
 //! resolved spec as JSON (after `--full` and `--set`) without running it —
-//! the output is loadable again via `--spec`.
+//! the output is loadable again via `--spec`. `--resume <dir>` restores
+//! per-simulation snapshots a previous `--set checkpoint_every_s=F` run
+//! left behind (shorthand for `--set resume_from=<dir>`).
+//!
+//! Runs execute under supervision: panics, wall-clock deadlines
+//! (`--set deadline_s=F`), and memory budgets (`--set max_rss_mb=F`)
+//! become typed errors with a salvaged `status: aborted` manifest, and
+//! each error class exits with its own code (see
+//! `RunError::exit_code`): 2 usage, 3 unknown experiment, 4 unknown
+//! city, 5 bad spec, 6 I/O, 7 panic, 8 deadline, 9 memory budget,
+//! 10 checkpoint.
 
-use hypatia::runner::{ExperimentRunner, RunError};
+use hypatia::runner::{ExperimentRunner, RunError, RunPolicy};
 use hypatia::spec::ExperimentSpec;
 use hypatia_bench::apply_sets;
 use std::path::PathBuf;
@@ -22,6 +33,7 @@ struct Cli {
     spec_file: Option<PathBuf>,
     full: bool,
     out_dir: PathBuf,
+    resume: Option<String>,
     sets: Vec<(String, String)>,
     list: bool,
     print_spec: bool,
@@ -29,6 +41,7 @@ struct Cli {
 
 const USAGE: &str = "usage: run_experiment <name> [--full] [--out <dir>] [--set key=value]...
        run_experiment --spec <file.json> [--out <dir>] [--set key=value]...
+       run_experiment <name> --resume <checkpoint-dir>
        run_experiment --list
        run_experiment <name> --print-spec";
 
@@ -38,6 +51,7 @@ fn parse_cli() -> Result<Cli, String> {
         spec_file: None,
         full: false,
         out_dir: PathBuf::from("results"),
+        resume: None,
         sets: Vec::new(),
         list: false,
         print_spec: false,
@@ -55,6 +69,9 @@ fn parse_cli() -> Result<Cli, String> {
             "--spec" => {
                 cli.spec_file =
                     Some(PathBuf::from(args.next().ok_or("--spec requires a file argument")?));
+            }
+            "--resume" => {
+                cli.resume = Some(args.next().ok_or("--resume requires a directory argument")?);
             }
             "--set" => {
                 let kv = args.next().ok_or("--set requires key=value")?;
@@ -76,17 +93,30 @@ fn parse_cli() -> Result<Cli, String> {
     Ok(cli)
 }
 
-fn resolve_spec(cli: &Cli, runner: &ExperimentRunner) -> Result<ExperimentSpec, String> {
+/// Resolve the spec, keeping errors typed so each class exits with its
+/// own code (unknown experiment 3, bad spec/`--set` 5, unreadable spec
+/// file 6) instead of collapsing everything to the usage code.
+fn resolve_spec(cli: &Cli, runner: &ExperimentRunner) -> Result<ExperimentSpec, RunError> {
     let mut spec = match (&cli.spec_file, &cli.name) {
         (Some(path), _) => {
-            let text = std::fs::read_to_string(path)
-                .map_err(|e| format!("cannot read {}: {e}", path.display()))?;
-            ExperimentSpec::from_json(&text).map_err(|e| e.to_string())?
+            let text = std::fs::read_to_string(path).map_err(|e| {
+                RunError::Io(std::io::Error::new(
+                    e.kind(),
+                    format!("cannot read {}: {e}", path.display()),
+                ))
+            })?;
+            ExperimentSpec::from_json(&text).map_err(|e| RunError::BadSpec(e.to_string()))?
         }
-        (None, Some(name)) => runner.spec(name, cli.full).map_err(|e| e.to_string())?,
-        (None, None) => return Err(format!("missing experiment name\n{USAGE}")),
+        (None, Some(name)) => runner.spec(name, cli.full)?,
+        (None, None) => {
+            eprintln!("error: missing experiment name\n{USAGE}");
+            exit(2);
+        }
     };
-    apply_sets(&mut spec, &cli.sets).map_err(|e| e.to_string())?;
+    apply_sets(&mut spec, &cli.sets)?;
+    if let Some(dir) = &cli.resume {
+        spec.resume_from = Some(dir.clone());
+    }
     Ok(spec)
 }
 
@@ -111,9 +141,9 @@ fn main() {
 
     let spec = match resolve_spec(&cli, &runner) {
         Ok(spec) => spec,
-        Err(msg) => {
-            eprintln!("error: {msg}");
-            exit(2);
+        Err(e) => {
+            eprintln!("error: {e}");
+            exit(e.exit_code());
         }
     };
     if cli.print_spec {
@@ -121,16 +151,15 @@ fn main() {
         return;
     }
 
-    match runner.run(spec, cli.out_dir) {
+    let policy = RunPolicy::from_spec(&spec);
+    match runner.run_supervised(spec, cli.out_dir, &policy) {
         Ok(manifest) => println!("done: {}", manifest.display()),
-        Err(RunError::UnknownExperiment { name, available }) => {
-            eprintln!("error: unknown experiment {name:?}");
-            eprintln!("available: {}", available.join(", "));
-            exit(2);
-        }
         Err(e) => {
+            // One diagnostic line per failure, one exit code per class
+            // (RunError::Display already lists the registry for unknown
+            // experiment names).
             eprintln!("error: {e}");
-            exit(2);
+            exit(e.exit_code());
         }
     }
 }

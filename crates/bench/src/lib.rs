@@ -18,7 +18,7 @@
 //! * `--set key=value` — override any spec field (repeatable), e.g.
 //!   `--set duration_s=30 --set "pairs=Paris:Moscow"`.
 
-use hypatia::runner::{ExperimentRunner, RunError};
+use hypatia::runner::{ExperimentRunner, RunError, RunPolicy};
 use hypatia::spec::ExperimentSpec;
 use std::path::PathBuf;
 
@@ -44,25 +44,32 @@ impl BenchArgs {
     pub fn parse() -> BenchArgs {
         let mut parsed = BenchArgs::default();
         let mut args = std::env::args().skip(1);
+        // CLI mistakes are usage errors (exit 2), not panics.
+        let usage = |msg: String| -> ! {
+            eprintln!("error: {msg}");
+            std::process::exit(2);
+        };
         while let Some(a) = args.next() {
             match a.as_str() {
                 "--full" => parsed.full = true,
-                "--out" => {
-                    parsed.out_dir =
-                        PathBuf::from(args.next().expect("--out requires a directory argument"));
-                }
+                "--out" => match args.next() {
+                    Some(dir) => parsed.out_dir = PathBuf::from(dir),
+                    None => usage("--out requires a directory argument".to_string()),
+                },
                 "--set" => {
-                    let kv = args.next().expect("--set requires key=value");
+                    let Some(kv) = args.next() else {
+                        usage("--set requires key=value".to_string())
+                    };
                     match kv.split_once('=') {
                         Some((k, v)) => parsed.sets.push((k.to_string(), v.to_string())),
-                        None => panic!("--set expects key=value, got {kv:?}"),
+                        None => usage(format!("--set expects key=value, got {kv:?}")),
                     }
                 }
                 "--help" | "-h" => {
                     eprintln!("options: [--full] [--out <dir>] [--set key=value ...]");
                     std::process::exit(0);
                 }
-                other => panic!("unknown argument: {other}"),
+                other => usage(format!("unknown argument: {other}")),
             }
         }
         parsed
@@ -87,22 +94,25 @@ pub fn banner(figure: &str, title: &str, args: &BenchArgs) {
 }
 
 /// Entry point shared by all figure binaries: parse the common CLI and
-/// drive `name` through the registry. Exits with status 2 on failure.
+/// drive `name` through the registry. Exits on failure with the error's
+/// class-specific code (`RunError::exit_code`).
 pub fn run_figure(name: &str) {
     let args = BenchArgs::parse();
     drive(name, &args);
 }
 
-/// Run `name` with pre-parsed arguments. Exits with status 2 on failure.
+/// Run `name` with pre-parsed arguments. Exits on failure with the
+/// error's class-specific code (`RunError::exit_code`).
 pub fn drive(name: &str, args: &BenchArgs) {
     if let Err(e) = try_drive(name, args) {
         eprintln!("error: {e}");
-        std::process::exit(2);
+        std::process::exit(e.exit_code());
     }
 }
 
-/// The fallible driver: spec lookup, `--set` overrides, banner, run.
-/// Returns the manifest path.
+/// The fallible driver: spec lookup, `--set` overrides, banner, then a
+/// supervised run (panic capture, watchdog limits, salvage — see
+/// `ExperimentRunner::run_supervised`). Returns the manifest path.
 pub fn try_drive(name: &str, args: &BenchArgs) -> Result<PathBuf, RunError> {
     let runner = ExperimentRunner::new();
     let exp = runner.get(name)?;
@@ -111,7 +121,8 @@ pub fn try_drive(name: &str, args: &BenchArgs) -> Result<PathBuf, RunError> {
     }
     let mut spec = exp.spec(args.full);
     apply_sets(&mut spec, &args.sets)?;
-    runner.run(spec, args.out_dir.clone())
+    let policy = RunPolicy::from_spec(&spec);
+    runner.run_supervised(spec, args.out_dir.clone(), &policy)
 }
 
 /// Apply `--set` overrides to a spec, in order.

@@ -8,6 +8,8 @@
 //! reproducible shape is slowdown growing ∝ goodput, with TCP costing
 //! roughly 2× UDP per delivered byte.
 
+use crate::resilience::{drive, DriveOptions, DriveOutcome};
+use crate::runner::{RunError, Watchdog};
 use crate::scenario::Scenario;
 use hypatia_constellation::NodeId;
 use hypatia_netsim::apps::{UdpSink, UdpSource};
@@ -87,7 +89,8 @@ pub struct ScalabilityPoint {
 }
 
 /// Run one scalability point: permutation traffic at `line_rate` for
-/// `virtual_duration` simulated seconds, measuring wall time.
+/// `virtual_duration` simulated seconds, measuring wall time. No
+/// checkpoints, audits, or limits — see [`run_point_with`].
 pub fn run_point(
     scenario: &Scenario,
     workload: Workload,
@@ -96,6 +99,45 @@ pub fn run_point(
     virtual_duration: SimDuration,
     seed: u64,
 ) -> ScalabilityPoint {
+    match run_point_with(
+        scenario,
+        workload,
+        flow_table,
+        line_rate,
+        virtual_duration,
+        seed,
+        &DriveOptions::off(),
+        &Watchdog::unlimited(),
+    ) {
+        Ok((point, _)) => point,
+        // With resilience off and no watchdog the drive loop is a plain
+        // `run_until`; it has no failure path.
+        Err(e) => unreachable!("plain scalability run cannot fail: {e}"),
+    }
+}
+
+/// The snapshot tag for one scalability point — deterministic for the
+/// spec, so a resumed run finds the snapshot its predecessor wrote.
+pub fn point_tag(workload: Workload, flow_table: FlowTable, line_rate: DataRate) -> String {
+    format!("{}_{}_{}bps", workload.name().to_lowercase(), flow_table.name(), line_rate.bps())
+}
+
+/// [`run_point`] under the resilience drive loop: the simulation advances
+/// in checkpoint-interval segments (resuming from a prior snapshot when
+/// `opts.resume_from` holds one for this point's [`point_tag`]), runs
+/// conservation audits at segment boundaries, and honours the watchdog's
+/// deadline and memory budget.
+#[allow(clippy::too_many_arguments)]
+pub fn run_point_with(
+    scenario: &Scenario,
+    workload: Workload,
+    flow_table: FlowTable,
+    line_rate: DataRate,
+    virtual_duration: SimDuration,
+    seed: u64,
+    opts: &DriveOptions,
+    watchdog: &Watchdog,
+) -> Result<(ScalabilityPoint, DriveOutcome), RunError> {
     let pairs = scenario.permutation_pairs(seed);
     let mut sim_config = scenario.sim_config.clone();
     sim_config.link_rate = line_rate;
@@ -187,13 +229,16 @@ pub fn run_point(
         }
     }
 
+    let tag = point_tag(workload, flow_table, line_rate);
     let wall_start = Instant::now();
-    sim.run_until(stop);
-    let wall = wall_start.elapsed().as_secs_f64();
+    let outcome = drive(&mut sim, stop, &tag, opts, watchdog)?;
+    // Checkpoint writes are I/O, not simulation: keep them out of the
+    // slowdown measurement (the whole point of Fig. 2).
+    let wall = (wall_start.elapsed().as_secs_f64() - outcome.checkpoint_wall_s).max(0.0);
 
     let goodput_gbps =
         sim.stats.payload_bytes_delivered as f64 * 8.0 / virtual_duration.secs_f64() / 1e9;
-    ScalabilityPoint {
+    let point = ScalabilityPoint {
         workload,
         line_rate,
         goodput_gbps,
@@ -201,7 +246,8 @@ pub fn run_point(
         events: sim.stats.events,
         wall_s: wall,
         engine: sim.engine_report(),
-    }
+    };
+    Ok((point, outcome))
 }
 
 /// Sweep line rates for one workload (the full Fig. 2 series).
@@ -216,6 +262,35 @@ pub fn sweep(
     line_rates
         .iter()
         .map(|&r| run_point(scenario, workload, flow_table, r, virtual_duration, seed))
+        .collect()
+}
+
+/// [`sweep`] under the resilience drive loop (see [`run_point_with`]).
+#[allow(clippy::too_many_arguments)]
+pub fn sweep_with(
+    scenario: &Scenario,
+    workload: Workload,
+    flow_table: FlowTable,
+    line_rates: &[DataRate],
+    virtual_duration: SimDuration,
+    seed: u64,
+    opts: &DriveOptions,
+    watchdog: &Watchdog,
+) -> Result<Vec<(ScalabilityPoint, DriveOutcome)>, RunError> {
+    line_rates
+        .iter()
+        .map(|&r| {
+            run_point_with(
+                scenario,
+                workload,
+                flow_table,
+                r,
+                virtual_duration,
+                seed,
+                opts,
+                watchdog,
+            )
+        })
         .collect()
 }
 

@@ -25,7 +25,11 @@
 //!   [`ExperimentRunner`](runner::ExperimentRunner) registry that owns the
 //!   shared lifecycle (build the scenario once, execute, write the run's
 //!   `manifest.json` through an
-//!   [`ArtifactSink`](hypatia_viz::sink::ArtifactSink));
+//!   [`ArtifactSink`](hypatia_viz::sink::ArtifactSink)), plus the
+//!   supervised execution layer (panic capture, deadlines, memory
+//!   budgets, retries);
+//! * [`resilience`] — the segmented drive loop: periodic checkpoints,
+//!   byte-identical resume, and conservation audits for long runs;
 //! * [`figures`] — every table and figure of the paper (plus the extension
 //!   studies) implemented against that trait and registered by name.
 //!
@@ -52,6 +56,7 @@
 pub mod analysis;
 pub mod experiments;
 pub mod figures;
+pub mod resilience;
 pub mod runner;
 pub mod scenario;
 pub mod spec;

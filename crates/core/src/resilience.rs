@@ -1,0 +1,233 @@
+//! Crash resilience: the segmented simulation drive loop.
+//!
+//! Long experiment runs die — OOM kills, wall-clock limits, power loss.
+//! This module is the one place a netsim-backed experiment advances its
+//! simulator: [`drive`] runs the simulation to its horizon in
+//! checkpoint-interval segments, writing a restartable snapshot at every
+//! boundary, optionally running conservation audits, and honouring the
+//! supervisor's [`Watchdog`] deadline and
+//! memory budget. A later run of the same spec with `resume_from` set
+//! restores the snapshot and replays only the tail — byte-identically,
+//! because the simulator's checkpoint format captures the full
+//! deterministic state (see `hypatia_netsim::checkpoint`).
+//!
+//! Checkpointing, auditing, and watchdog checks never alter simulation
+//! behaviour: a driven run produces exactly the artifacts of a plain
+//! `run_until` to the same horizon.
+
+use crate::runner::{RunError, Watchdog};
+use hypatia_netsim::audit::AuditViolation;
+use hypatia_netsim::Simulator;
+use hypatia_util::{SimDuration, SimTime};
+use std::path::PathBuf;
+use std::time::Instant;
+
+/// How [`drive`] segments a simulation run.
+#[derive(Debug, Clone, Default)]
+pub struct DriveOptions {
+    /// Snapshot interval in simulated time (None: no checkpoints, one
+    /// segment to the horizon).
+    pub checkpoint_every: Option<SimDuration>,
+    /// Where snapshots go (`<out_dir>/checkpoints`); required when
+    /// `checkpoint_every` is set.
+    pub checkpoint_dir: Option<PathBuf>,
+    /// Directory holding a previous run's snapshots: a simulation whose
+    /// tagged snapshot exists there restores it before running.
+    pub resume_from: Option<PathBuf>,
+    /// Run conservation audits at every segment boundary.
+    pub audit: bool,
+}
+
+impl DriveOptions {
+    /// No checkpoints, no resume, no audits: plain `run_until`.
+    pub fn off() -> Self {
+        DriveOptions::default()
+    }
+}
+
+/// What one [`drive`] call did beyond simulating.
+#[derive(Debug, Clone, Default)]
+pub struct DriveOutcome {
+    /// Simulated time a snapshot was restored at (None: started fresh).
+    pub resumed_at: Option<SimTime>,
+    /// Snapshot writes performed, in order (all to the same tagged path).
+    pub checkpoints: u64,
+    /// The snapshot path, when any checkpoint was written.
+    pub last_checkpoint: Option<PathBuf>,
+    /// Wall-clock seconds spent writing snapshots (checkpoint overhead).
+    pub checkpoint_wall_s: f64,
+    /// Conservation audits performed.
+    pub audit_checks: u64,
+    /// Violations found by those audits (empty on a healthy run).
+    pub violations: Vec<AuditViolation>,
+}
+
+/// Advance `sim` to `stop` in checkpoint-interval segments.
+///
+/// `tag` names this simulation's snapshot file (`<tag>.snap`) inside the
+/// checkpoint directory; it must be deterministic for the spec so a
+/// resumed run finds the snapshot its predecessor wrote. The watchdog is
+/// consulted at every segment boundary, turning deadline and memory
+/// overruns into typed errors while the freshest snapshot is already on
+/// disk.
+pub fn drive(
+    sim: &mut Simulator,
+    stop: SimTime,
+    tag: &str,
+    opts: &DriveOptions,
+    watchdog: &Watchdog,
+) -> Result<DriveOutcome, RunError> {
+    let mut out = DriveOutcome::default();
+
+    if let Some(dir) = &opts.resume_from {
+        let snap = dir.join(format!("{tag}.snap"));
+        if snap.exists() {
+            sim.restore_from(&snap).map_err(|e| {
+                RunError::Checkpoint(format!("cannot resume from {}: {e}", snap.display()))
+            })?;
+            out.resumed_at = Some(sim.now());
+        }
+    }
+
+    let snap_path = match (&opts.checkpoint_every, &opts.checkpoint_dir) {
+        (Some(_), Some(dir)) => {
+            std::fs::create_dir_all(dir)?;
+            Some(dir.join(format!("{tag}.snap")))
+        }
+        (Some(_), None) => {
+            return Err(RunError::Checkpoint(
+                "checkpoint interval set but no checkpoint directory".into(),
+            ))
+        }
+        (None, _) => None,
+    };
+
+    loop {
+        let next = match opts.checkpoint_every {
+            Some(every) => (sim.now() + every).min(stop),
+            None => stop,
+        };
+        sim.run_until(next);
+        if opts.audit {
+            out.audit_checks += 1;
+            out.violations.extend(sim.audit());
+        }
+        if next >= stop {
+            break;
+        }
+        if let Some(snap) = &snap_path {
+            let t0 = Instant::now();
+            sim.checkpoint_to(snap).map_err(|e| {
+                RunError::Checkpoint(format!("cannot checkpoint to {}: {e}", snap.display()))
+            })?;
+            out.checkpoint_wall_s += t0.elapsed().as_secs_f64();
+            out.checkpoints += 1;
+            out.last_checkpoint = Some(snap.clone());
+        }
+        watchdog.check()?;
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hypatia_constellation::ground::GroundStation;
+    use hypatia_constellation::gsl::GslConfig;
+    use hypatia_constellation::isl::IslLayout;
+    use hypatia_constellation::shell::ShellSpec;
+    use hypatia_constellation::Constellation;
+    use hypatia_netsim::apps::PingApp;
+    use hypatia_netsim::{SimConfig, Simulator};
+    use std::sync::Arc;
+
+    fn sim() -> (Simulator, u32) {
+        let c = Arc::new(Constellation::build(
+            "drive-test",
+            vec![ShellSpec::new("A", 550.0, 6, 6, 53.0)],
+            IslLayout::PlusGrid,
+            vec![GroundStation::new("a", 10.0, 10.0), GroundStation::new("b", -5.0, 55.0)],
+            GslConfig::new(10.0),
+        ));
+        let (src, dst) = (c.gs_node(0), c.gs_node(1));
+        let mut s = Simulator::new(c, SimConfig::default(), vec![src, dst]);
+        let app = s.add_app(
+            src,
+            7,
+            Box::new(PingApp::new(dst, SimDuration::from_millis(50), SimTime::from_secs(2))),
+        );
+        (s, app)
+    }
+
+    fn rtts(s: &Simulator, app: u32) -> Vec<(SimTime, SimDuration)> {
+        let ping: &PingApp = s.app_as(app).unwrap();
+        ping.rtts().to_vec()
+    }
+
+    #[test]
+    fn segmented_drive_matches_plain_run() {
+        let (mut plain, plain_app) = sim();
+        plain.run_until(SimTime::from_secs(2));
+
+        let dir = std::env::temp_dir().join(format!("hypatia_drive_{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let opts = DriveOptions {
+            checkpoint_every: Some(SimDuration::from_millis(600)),
+            checkpoint_dir: Some(dir.clone()),
+            resume_from: None,
+            audit: true,
+        };
+        let (mut seg, seg_app) = sim();
+        let out =
+            drive(&mut seg, SimTime::from_secs(2), "t", &opts, &Watchdog::unlimited()).unwrap();
+        assert_eq!(out.checkpoints, 3, "boundaries at 0.6, 1.2, 1.8 s");
+        assert!(out.violations.is_empty(), "{:?}", out.violations);
+        assert!(out.audit_checks >= 4);
+        assert_eq!(rtts(&plain, plain_app), rtts(&seg, seg_app));
+
+        // Resume from the on-disk snapshot: identical final state again.
+        let opts_resume = DriveOptions { resume_from: Some(dir.clone()), ..opts };
+        let (mut res, res_app) = sim();
+        let out = drive(&mut res, SimTime::from_secs(2), "t", &opts_resume, &Watchdog::unlimited())
+            .unwrap();
+        assert_eq!(out.resumed_at, Some(SimTime::from_millis(1800)));
+        assert_eq!(rtts(&plain, plain_app), rtts(&res, res_app));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn missing_snapshot_starts_fresh_and_corrupt_snapshot_errors() {
+        let dir = std::env::temp_dir().join(format!("hypatia_drive_bad_{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+
+        let opts = DriveOptions { resume_from: Some(dir.clone()), ..DriveOptions::off() };
+        let (mut s, _) = sim();
+        let out =
+            drive(&mut s, SimTime::from_millis(100), "t", &opts, &Watchdog::unlimited()).unwrap();
+        assert_eq!(out.resumed_at, None, "no snapshot: start at t = 0");
+
+        std::fs::write(dir.join("t.snap"), b"not a snapshot").unwrap();
+        let (mut s, _) = sim();
+        match drive(&mut s, SimTime::from_millis(100), "t", &opts, &Watchdog::unlimited()) {
+            Err(RunError::Checkpoint(msg)) => {
+                assert!(msg.contains("resume"), "{msg}")
+            }
+            other => panic!("corrupt snapshot must be a Checkpoint error, got {other:?}"),
+        }
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn checkpoint_interval_without_directory_is_an_error() {
+        let opts = DriveOptions {
+            checkpoint_every: Some(SimDuration::from_millis(100)),
+            ..DriveOptions::off()
+        };
+        let (mut s, _) = sim();
+        match drive(&mut s, SimTime::from_millis(200), "t", &opts, &Watchdog::unlimited()) {
+            Err(RunError::Checkpoint(_)) => {}
+            other => panic!("expected Checkpoint error, got {other:?}"),
+        }
+    }
+}

@@ -9,12 +9,15 @@
 //! lifecycle: build the spec, assemble the constellation once, execute,
 //! then write the run's `manifest.json`.
 
+use crate::resilience::DriveOptions;
 use crate::scenario::{Scenario, UnknownCityError};
 use crate::spec::{ExperimentSpec, SpecError};
 use hypatia_viz::sink::ArtifactSink;
 use std::fmt;
 use std::io;
-use std::path::PathBuf;
+use std::panic::{self, AssertUnwindSafe};
+use std::path::{Path, PathBuf};
+use std::time::{Duration, Instant};
 
 /// Why an experiment run failed.
 #[derive(Debug)]
@@ -32,6 +35,29 @@ pub enum RunError {
     BadSpec(String),
     /// Writing an artifact failed.
     Io(io::Error),
+    /// The experiment panicked; the supervisor caught it.
+    Panicked {
+        /// Which experiment was running.
+        experiment: String,
+        /// The panic payload, when it was a string.
+        message: String,
+    },
+    /// The run exceeded its wall-clock deadline.
+    DeadlineExceeded {
+        /// The configured deadline, seconds.
+        limit_s: f64,
+        /// Wall-clock seconds actually elapsed when the check fired.
+        elapsed_s: f64,
+    },
+    /// The process exceeded its peak-RSS memory budget.
+    BudgetExceeded {
+        /// The configured budget, bytes.
+        limit_bytes: u64,
+        /// Peak RSS observed, bytes.
+        peak_bytes: u64,
+    },
+    /// Writing or restoring a state snapshot failed.
+    Checkpoint(String),
 }
 
 impl fmt::Display for RunError {
@@ -50,7 +76,48 @@ impl fmt::Display for RunError {
             RunError::UnknownCity(e) => write!(f, "{e}"),
             RunError::BadSpec(msg) => write!(f, "bad spec: {msg}"),
             RunError::Io(e) => write!(f, "I/O error: {e}"),
+            RunError::Panicked { experiment, message } => {
+                write!(f, "experiment {experiment} panicked: {message}")
+            }
+            RunError::DeadlineExceeded { limit_s, elapsed_s } => {
+                write!(f, "deadline exceeded: {elapsed_s:.1} s elapsed, limit {limit_s:.1} s")
+            }
+            RunError::BudgetExceeded { limit_bytes, peak_bytes } => {
+                write!(
+                    f,
+                    "memory budget exceeded: peak RSS {:.1} MiB, limit {:.1} MiB",
+                    *peak_bytes as f64 / (1024.0 * 1024.0),
+                    *limit_bytes as f64 / (1024.0 * 1024.0),
+                )
+            }
+            RunError::Checkpoint(msg) => write!(f, "checkpoint error: {msg}"),
         }
+    }
+}
+
+impl RunError {
+    /// The process exit code `run_experiment` maps this error to. Each
+    /// variant gets a distinct nonzero code (2 is reserved for CLI parse
+    /// errors) so wrappers and CI can dispatch on the failure class.
+    pub fn exit_code(&self) -> i32 {
+        match self {
+            RunError::UnknownExperiment { .. } => 3,
+            RunError::UnknownCity(_) => 4,
+            RunError::BadSpec(_) => 5,
+            RunError::Io(_) => 6,
+            RunError::Panicked { .. } => 7,
+            RunError::DeadlineExceeded { .. } => 8,
+            RunError::BudgetExceeded { .. } => 9,
+            RunError::Checkpoint(_) => 10,
+        }
+    }
+
+    /// Whether retrying the same spec can plausibly succeed. Panics and
+    /// I/O failures may be transient (poisoned state, full disk being
+    /// cleaned); spec errors and blown deadlines or budgets are
+    /// deterministic and retrying would only repeat them.
+    pub fn is_retryable(&self) -> bool {
+        matches!(self, RunError::Panicked { .. } | RunError::Io(_))
     }
 }
 
@@ -74,29 +141,96 @@ impl From<io::Error> for RunError {
     }
 }
 
+/// Wall-clock and memory limits, checked at epoch boundaries.
+///
+/// A watchdog is armed when the supervisor starts an attempt and consulted
+/// by the [drive loop](crate::resilience::drive) between simulation
+/// segments: overruns surface as typed [`RunError`]s at a point where the
+/// freshest checkpoint is already on disk, instead of as an opaque kill.
+#[derive(Debug, Clone)]
+pub struct Watchdog {
+    started: Instant,
+    deadline: Option<Duration>,
+    max_rss_bytes: Option<u64>,
+}
+
+impl Watchdog {
+    /// A watchdog that never fires.
+    pub fn unlimited() -> Self {
+        Watchdog { started: Instant::now(), deadline: None, max_rss_bytes: None }
+    }
+
+    /// A watchdog armed with the given limits, starting now.
+    pub fn armed(deadline: Option<Duration>, max_rss_bytes: Option<u64>) -> Self {
+        Watchdog { started: Instant::now(), deadline, max_rss_bytes }
+    }
+
+    /// Err when a limit has been exceeded; cheap enough for every epoch.
+    pub fn check(&self) -> Result<(), RunError> {
+        if let Some(limit) = self.deadline {
+            let elapsed = self.started.elapsed();
+            if elapsed > limit {
+                return Err(RunError::DeadlineExceeded {
+                    limit_s: limit.as_secs_f64(),
+                    elapsed_s: elapsed.as_secs_f64(),
+                });
+            }
+        }
+        if let Some(limit) = self.max_rss_bytes {
+            if let Some(peak) = hypatia_util::mem::peak_rss_bytes() {
+                if peak > limit {
+                    return Err(RunError::BudgetExceeded { limit_bytes: limit, peak_bytes: peak });
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
 /// Everything an experiment needs while running.
 pub struct RunContext {
     /// The spec being executed.
     pub spec: ExperimentSpec,
     /// Where all artifacts go.
     pub sink: ArtifactSink,
+    /// Deadline and memory limits for this attempt (unlimited unless the
+    /// run goes through [`ExperimentRunner::run_supervised`]).
+    pub watchdog: Watchdog,
     scenario: Option<Scenario>,
 }
 
 impl RunContext {
-    /// A context executing `spec` into `sink`.
+    /// A context executing `spec` into `sink`, with no watchdog limits.
     pub fn new(spec: ExperimentSpec, sink: ArtifactSink) -> Self {
-        RunContext { spec, sink, scenario: None }
+        RunContext { spec, sink, watchdog: Watchdog::unlimited(), scenario: None }
     }
 
     /// The spec's scenario, built once and cached. Returns a cheap clone
     /// (the constellation is shared behind an `Arc`), so the context stays
     /// borrowable for the sink while the scenario is in use.
     pub fn scenario(&mut self) -> Scenario {
-        if self.scenario.is_none() {
-            self.scenario = Some(self.spec.build_scenario());
+        match &self.scenario {
+            Some(s) => s.clone(),
+            None => {
+                let built = self.spec.build_scenario();
+                self.scenario = Some(built.clone());
+                built
+            }
         }
-        self.scenario.clone().expect("just built")
+    }
+
+    /// The spec's resilience knobs as [`DriveOptions`], with checkpoints
+    /// going under `<out_dir>/checkpoints`.
+    pub fn drive_options(&self) -> DriveOptions {
+        DriveOptions {
+            checkpoint_every: self.spec.checkpoint_every,
+            checkpoint_dir: self
+                .spec
+                .checkpoint_every
+                .map(|_| self.sink.out_dir().join("checkpoints")),
+            resume_from: self.spec.resume_from.as_ref().map(PathBuf::from),
+            audit: self.spec.audit,
+        }
     }
 }
 
@@ -187,6 +321,143 @@ impl ExperimentRunner {
         let path = ctx.sink.write_manifest(&name)?;
         Ok((path, ctx.sink))
     }
+
+    /// Execute `spec` under supervision: panics are caught and turned into
+    /// [`RunError::Panicked`], wall-clock and memory limits are enforced
+    /// through the context's [`Watchdog`], retryable failures are retried
+    /// with bounded exponential backoff, and a final failure still salvages
+    /// whatever the sink holds into a manifest marked `status: aborted`
+    /// (with the freshest checkpoint path, when one exists on disk).
+    pub fn run_supervised(
+        &self,
+        spec: ExperimentSpec,
+        out_dir: PathBuf,
+        policy: &RunPolicy,
+    ) -> Result<PathBuf, RunError> {
+        let name = spec.experiment.clone();
+        let mut attempt = 0u32;
+        loop {
+            let mut sink = ArtifactSink::new(out_dir.clone());
+            sink.verbose = policy.verbose;
+            match self.attempt(spec.clone(), sink) {
+                (Ok(path), _) => return Ok(path),
+                (Err(err), salvage) => {
+                    if attempt < policy.retries && err.is_retryable() {
+                        attempt += 1;
+                        let backoff = policy.backoff * 2u32.saturating_pow(attempt - 1).min(16);
+                        eprintln!(
+                            "attempt {attempt}/{} failed ({err}); retrying in {:.1} s",
+                            policy.retries + 1,
+                            backoff.as_secs_f64(),
+                        );
+                        std::thread::sleep(backoff);
+                        continue;
+                    }
+                    if let Some(mut sink) = salvage {
+                        sink.set_aborted(&err.to_string());
+                        if let Some(snap) = latest_snapshot(&out_dir.join("checkpoints")) {
+                            sink.set_last_checkpoint(&snap);
+                        }
+                        if let Err(werr) = sink.write_manifest(&name) {
+                            eprintln!("could not salvage aborted manifest: {werr}");
+                        }
+                    }
+                    return Err(err);
+                }
+            }
+        }
+    }
+
+    /// One supervised attempt. Returns the sink alongside the error so the
+    /// caller can salvage partial artifacts; the sink is `None` only when
+    /// the experiment name itself was unknown (nothing ever ran).
+    fn attempt(
+        &self,
+        spec: ExperimentSpec,
+        sink: ArtifactSink,
+    ) -> (Result<PathBuf, RunError>, Option<ArtifactSink>) {
+        let name = spec.experiment.clone();
+        let exp = match self.get(&name) {
+            Ok(exp) => exp,
+            Err(err) => return (Err(err), None),
+        };
+        let deadline = spec.num("deadline_s").map(Duration::from_secs_f64);
+        let max_rss = spec.num("max_rss_mb").map(|mb| (mb * 1024.0 * 1024.0) as u64);
+        let mut ctx = RunContext::new(spec, sink);
+        ctx.watchdog = Watchdog::armed(deadline, max_rss);
+        // The context lives outside the unwind boundary so the sink (and
+        // every artifact recorded before the panic) survives for salvage.
+        let outcome = panic::catch_unwind(AssertUnwindSafe(|| exp.run(&mut ctx)));
+        let result = match outcome {
+            Ok(Ok(())) => match ctx.watchdog.check() {
+                Ok(()) => ctx.sink.write_manifest(&name).map_err(RunError::Io),
+                Err(err) => Err(err),
+            },
+            Ok(Err(err)) => Err(err),
+            Err(payload) => {
+                Err(RunError::Panicked { experiment: name, message: panic_message(&payload) })
+            }
+        };
+        (result, Some(ctx.sink))
+    }
+}
+
+/// How [`ExperimentRunner::run_supervised`] polices an execution.
+#[derive(Debug, Clone)]
+pub struct RunPolicy {
+    /// Extra attempts after the first, for retryable failures only.
+    pub retries: u32,
+    /// First retry delay; doubles per attempt (capped at 16×).
+    pub backoff: Duration,
+    /// Forwarded to each attempt's fresh sink.
+    pub verbose: bool,
+}
+
+impl Default for RunPolicy {
+    fn default() -> Self {
+        RunPolicy { retries: 0, backoff: Duration::from_millis(200), verbose: true }
+    }
+}
+
+impl RunPolicy {
+    /// Policy from the spec's free-form params: `retries` counts extra
+    /// attempts (the watchdog limits `deadline_s` / `max_rss_mb` are read
+    /// per attempt by the supervisor itself).
+    pub fn from_spec(spec: &ExperimentSpec) -> Self {
+        let mut policy = RunPolicy::default();
+        if let Some(n) = spec.num("retries") {
+            policy.retries = n.max(0.0) as u32;
+        }
+        policy
+    }
+}
+
+/// The panic payload as text, when it carried any.
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
+/// The most recently modified `.snap` file under `dir`, if any.
+fn latest_snapshot(dir: &Path) -> Option<PathBuf> {
+    let entries = std::fs::read_dir(dir).ok()?;
+    let mut best: Option<(std::time::SystemTime, PathBuf)> = None;
+    for entry in entries.flatten() {
+        let path = entry.path();
+        if !matches!(path.extension(), Some(ext) if ext == "snap") {
+            continue;
+        }
+        let Ok(modified) = entry.metadata().and_then(|m| m.modified()) else { continue };
+        if best.as_ref().map(|(t, _)| modified >= *t).unwrap_or(true) {
+            best = Some((modified, path));
+        }
+    }
+    best.map(|(_, p)| p)
 }
 
 #[cfg(test)]

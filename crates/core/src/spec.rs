@@ -16,6 +16,10 @@
 //! * plain `serde` derives on every spec type, for embedding specs inside
 //!   larger serde documents.
 
+// Spec I/O is a crash-resilience surface: a malformed file must come back
+// as a typed SpecError, never a panic.
+#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
+
 use crate::experiments::tcp_single::CcKind;
 use crate::scenario::{ConstellationChoice, Scenario, ScenarioBuilder};
 use hypatia_constellation::ground::top_cities;
@@ -172,6 +176,23 @@ pub struct ExperimentSpec {
     /// the emitted JSON then carries no `faults` key at all, so existing
     /// spec files and their artifacts are byte-identical).
     pub faults: Option<FaultSpec>,
+    /// Checkpoint interval in simulated time: each simulation writes a
+    /// restartable snapshot under `<out_dir>/checkpoints/` at every
+    /// boundary. `None` (the default, omitted from the emitted JSON)
+    /// disables checkpointing; snapshots never alter simulation
+    /// behaviour — artifacts are byte-identical with or without them.
+    pub checkpoint_every: Option<SimDuration>,
+    /// Directory of snapshots from a previous (possibly killed) run of the
+    /// same spec: each simulation that finds its snapshot there restores
+    /// it and replays only the tail. Resume is byte-identical, so the
+    /// artifacts match an uninterrupted run exactly. `None` (the default,
+    /// omitted from the emitted JSON) starts every simulation from t = 0.
+    pub resume_from: Option<String>,
+    /// Run conservation audits (packet, per-link byte, queue-occupancy,
+    /// and fluid-rate invariants) at every epoch boundary, reporting any
+    /// violations in the manifest. Off by default (omitted from the
+    /// emitted JSON); auditing never alters simulation behaviour.
+    pub audit: bool,
     /// Experiment-specific extras (e.g. `ping_interval_ms`).
     pub params: BTreeMap<String, ParamValue>,
 }
@@ -201,6 +222,9 @@ impl Default for ExperimentSpec {
             flows: None,
             trace_sample_every: sim.trace_sample_every,
             faults: None,
+            checkpoint_every: None,
+            resume_from: None,
+            audit: false,
             params: BTreeMap::new(),
         }
     }
@@ -447,6 +471,27 @@ impl ExperimentSpec {
                 }
                 self.repair_churn_threshold = x;
             }
+            "checkpoint_every_s" => {
+                if value.eq_ignore_ascii_case("none") {
+                    self.checkpoint_every = None;
+                } else {
+                    let x = parse_f64(key, value)?;
+                    if x <= 0.0 {
+                        return err(format!("{key} must be positive, got {value}"));
+                    }
+                    self.checkpoint_every = Some(SimDuration::from_secs_f64(x));
+                }
+            }
+            "resume_from" => {
+                self.resume_from = if value.is_empty() { None } else { Some(value.to_string()) };
+            }
+            "audit" => {
+                self.audit = match value.to_ascii_lowercase().as_str() {
+                    "true" => true,
+                    "false" => false,
+                    _ => return err(format!("{key} expects true or false, got {value:?}")),
+                };
+            }
             "fault_seed" => self.faults_mut().seed = parse_u64(key, value)?,
             "sat_mttf_s" => {
                 self.faults_mut().sat_flap.get_or_insert(DEFAULT_FLAP).mttf_s =
@@ -584,6 +629,17 @@ impl ExperimentSpec {
                 "  \"repair_churn_threshold\": {},",
                 json_num(self.repair_churn_threshold)
             );
+        }
+        // Resilience knobs are emitted only when set, keeping pre-existing
+        // spec files byte-identical.
+        if let Some(every) = self.checkpoint_every {
+            let _ = writeln!(s, "  \"checkpoint_every_s\": {},", json_num(every.secs_f64()));
+        }
+        if let Some(dir) = &self.resume_from {
+            let _ = writeln!(s, "  \"resume_from\": {},", json_str(dir));
+        }
+        if self.audit {
+            s.push_str("  \"audit\": true,\n");
         }
         if let Some(f) = &self.faults {
             s.push_str("  \"faults\": {\n");
@@ -774,6 +830,24 @@ impl ExperimentSpec {
                 .as_f64()
                 .ok_or_else(|| SpecError("\"repair_churn_threshold\" must be a number".into()))?;
         }
+        if let Some(x) = v.get("checkpoint_every_s") {
+            let every = x
+                .as_f64()
+                .ok_or_else(|| SpecError("\"checkpoint_every_s\" must be a number".into()))?;
+            if every <= 0.0 {
+                return err("\"checkpoint_every_s\" must be positive");
+            }
+            spec.checkpoint_every = Some(SimDuration::from_secs_f64(every));
+        }
+        if let Some(x) = v.get("resume_from") {
+            let dir =
+                x.as_str().ok_or_else(|| SpecError("\"resume_from\" must be a string".into()))?;
+            spec.resume_from = Some(dir.to_string());
+        }
+        if let Some(x) = v.get("audit") {
+            spec.audit =
+                x.as_bool().ok_or_else(|| SpecError("\"audit\" must be true or false".into()))?;
+        }
         spec.faults = match v.get("faults") {
             Some(fv) => Some(parse_faults(fv)?),
             None => None,
@@ -782,7 +856,7 @@ impl ExperimentSpec {
         if let Some(params) = v.get("params") {
             if let Some(obj) = params.as_object_keys() {
                 for key in obj {
-                    let pv = params.get(&key).expect("key from object");
+                    let Some(pv) = params.get(&key) else { continue };
                     spec.params.insert(key.clone(), value_to_param(&key, pv)?);
                 }
             }

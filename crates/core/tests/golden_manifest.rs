@@ -318,6 +318,197 @@ fn zero_fault_spec_reproduces_unfaulted_artifacts() {
     let _ = std::fs::remove_dir_all(dir_trivial);
 }
 
+/// A faulted Fig. 2 base spec shared by the crash-resilience tests:
+/// one line rate, deterministic artifacts only.
+fn faulted_fig02_base() -> ExperimentSpec {
+    let mut spec = ExperimentSpec {
+        experiment: "fig02_scalability".to_string(),
+        constellation: ConstellationChoice::KuiperK1,
+        ground: GroundSegment::TopCities(10),
+        pairs: PairSelection::Permutation,
+        duration: SimDuration::from_secs(1),
+        seed: 2020,
+        faults: Some(FaultSpec {
+            seed: 7,
+            gsl_weather: vec![OutageWindow { target: 2, from_s: 0.3, until_s: 0.9 }],
+            sat_flap: Some(FlapProcess::from_unavailability(0.1, 0.5)),
+            ..FaultSpec::default()
+        }),
+        ..ExperimentSpec::default()
+    };
+    spec.params.insert("line_rates_mbps".to_string(), ParamValue::List(vec![10.0]));
+    spec.params.insert("slowdown".to_string(), ParamValue::Flag(false));
+    spec
+}
+
+/// A manifest minus its run-shape sections: `perf` is wall-clock,
+/// `checkpoints` counts snapshot writes (a resumed leg writes fewer), and
+/// `audit` counts boundary checks (audits restart at the restore point).
+/// What remains — experiment, artifact checksums, warnings, status — must
+/// be byte-identical between an uninterrupted and a resumed run.
+fn manifest_core(manifest: &str) -> String {
+    let mut doc: serde_json::Value = serde_json::from_str(manifest).expect("manifest parses");
+    if let Some(obj) = doc.as_object_mut() {
+        obj.remove("perf");
+        obj.remove("checkpoints");
+        obj.remove("audit");
+    }
+    serde_json::to_string_pretty(&doc).expect("manifest reserializes")
+}
+
+/// The audit section's violation list, when the manifest has one.
+fn audit_violations(manifest: &str) -> Option<usize> {
+    let doc: serde_json::Value = serde_json::from_str(manifest).expect("manifest parses");
+    Some(doc.get("audit")?.get("violations")?.as_array().expect("violations array").len())
+}
+
+/// Byte-identical resume: the faulted Fig. 2 workload driven with periodic
+/// checkpoints, then resumed from the snapshots it left on disk, must
+/// reproduce the uninterrupted run's artifacts byte for byte — across
+/// engine shard counts, both queue kinds, and packet/hybrid simulation
+/// modes — with conservation audits green everywhere.
+#[test]
+fn resumed_faulted_fig02_is_byte_identical_across_engines() {
+    for mode in ["packet", "hybrid"] {
+        // Per-mode plain reference (no resilience knobs at all). Artifact
+        // bytes are queue- and shard-invariant (proven above), so one
+        // uninterrupted run anchors every engine variant of this mode.
+        let dir_ref = temp_dir(&format!("resume_ref_{mode}"));
+        let mut plain = faulted_fig02_base();
+        plain.set("sim_mode", mode).expect("sim_mode knob");
+        let (reference, _) = run_quiet(plain, &dir_ref);
+        assert!(!reference.is_empty(), "{mode}: expected artifacts, got none");
+
+        for shards in [1usize, 4] {
+            for queue in ["heap", "calendar"] {
+                let tag = format!("resume_{mode}_{queue}_{shards}");
+                let variant = || {
+                    let mut spec = ExperimentSpec { sim_shards: shards, ..faulted_fig02_base() };
+                    spec.params.insert("queue".to_string(), ParamValue::Text(queue.to_string()));
+                    spec.set("sim_mode", mode).expect("sim_mode knob");
+                    spec.set("audit", "true").expect("audit knob");
+                    spec.set("checkpoint_every_s", "0.3").expect("checkpoint knob");
+                    spec
+                };
+
+                // Leg 1: uninterrupted, snapshotting at 0.3/0.6/0.9 s.
+                let dir1 = temp_dir(&format!("{tag}_leg1"));
+                let (arts1, manifest1) = run_quiet(variant(), &dir1);
+                let snaps = dir1.join("checkpoints");
+                assert!(
+                    snaps.join("udp_apps_10000000bps.snap").exists()
+                        && snaps.join("tcp_apps_10000000bps.snap").exists(),
+                    "{tag}: expected per-point snapshots in {}",
+                    snaps.display()
+                );
+
+                // Leg 2: resume from leg 1's snapshots — each point
+                // restores at t = 0.9 s and replays only the tail.
+                let dir2 = temp_dir(&format!("{tag}_leg2"));
+                let mut leg2 = variant();
+                leg2.set("resume_from", snaps.to_str().expect("utf8 path")).expect("resume knob");
+                let (arts2, manifest2) = run_quiet(leg2, &dir2);
+
+                assert_eq!(reference, arts1, "{tag}: checkpointing changed the artifacts");
+                assert_eq!(reference, arts2, "{tag}: resumed artifacts diverge");
+                assert_eq!(
+                    manifest_core(&manifest1),
+                    manifest_core(&manifest2),
+                    "{tag}: manifests diverge beyond the run-shape sections"
+                );
+                for (leg, manifest) in [("leg1", &manifest1), ("leg2", &manifest2)] {
+                    assert_eq!(
+                        audit_violations(manifest),
+                        Some(0),
+                        "{tag} {leg}: conservation audit violations: {manifest}"
+                    );
+                }
+
+                let _ = std::fs::remove_dir_all(dir1);
+                let _ = std::fs::remove_dir_all(dir2);
+            }
+        }
+        let _ = std::fs::remove_dir_all(dir_ref);
+    }
+}
+
+/// Resume fails loudly, not silently: a snapshot with flipped bytes is a
+/// checksum error, and a snapshot from a future format version is a
+/// version error — both surface as `RunError::Checkpoint`, never as a
+/// silently-fresh simulation.
+#[test]
+fn resume_rejects_corrupt_and_future_version_snapshots() {
+    let dir1 = temp_dir("reject_leg1");
+    let mut leg1 = faulted_fig02_base();
+    leg1.set("checkpoint_every_s", "0.4").expect("checkpoint knob");
+    run_quiet(leg1, &dir1);
+    let snaps = dir1.join("checkpoints");
+    let snap = snaps.join("udp_apps_10000000bps.snap");
+    let pristine = std::fs::read(&snap).expect("snapshot readable");
+
+    let resume_error = |tag: &str| {
+        let dir = temp_dir(tag);
+        let mut spec = faulted_fig02_base();
+        spec.set("resume_from", snaps.to_str().expect("utf8 path")).expect("resume knob");
+        let runner = ExperimentRunner::new();
+        let mut sink = ArtifactSink::new(dir.clone());
+        sink.verbose = false;
+        let err = match runner.run_with_sink(spec, sink) {
+            Err(e) => e,
+            Ok(_) => panic!("{tag}: resume from a bad snapshot must fail"),
+        };
+        let _ = std::fs::remove_dir_all(dir);
+        err
+    };
+
+    // Flip one body byte: the checksum catches it.
+    let mut corrupt = pristine.clone();
+    let mid = corrupt.len() / 2;
+    corrupt[mid] ^= 0xff;
+    std::fs::write(&snap, &corrupt).expect("write corrupt snapshot");
+    match resume_error("reject_corrupt") {
+        hypatia::runner::RunError::Checkpoint(msg) => {
+            assert!(msg.contains("checksum"), "want a checksum diagnostic, got: {msg}")
+        }
+        other => panic!("corrupt snapshot must be a Checkpoint error, got {other:?}"),
+    }
+
+    // Bump the version field (and fix the checksum so it is reached):
+    // an unsupported-version error, not a misparse.
+    let mut future = pristine.clone();
+    future[8..12].copy_from_slice(&99u32.to_le_bytes());
+    let body_end = future.len() - 8;
+    let sum = hypatia_util::hash::fnv1a_64(&future[..body_end]);
+    future[body_end..].copy_from_slice(&sum.to_le_bytes());
+    std::fs::write(&snap, &future).expect("write future snapshot");
+    match resume_error("reject_future") {
+        hypatia::runner::RunError::Checkpoint(msg) => {
+            assert!(msg.contains("version 99"), "want a version diagnostic, got: {msg}")
+        }
+        other => panic!("future snapshot must be a Checkpoint error, got {other:?}"),
+    }
+
+    let _ = std::fs::remove_dir_all(dir1);
+}
+
+/// The resilience knobs survive the `--spec file.json` disk round-trip
+/// like every other spec field (and stay omitted when unset, keeping old
+/// spec files loadable byte-for-byte).
+#[test]
+fn resilience_knobs_survive_disk_round_trip() {
+    let mut spec = faulted_fig02_base();
+    assert!(!spec.to_json_string().contains("checkpoint_every_s"), "unset knob must be omitted");
+    spec.set("checkpoint_every_s", "0.25").expect("checkpoint knob");
+    spec.set("resume_from", "/tmp/somewhere/checkpoints").expect("resume knob");
+    spec.set("audit", "true").expect("audit knob");
+    let text = spec.to_json_string();
+    for key in ["checkpoint_every_s", "resume_from", "audit"] {
+        assert!(text.contains(key), "{key} missing from {text}");
+    }
+    let back = ExperimentSpec::from_json(&text).expect("round-trip parses");
+    assert_eq!(spec, back);
+}
+
 /// A spec written to disk and loaded back (the `--spec` path) is the same
 /// spec.
 #[test]

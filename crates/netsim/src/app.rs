@@ -145,7 +145,33 @@ pub trait Application: Send + 'static {
 
     /// Downcast support (mutable).
     fn as_any_mut(&mut self) -> &mut dyn std::any::Any;
+
+    /// Serialize this application's mutable state for a checkpoint.
+    ///
+    /// The default refuses: an application that opts into checkpointed
+    /// runs must implement the pair, and a run over one that has not is a
+    /// typed error at checkpoint time rather than a silently wrong resume.
+    /// Pending timers and in-flight packets are *not* the application's
+    /// concern — they live in the event queue, which the simulator
+    /// serializes itself.
+    fn save_state(&self, _w: &mut crate::checkpoint::SnapWriter) -> SaveResult {
+        Err(crate::checkpoint::CheckpointError::Unsupported(format!(
+            "application {} does not implement save_state",
+            std::any::type_name::<Self>()
+        )))
+    }
+
+    /// Restore the state captured by [`Application::save_state`].
+    fn restore_state(&mut self, _r: &mut crate::checkpoint::SnapReader) -> SaveResult {
+        Err(crate::checkpoint::CheckpointError::Unsupported(format!(
+            "application {} does not implement restore_state",
+            std::any::type_name::<Self>()
+        )))
+    }
 }
+
+/// Result of an application state save/restore.
+pub type SaveResult = Result<(), crate::checkpoint::CheckpointError>;
 
 #[cfg(test)]
 mod tests {

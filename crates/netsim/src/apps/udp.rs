@@ -3,7 +3,8 @@
 //! rate, and goodput is calculated as the total rate of network-wide
 //! payload arrivals").
 
-use crate::app::{AppCtx, Application};
+use crate::app::{AppCtx, Application, SaveResult};
+use crate::checkpoint::{SnapReader, SnapWriter};
 use crate::packet::{Packet, Payload, HEADER_BYTES};
 use hypatia_constellation::NodeId;
 use hypatia_util::{DataRate, DataSize, SimDuration, SimTime};
@@ -79,6 +80,16 @@ impl Application for UdpSource {
     fn as_any_mut(&mut self) -> &mut dyn std::any::Any {
         self
     }
+
+    fn save_state(&self, w: &mut SnapWriter) -> SaveResult {
+        w.put_u64(self.next_seq);
+        Ok(())
+    }
+
+    fn restore_state(&mut self, r: &mut SnapReader) -> SaveResult {
+        self.next_seq = r.get_u64()?;
+        Ok(())
+    }
 }
 
 /// Counting UDP sink: tracks received packets/bytes and loss (via sequence
@@ -147,6 +158,24 @@ impl Application for UdpSink {
     }
     fn as_any_mut(&mut self) -> &mut dyn std::any::Any {
         self
+    }
+
+    fn save_state(&self, w: &mut SnapWriter) -> SaveResult {
+        w.put_u64(self.received);
+        w.put_u64(self.payload_bytes);
+        w.put_opt_u64(self.max_seq_seen);
+        w.put_opt_time(self.first_arrival);
+        w.put_opt_time(self.last_arrival);
+        Ok(())
+    }
+
+    fn restore_state(&mut self, r: &mut SnapReader) -> SaveResult {
+        self.received = r.get_u64()?;
+        self.payload_bytes = r.get_u64()?;
+        self.max_seq_seen = r.get_opt_u64()?;
+        self.first_arrival = r.get_opt_time()?;
+        self.last_arrival = r.get_opt_time()?;
+        Ok(())
     }
 }
 

@@ -7,6 +7,7 @@
 //! chosen when it was enqueued, so forwarding-state changes never reroute
 //! queued packets (lossless handoff semantics).
 
+use crate::checkpoint::{CheckpointError, SnapReader, SnapWriter};
 use crate::packet::Packet;
 use hypatia_constellation::NodeId;
 use hypatia_util::{DataRate, SimDuration, SimTime};
@@ -36,6 +37,12 @@ pub struct QueuedPacket {
 /// Per-device counters.
 #[derive(Debug, Clone, Default)]
 pub struct DeviceStats {
+    /// Packets ever offered to the device (accepted, queued, or dropped).
+    /// With the other counters this closes the device's conservation
+    /// equation: `packets_in == packets_tx + drops + queued + in-service`.
+    pub packets_in: u64,
+    /// Bytes ever offered to the device.
+    pub bytes_in: u64,
     /// Packets fully transmitted.
     pub packets_tx: u64,
     /// Bytes fully transmitted.
@@ -107,6 +114,8 @@ impl Device {
         next_hop: NodeId,
         now: SimTime,
     ) -> Result<Option<SimDuration>, Packet> {
+        self.stats.packets_in += 1;
+        self.stats.bytes_in += packet.size_bytes as u64;
         let qp = QueuedPacket { packet, next_hop };
         if self.in_flight.is_none() {
             debug_assert!(self.queue.is_empty(), "idle transmitter with queued packets");
@@ -167,6 +176,74 @@ impl Device {
         let bucket = self.bucket?;
         let busy = self.stats.busy_per_bucket.get(idx).copied().unwrap_or(SimDuration::ZERO);
         Some(busy.secs_f64() / bucket.secs_f64())
+    }
+
+    /// Packets held by the device right now: queued plus in service.
+    /// The audit counts these as in-flight.
+    pub fn occupancy(&self) -> u64 {
+        self.queue.len() as u64 + self.in_flight.is_some() as u64
+    }
+
+    /// Serialize the device's mutable state: the (possibly fluid-adjusted)
+    /// rate, the queue, the in-service packet, and the counters. The
+    /// immutable skeleton (kind, capacity, bucket width) is rebuilt from
+    /// config at restore time and is not stored.
+    pub fn save(&self, w: &mut SnapWriter) {
+        w.put_u64(self.rate.bps());
+        w.put_usize(self.queue.len());
+        for qp in &self.queue {
+            w.put_packet(&qp.packet);
+            w.put_u32(qp.next_hop.0);
+        }
+        w.put_bool(self.in_flight.is_some());
+        if let Some(qp) = &self.in_flight {
+            w.put_packet(&qp.packet);
+            w.put_u32(qp.next_hop.0);
+        }
+        w.put_u64(self.stats.packets_in);
+        w.put_u64(self.stats.bytes_in);
+        w.put_u64(self.stats.packets_tx);
+        w.put_u64(self.stats.bytes_tx);
+        w.put_u64(self.stats.drops);
+        w.put_dur(self.stats.busy);
+        w.put_usize(self.stats.busy_per_bucket.len());
+        for d in &self.stats.busy_per_bucket {
+            w.put_dur(*d);
+        }
+    }
+
+    /// Restore the state captured by [`Device::save`].
+    pub fn restore(&mut self, r: &mut SnapReader) -> Result<(), CheckpointError> {
+        self.rate = DataRate::from_bps(r.get_u64()?);
+        let qlen = r.get_usize()?;
+        if qlen > self.queue_capacity {
+            return Err(CheckpointError::Malformed(format!(
+                "device queue of {qlen} exceeds capacity {}",
+                self.queue_capacity
+            )));
+        }
+        self.queue.clear();
+        for _ in 0..qlen {
+            let packet = r.get_packet()?;
+            let next_hop = NodeId(r.get_u32()?);
+            self.queue.push_back(QueuedPacket { packet, next_hop });
+        }
+        self.in_flight = if r.get_bool()? {
+            let packet = r.get_packet()?;
+            let next_hop = NodeId(r.get_u32()?);
+            Some(QueuedPacket { packet, next_hop })
+        } else {
+            None
+        };
+        self.stats.packets_in = r.get_u64()?;
+        self.stats.bytes_in = r.get_u64()?;
+        self.stats.packets_tx = r.get_u64()?;
+        self.stats.bytes_tx = r.get_u64()?;
+        self.stats.drops = r.get_u64()?;
+        self.stats.busy = r.get_dur()?;
+        let buckets = r.get_usize()?;
+        self.stats.busy_per_bucket = (0..buckets).map(|_| r.get_dur()).collect::<Result<_, _>>()?;
+        Ok(())
     }
 }
 
@@ -275,5 +352,67 @@ mod tests {
     #[should_panic]
     fn tx_complete_on_idle_panics() {
         dev(1).tx_complete(SimTime::ZERO);
+    }
+
+    #[test]
+    fn counts_offered_packets_even_when_dropped() {
+        let mut d = dev(1);
+        let t = SimTime::ZERO;
+        assert!(d.enqueue(pkt(1, 100), NodeId(9), t).is_ok()); // in flight
+        assert!(d.enqueue(pkt(2, 200), NodeId(9), t).is_ok()); // queued
+        assert!(d.enqueue(pkt(3, 300), NodeId(9), t).is_err()); // dropped
+        assert_eq!(d.stats.packets_in, 3);
+        assert_eq!(d.stats.bytes_in, 600);
+        assert_eq!(d.occupancy(), 2);
+        // Conservation holds mid-flight.
+        assert_eq!(d.stats.packets_in, d.stats.packets_tx + d.stats.drops + d.occupancy());
+    }
+
+    #[test]
+    fn save_restore_round_trips_mutable_state() {
+        let mut d = Device::new(
+            DeviceKind::Isl { peer: NodeId(5) },
+            DataRate::from_mbps(10),
+            4,
+            Some(SimDuration::from_millis(10)),
+        );
+        d.enqueue(pkt(1, 1500), NodeId(9), SimTime::from_millis(5)).unwrap();
+        d.enqueue(pkt(2, 750), NodeId(8), SimTime::from_millis(5)).unwrap();
+        d.rate = DataRate::from_mbps(7); // a fluid residual adjustment
+        let mut w = crate::checkpoint::SnapWriter::new(1);
+        d.save(&mut w);
+        let mut fresh = Device::new(
+            DeviceKind::Isl { peer: NodeId(5) },
+            DataRate::from_mbps(10),
+            4,
+            Some(SimDuration::from_millis(10)),
+        );
+        let mut r = crate::checkpoint::SnapReader::from_bytes(w.finish(), 1).unwrap();
+        fresh.restore(&mut r).unwrap();
+        r.expect_end().unwrap();
+        assert_eq!(fresh.rate, DataRate::from_mbps(7));
+        assert_eq!(fresh.queue_len(), 1);
+        assert!(fresh.is_busy());
+        assert_eq!(fresh.stats.packets_in, 2);
+        assert_eq!(fresh.stats.busy, d.stats.busy);
+        assert_eq!(fresh.stats.busy_per_bucket, d.stats.busy_per_bucket);
+        // The restored device continues exactly like the original.
+        let (done, next) = fresh.tx_complete(SimTime::from_micros(6200));
+        assert_eq!(done.packet.id, 1);
+        assert_eq!(done.next_hop, NodeId(9));
+        assert!(next.is_some());
+    }
+
+    #[test]
+    fn restore_rejects_overlong_queue() {
+        let mut big = dev(4);
+        for id in 0..4 {
+            big.enqueue(pkt(id, 100), NodeId(9), SimTime::ZERO).unwrap();
+        }
+        let mut w = crate::checkpoint::SnapWriter::new(1);
+        big.save(&mut w);
+        let mut small = dev(1); // capacity 1 cannot hold the 3 queued packets
+        let mut r = crate::checkpoint::SnapReader::from_bytes(w.finish(), 1).unwrap();
+        assert!(small.restore(&mut r).is_err());
     }
 }

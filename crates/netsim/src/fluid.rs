@@ -39,6 +39,7 @@
 //! (`BTreeMap` links, install-order bundles). Observables are therefore
 //! bit-identical at any `sim_shards` and for either queue kind.
 
+use crate::checkpoint::{CheckpointError, SnapReader, SnapWriter};
 use crate::packet::HEADER_BYTES;
 use hypatia_constellation::{Constellation, NodeId};
 use hypatia_fault::FaultState;
@@ -465,6 +466,103 @@ impl FluidNet {
     pub fn link_loads(&self) -> impl Iterator<Item = ((u32, u32), f64)> + '_ {
         self.link_load.iter().map(|(&k, &v)| (k, v))
     }
+
+    /// Links whose allocated fluid load exceeds their capacity beyond the
+    /// relative tolerance `tol`, as `(link, load_bps, capacity_bps)`.
+    /// The max-min fill never oversubscribes by construction, so a
+    /// non-empty result is a solver bug — exactly what audit mode exists
+    /// to catch.
+    pub fn overloaded_links(&self, tol: f64) -> Vec<(LinkKey, f64, f64)> {
+        self.link_load
+            .iter()
+            .filter(|&(&key, &load)| load > self.cap_for(key) * (1.0 + tol))
+            .map(|(&key, &load)| (key, load, self.cap_for(key)))
+            .collect()
+    }
+
+    /// Serialize the solver's mutable state. The flow table itself
+    /// (bundles, member flow ids, the install index) is rebuilt by
+    /// re-running the experiment's deterministic install sequence, so only
+    /// the integration state rides in the snapshot — plus the bundle and
+    /// flow counts, which restore cross-checks against the rebuilt table.
+    pub fn save(&self, w: &mut SnapWriter) {
+        w.put_tag(b"FLUD");
+        w.put_usize(self.bundles.len());
+        for b in &self.bundles {
+            w.put_usize(b.flow_ids.len());
+            w.put_f64(b.rate_bps);
+            w.put_f64(b.wire_bytes);
+        }
+        w.put_usize(self.boundaries.len());
+        for &t in &self.boundaries {
+            w.put_time(t);
+        }
+        w.put_usize(self.next_boundary);
+        w.put_usize(self.link_load.len());
+        for (&(a, b), &load) in &self.link_load {
+            w.put_u32(a);
+            w.put_u32(b);
+            w.put_f64(load);
+        }
+        w.put_usize(self.pushed.len());
+        for (&(a, b), &bps) in &self.pushed {
+            w.put_u32(a);
+            w.put_u32(b);
+            w.put_u64(bps);
+        }
+        w.put_time(self.last_advanced);
+        w.put_u64(self.resolves);
+    }
+
+    /// Restore the state captured by [`FluidNet::save`] into a fluid net
+    /// whose flow table was rebuilt by the same install sequence.
+    pub fn restore(&mut self, r: &mut SnapReader) -> Result<(), CheckpointError> {
+        r.expect_tag(b"FLUD")?;
+        let n = r.get_usize()?;
+        if n != self.bundles.len() {
+            return Err(CheckpointError::Malformed(format!(
+                "snapshot has {n} fluid bundles, rebuilt net has {}",
+                self.bundles.len()
+            )));
+        }
+        for b in &mut self.bundles {
+            let flows = r.get_usize()?;
+            if flows != b.flow_ids.len() {
+                return Err(CheckpointError::Malformed(format!(
+                    "fluid bundle {}→{} has {} flows in the snapshot, {} rebuilt",
+                    b.src,
+                    b.dst,
+                    flows,
+                    b.flow_ids.len()
+                )));
+            }
+            b.rate_bps = r.get_f64()?;
+            b.wire_bytes = r.get_f64()?;
+        }
+        let nb = r.get_usize()?;
+        self.boundaries = (0..nb).map(|_| r.get_time()).collect::<Result<_, _>>()?;
+        self.next_boundary = r.get_usize()?;
+        if self.next_boundary > self.boundaries.len() {
+            return Err(CheckpointError::Malformed("fluid boundary cursor out of range".into()));
+        }
+        let nl = r.get_usize()?;
+        self.link_load.clear();
+        for _ in 0..nl {
+            let a = r.get_u32()?;
+            let b = r.get_u32()?;
+            self.link_load.insert((a, b), r.get_f64()?);
+        }
+        let np = r.get_usize()?;
+        self.pushed.clear();
+        for _ in 0..np {
+            let a = r.get_u32()?;
+            let b = r.get_u32()?;
+            self.pushed.insert((a, b), r.get_u64()?);
+        }
+        self.last_advanced = r.get_time()?;
+        self.resolves = r.get_u64()?;
+        Ok(())
+    }
 }
 
 /// The directed link device a hop `a → b` serializes through: the ISL
@@ -662,6 +760,68 @@ mod tests {
         net.resolve(SimTime::ZERO, &fwd, None, &c);
         assert!(net.per_flow_rate_bps()[0].1 > 0.0, "recovers without the mask");
         assert_eq!(net.resolves(), 2);
+    }
+
+    #[test]
+    fn no_links_report_overload_after_a_solve() {
+        let c = constellation();
+        let (a, b) = (c.gs_node(0), c.gs_node(1));
+        let fwd = forwarding(&c, &[a, b]);
+        let mut net = FluidNet::new(DataRate::from_mbps(10), DataRate::from_mbps(10));
+        for i in 0..5 {
+            net.add_flow(i, a, b, DataRate::from_mbps(10), 1440, SimTime::MAX);
+        }
+        net.resolve(SimTime::ZERO, &fwd, None, &c);
+        assert!(net.overloaded_links(1e-9).is_empty());
+        // Force an inconsistent load to prove the detector fires.
+        net.link_load.insert((0, 1), 20e6);
+        let over = net.overloaded_links(1e-9);
+        assert_eq!(over.len(), 1);
+        assert_eq!(over[0].0, (0, 1));
+        assert_eq!(over[0].2, 10e6);
+    }
+
+    #[test]
+    fn save_restore_round_trips_solver_state() {
+        use crate::checkpoint::{SnapReader, SnapWriter};
+        let c = constellation();
+        let (a, b) = (c.gs_node(0), c.gs_node(1));
+        let fwd = forwarding(&c, &[a, b]);
+        let build = |mbps: u64| {
+            let mut net = FluidNet::new(DataRate::from_mbps(10), DataRate::from_mbps(10));
+            net.add_flow(0, a, b, DataRate::from_mbps(mbps), 1440, SimTime::from_secs(1));
+            net.add_flow(1, a, b, DataRate::from_mbps(mbps), 1440, SimTime::from_secs(2));
+            net.rebuild_boundaries(SimTime::ZERO);
+            net
+        };
+        let mut net = build(6);
+        net.resolve(SimTime::ZERO, &fwd, None, &c);
+        let _ = net.residual_changes();
+        net.advance_to(SimTime::from_millis(700));
+        let mut w = SnapWriter::new(1);
+        net.save(&mut w);
+        let mut back = build(6);
+        let mut r = SnapReader::from_bytes(w.finish(), 1).unwrap();
+        back.restore(&mut r).unwrap();
+        r.expect_end().unwrap();
+        assert_eq!(back.resolves(), net.resolves());
+        assert_eq!(back.delivered_payload_bytes(), net.delivered_payload_bytes());
+        assert_eq!(back.next_boundary(), net.next_boundary());
+        let loads: Vec<_> = net.link_loads().collect();
+        assert_eq!(back.link_loads().collect::<Vec<_>>(), loads);
+        assert_eq!(back.pushed, net.pushed);
+        // Both continue identically.
+        back.advance_to(SimTime::from_secs(1));
+        net.advance_to(SimTime::from_secs(1));
+        assert_eq!(back.delivered_payload_bytes(), net.delivered_payload_bytes());
+
+        // A differently built flow table rejects the snapshot.
+        let mut w = SnapWriter::new(1);
+        net.save(&mut w);
+        let mut wrong = FluidNet::new(DataRate::from_mbps(10), DataRate::from_mbps(10));
+        wrong.add_flow(0, a, b, DataRate::from_mbps(6), 1440, SimTime::from_secs(1));
+        let mut r = SnapReader::from_bytes(w.finish(), 1).unwrap();
+        assert!(wrong.restore(&mut r).is_err());
     }
 
     #[test]

@@ -47,6 +47,8 @@
 
 pub mod app;
 pub mod apps;
+pub mod audit;
+pub mod checkpoint;
 pub mod config;
 pub mod device;
 pub mod event;
@@ -60,6 +62,8 @@ pub mod stats;
 pub mod trace;
 
 pub use app::{AppCtx, Application};
+pub use audit::AuditViolation;
+pub use checkpoint::CheckpointError;
 pub use config::SimConfig;
 pub use event::QueueKind;
 pub use flow::{BulkUdpSink, BulkUdpSource, FlowId};

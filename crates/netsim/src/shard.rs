@@ -24,6 +24,7 @@
 //! reference engine at `sim_shards = 1`.
 
 use crate::app::{AppAction, AppCtx, Application};
+use crate::checkpoint::{CheckpointError, SnapReader, SnapWriter};
 use crate::config::SimConfig;
 use crate::device::{Device, DeviceKind};
 use crate::event::{Event, EventQueue};
@@ -660,6 +661,259 @@ impl Shard {
         let actions = ctx.take_actions();
         self.apps[idx as usize].as_mut().expect("app slot vanished").app = Some(app);
         self.apply_actions(idx, node, port, actions);
+    }
+
+    /// Serialize this shard's mutable state into a checkpoint body.
+    ///
+    /// Takes `&mut self` because the event queue can only be walked in
+    /// canonical order by draining it; every entry is re-inserted with its
+    /// original `(time, key)`, which reproduces the identical total order,
+    /// so the live run is unaffected.
+    ///
+    /// Only called at a barrier, where the outbox is empty by the engine's
+    /// window invariant — a populated outbox is a logic error and is
+    /// rejected rather than silently dropped.
+    pub(crate) fn save(&mut self, w: &mut SnapWriter) -> Result<(), CheckpointError> {
+        if self.outbox.iter().any(|ob| !ob.is_empty()) {
+            return Err(CheckpointError::Malformed(format!(
+                "shard {} has undelivered cross-shard packets at a checkpoint barrier",
+                self.id
+            )));
+        }
+        w.put_tag(b"SHRD");
+        w.put_usize(self.id);
+        w.put_time(self.now);
+
+        w.put_tag(b"EVTQ");
+        let mut entries = Vec::with_capacity(self.queue.len());
+        while let Some(entry) = self.queue.pop_entry_before(SimTime::MAX) {
+            entries.push(entry);
+        }
+        w.put_usize(entries.len());
+        for (t, key, event) in &entries {
+            w.put_time(*t);
+            w.put_u64(*key);
+            w.put_event(event);
+        }
+        for (t, key, event) in entries {
+            self.queue.schedule_keyed(t, key, event);
+        }
+
+        w.put_tag(b"NODS");
+        w.put_usize(self.nodes.len());
+        for node in &self.nodes {
+            w.put_usize(node.devices.len());
+            for device in &node.devices {
+                device.save(w);
+            }
+        }
+
+        w.put_tag(b"APPS");
+        w.put_usize(self.apps.len());
+        for slot in &self.apps {
+            match slot {
+                Some(entry) => {
+                    w.put_bool(true);
+                    let app = entry.app.as_ref().ok_or_else(|| {
+                        CheckpointError::Malformed("checkpoint during app dispatch".into())
+                    })?;
+                    app.save_state(w)?;
+                }
+                None => w.put_bool(false),
+            }
+        }
+
+        w.put_tag(b"CTRS");
+        w.put_usize(self.node_key_seq.len());
+        for &seq in &self.node_key_seq {
+            w.put_u32(seq);
+        }
+        for &seq in &self.node_packet_seq {
+            w.put_u32(seq);
+        }
+
+        w.put_tag(b"RNGS");
+        w.put_usize(self.loss_rngs.len());
+        for rng in &self.loss_rngs {
+            for word in rng.state() {
+                w.put_u64(word);
+            }
+        }
+
+        w.put_tag(b"TRAC");
+        self.trace.save(w);
+        w.put_tag(b"STAT");
+        self.stats.save(w);
+        Ok(())
+    }
+
+    /// Restore the state captured by [`Shard::save`] into a freshly
+    /// rebuilt shard (same constellation, config, partition, and installed
+    /// applications). Forwarding state and the fault replica are *not*
+    /// restored here — the facade recomputes/replays them, since they are
+    /// derived deterministically from the spec and the restored clock.
+    pub(crate) fn restore(&mut self, r: &mut SnapReader) -> Result<(), CheckpointError> {
+        r.expect_tag(b"SHRD")?;
+        let id = r.get_usize()?;
+        if id != self.id {
+            return Err(CheckpointError::Malformed(format!(
+                "shard id mismatch: snapshot has {id}, rebuilt shard is {}",
+                self.id
+            )));
+        }
+        self.now = r.get_time()?;
+
+        r.expect_tag(b"EVTQ")?;
+        // Discard the rebuild's bootstrap events (app on_start timers and
+        // sends): the snapshot's queue is the complete pending set.
+        while self.queue.pop_entry_before(SimTime::MAX).is_some() {}
+        let n_events = r.get_usize()?;
+        for _ in 0..n_events {
+            let t = r.get_time()?;
+            let key = r.get_u64()?;
+            let event = r.get_event()?;
+            self.queue.schedule_keyed(t, key, event);
+        }
+
+        r.expect_tag(b"NODS")?;
+        let n_nodes = r.get_usize()?;
+        if n_nodes != self.nodes.len() {
+            return Err(CheckpointError::Malformed(format!(
+                "snapshot has {n_nodes} nodes, rebuilt shard has {}",
+                self.nodes.len()
+            )));
+        }
+        for node in &mut self.nodes {
+            let n_devices = r.get_usize()?;
+            if n_devices != node.devices.len() {
+                return Err(CheckpointError::Malformed(format!(
+                    "node {} has {n_devices} devices in the snapshot, {} rebuilt",
+                    node.id.0,
+                    node.devices.len()
+                )));
+            }
+            for device in &mut node.devices {
+                device.restore(r)?;
+            }
+        }
+
+        r.expect_tag(b"APPS")?;
+        let n_apps = r.get_usize()?;
+        if n_apps != self.apps.len() {
+            return Err(CheckpointError::Malformed(format!(
+                "snapshot has {n_apps} app slots, rebuilt shard has {}",
+                self.apps.len()
+            )));
+        }
+        for (idx, slot) in self.apps.iter_mut().enumerate() {
+            let present = r.get_bool()?;
+            match slot {
+                Some(entry) if present => {
+                    let app = entry.app.as_mut().ok_or_else(|| {
+                        CheckpointError::Malformed("restore during app dispatch".into())
+                    })?;
+                    app.restore_state(r)?;
+                }
+                None if !present => {}
+                _ => {
+                    return Err(CheckpointError::Malformed(format!(
+                        "app slot {idx} presence mismatch between snapshot and rebuild"
+                    )));
+                }
+            }
+        }
+
+        r.expect_tag(b"CTRS")?;
+        let n_ctrs = r.get_usize()?;
+        if n_ctrs != self.node_key_seq.len() {
+            return Err(CheckpointError::Malformed(format!(
+                "snapshot has {n_ctrs} node counters, rebuilt shard has {}",
+                self.node_key_seq.len()
+            )));
+        }
+        for seq in &mut self.node_key_seq {
+            *seq = r.get_u32()?;
+        }
+        for seq in &mut self.node_packet_seq {
+            *seq = r.get_u32()?;
+        }
+
+        r.expect_tag(b"RNGS")?;
+        let n_rngs = r.get_usize()?;
+        if n_rngs != self.loss_rngs.len() {
+            return Err(CheckpointError::Malformed(format!(
+                "snapshot has {n_rngs} loss RNGs, rebuilt shard has {}",
+                self.loss_rngs.len()
+            )));
+        }
+        for rng in &mut self.loss_rngs {
+            let mut s = [0u64; 4];
+            for word in &mut s {
+                *word = r.get_u64()?;
+            }
+            *rng = DetRng::from_state(s);
+        }
+
+        r.expect_tag(b"TRAC")?;
+        self.trace.restore(r)?;
+        r.expect_tag(b"STAT")?;
+        self.stats.restore(r)?;
+        for ob in &mut self.outbox {
+            ob.clear();
+        }
+        Ok(())
+    }
+
+    /// Check this shard's conservation invariants (audit mode): every
+    /// packet a device was offered is transmitted, dropped, queued, or
+    /// in flight, and no queue exceeds its configured capacity. Arrivals
+    /// pending in the event queue are counted by the caller, which owns
+    /// the cross-shard view.
+    pub(crate) fn audit_devices(&self, out: &mut Vec<crate::audit::AuditViolation>) {
+        let t_ns = self.now.nanos();
+        for node in &self.nodes {
+            for (d, device) in node.devices.iter().enumerate() {
+                let s = &device.stats;
+                let accounted = s.packets_tx + s.drops + device.occupancy();
+                if s.packets_in != accounted {
+                    out.push(crate::audit::AuditViolation::DeviceConservation {
+                        t_ns,
+                        node: node.id.0,
+                        device: d as u32,
+                        offered: s.packets_in,
+                        accounted,
+                    });
+                }
+                let (queue_len, capacity) =
+                    (device.queue_len() as u64, device.queue_capacity as u64);
+                if queue_len > capacity {
+                    out.push(crate::audit::AuditViolation::QueueOverCapacity {
+                        t_ns,
+                        node: node.id.0,
+                        device: d as u32,
+                        queue_len,
+                        capacity,
+                    });
+                }
+            }
+        }
+    }
+
+    /// Packets sitting in this shard's pending `Arrival` events (in-flight
+    /// on the wire). Drains and re-inserts the queue, like [`Shard::save`].
+    pub(crate) fn in_flight_arrivals(&mut self) -> u64 {
+        let mut entries = Vec::with_capacity(self.queue.len());
+        let mut arrivals = 0u64;
+        while let Some(entry) = self.queue.pop_entry_before(SimTime::MAX) {
+            if matches!(entry.2, Event::Arrival { .. }) {
+                arrivals += 1;
+            }
+            entries.push(entry);
+        }
+        for (t, key, event) in entries {
+            self.queue.schedule_keyed(t, key, event);
+        }
+        arrivals
     }
 
     fn apply_actions(&mut self, app_idx: u32, node: NodeId, port: u16, actions: Vec<AppAction>) {

@@ -20,6 +20,8 @@
 //! at any shard count.
 
 use crate::app::Application;
+use crate::audit::AuditViolation;
+use crate::checkpoint::{CheckpointError, SnapReader, SnapWriter};
 use crate::config::SimConfig;
 use crate::event::Event;
 use crate::fluid::{FluidNet, SimMode};
@@ -34,6 +36,7 @@ use hypatia_routing::graph::SnapshotBuffers;
 use hypatia_routing::incremental::IncrementalRouter;
 use hypatia_routing::parallel::{Prefetcher, SnapshotWorker};
 use hypatia_util::{DataRate, SimDuration, SimTime};
+use std::path::Path;
 use std::sync::Arc;
 
 /// How the engine executed a run — recorded into experiment manifests so
@@ -188,31 +191,7 @@ impl Simulator {
 
         // Background prefetch of upcoming forwarding steps (off for frozen
         // networks, which never update forwarding at all).
-        let fstate_prefetch = (config.fstate_threads > 0 && !config.freeze_at_epoch).then(|| {
-            let constellation = constellation.clone();
-            let dests = dests.clone();
-            let step = config.fstate_step;
-            let stretch = config.multipath_stretch;
-            let faults = config.faults.clone();
-            let routing = config.routing;
-            Prefetcher::spawn(
-                1,
-                config.fstate_threads,
-                config.fstate_prefetch,
-                move || SnapshotWorker::with_config(routing),
-                move |worker: &mut SnapshotWorker, k| {
-                    let t = SimTime::ZERO + step * k;
-                    // Pure replay of the schedule at `t` — workers never
-                    // see (or race on) the simulator's live fault state.
-                    let mask = faults.as_ref().map(|s| FaultState::at(s, t));
-                    let fwd =
-                        worker.forwarding_state_masked(&constellation, t, &dests, mask.as_ref());
-                    let mp = stretch
-                        .map(|s| compute_multipath_state_on(worker.buffers.graph(), t, &dests, s));
-                    (fwd, mp)
-                },
-            )
-        });
+        let fstate_prefetch = Self::spawn_prefetcher(&constellation, &config, &dests, 1);
 
         let trace = Trace::new(config.trace_limit);
         let fluid = (config.sim_mode != SimMode::Packet)
@@ -547,6 +526,9 @@ impl Simulator {
         self.fwd = fwd.clone();
         self.mp = mp.clone();
         self.coord_stats.forwarding_updates += 1;
+        // Bookkeeping only under the serial engine (the chain drives the
+        // schedule), but it keeps the cursor meaningful for checkpoints.
+        self.next_fwd_step = step + 1;
         let shard = &mut self.shards[0];
         shard.set_forwarding(fwd, mp);
         shard.queue.schedule_keyed(
@@ -566,6 +548,8 @@ impl Simulator {
         let event = &schedule.events()[index as usize];
         debug_assert_eq!(event.t, self.now, "fault event fired at the wrong time");
         self.shards[0].apply_fault(event);
+        // Cursor bookkeeping for checkpoints, as in the forwarding swap.
+        self.next_fault_index = index as usize + 1;
         if let Some(next) = schedule.events().get(index as usize + 1) {
             self.shards[0].queue.schedule_keyed(
                 next.t,
@@ -688,6 +672,42 @@ impl Simulator {
         (fwd, mp)
     }
 
+    /// Start the background forwarding-state pipeline at `start_step`
+    /// (`None` when prefetch is off or the network is frozen). `new` starts
+    /// it at step 1; a restore respawns it at the snapshot's cursor.
+    fn spawn_prefetcher(
+        constellation: &Arc<Constellation>,
+        config: &SimConfig,
+        dests: &[NodeId],
+        start_step: u64,
+    ) -> Option<Prefetcher<(ForwardingState, Option<MultipathState>)>> {
+        (config.fstate_threads > 0 && !config.freeze_at_epoch).then(|| {
+            let constellation = constellation.clone();
+            let dests = dests.to_vec();
+            let step = config.fstate_step;
+            let stretch = config.multipath_stretch;
+            let faults = config.faults.clone();
+            let routing = config.routing;
+            Prefetcher::spawn(
+                start_step,
+                config.fstate_threads,
+                config.fstate_prefetch,
+                move || SnapshotWorker::with_config(routing),
+                move |worker: &mut SnapshotWorker, k| {
+                    let t = SimTime::ZERO + step * k;
+                    // Pure replay of the schedule at `t` — workers never
+                    // see (or race on) the simulator's live fault state.
+                    let mask = faults.as_ref().map(|s| FaultState::at(s, t));
+                    let fwd =
+                        worker.forwarding_state_masked(&constellation, t, &dests, mask.as_ref());
+                    let mp = stretch
+                        .map(|s| compute_multipath_state_on(worker.buffers.graph(), t, &dests, s));
+                    (fwd, mp)
+                },
+            )
+        })
+    }
+
     /// Rebuild the merged `stats` / `trace` views from the coordinator and
     /// every shard. Cheap when tracing is off; with tracing on, the merge
     /// re-sorts into canonical `(time, key)` order, which is exactly the
@@ -724,6 +744,257 @@ impl Simulator {
             worst = worst.max(u);
         }
         worst
+    }
+
+    // ---- Crash resilience: checkpoint, restore, conservation audits ----
+
+    /// FNV-1a-64 over everything the snapshot layout depends on: topology
+    /// size, destination set, shard count, queue kind, mode, timing, rates,
+    /// loss model, trace bounds, fault-schedule length, and app count. A
+    /// snapshot restores only into a simulator with the same fingerprint,
+    /// so a resumed run cannot silently diverge because a knob changed.
+    pub fn config_fingerprint(&self) -> u64 {
+        fn mix(h: &mut u64, x: u64) {
+            for b in x.to_le_bytes() {
+                *h = (*h ^ b as u64).wrapping_mul(0x0000_0100_0000_01b3);
+            }
+        }
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        let c = &self.config;
+        mix(&mut h, self.constellation.num_nodes() as u64);
+        mix(&mut h, self.constellation.num_satellites() as u64);
+        mix(&mut h, self.dests.len() as u64);
+        for d in &self.dests {
+            mix(&mut h, d.0 as u64);
+        }
+        mix(&mut h, self.partition.shards() as u64);
+        for b in c.queue.name().bytes() {
+            mix(&mut h, b as u64);
+        }
+        for b in c.sim_mode.name().bytes() {
+            mix(&mut h, b as u64);
+        }
+        mix(&mut h, c.fstate_step.nanos());
+        mix(&mut h, c.freeze_at_epoch as u64);
+        mix(&mut h, c.effective_isl_rate().bps());
+        mix(&mut h, c.effective_gsl_rate().bps());
+        mix(&mut h, c.queue_packets as u64);
+        mix(&mut h, c.loss_seed);
+        mix(&mut h, c.gsl_loss_rate.to_bits());
+        mix(&mut h, c.trace_limit as u64);
+        mix(&mut h, c.trace_sample_every);
+        mix(&mut h, c.multipath_stretch.map_or(u64::MAX, f64::to_bits));
+        mix(&mut h, c.faults.as_ref().map_or(0, |s| s.events().len() as u64));
+        mix(&mut h, self.app_shard.len() as u64);
+        h
+    }
+
+    /// Serialize the full mutable state of the run into an in-memory
+    /// snapshot image (see [`crate::checkpoint`] for the container). Must
+    /// be taken at a barrier — between `run_until` calls — so there are no
+    /// undelivered cross-shard packets and no half-dispatched application.
+    pub fn checkpoint(&mut self) -> Result<Vec<u8>, CheckpointError> {
+        let mut w = SnapWriter::new(self.config_fingerprint());
+        self.save_into(&mut w)?;
+        Ok(w.finish())
+    }
+
+    /// [`Simulator::checkpoint`] straight to a file, written atomically
+    /// (temp file + rename) so a crash mid-write never leaves a truncated
+    /// snapshot in place of a good one.
+    pub fn checkpoint_to(&mut self, path: &Path) -> Result<(), CheckpointError> {
+        let mut w = SnapWriter::new(self.config_fingerprint());
+        self.save_into(&mut w)?;
+        w.write_file(path)
+    }
+
+    fn save_into(&mut self, w: &mut SnapWriter) -> Result<(), CheckpointError> {
+        if self.fluid_dirty {
+            return Err(CheckpointError::Unsupported(
+                "fluid flows installed but not yet started; checkpoint after run_until".into(),
+            ));
+        }
+        w.put_tag(b"SIMU");
+        w.put_time(self.now);
+        w.put_bool(self.started);
+        w.put_u64(self.next_fwd_step);
+        w.put_usize(self.next_fault_index);
+        w.put_u64(self.epochs);
+        w.put_u64(self.barriers);
+        w.put_opt_u64(self.min_lookahead_ns);
+        w.put_tag(b"CSTA");
+        self.coord_stats.save(w);
+        w.put_tag(b"CTRC");
+        self.coord_trace.save(w);
+        w.put_bool(self.fluid.is_some());
+        if let Some(f) = &self.fluid {
+            f.save(w);
+        }
+        for shard in &mut self.shards {
+            shard.save(w)?;
+        }
+        Ok(())
+    }
+
+    /// Restore a snapshot image taken by [`Simulator::checkpoint`].
+    ///
+    /// The caller rebuilds the simulator exactly as the checkpointed run
+    /// was built — same constellation, config, destinations, and the same
+    /// `add_app` / `add_fluid_flow` sequence — then restores. The snapshot
+    /// overwrites every piece of mutable state (queues, device contents,
+    /// application state, RNG streams, counters, cursors, fluid rates), and
+    /// the continuation is bit-identical to the uninterrupted run at any
+    /// shard count, queue kind, and mode. Structural mismatches are
+    /// reported as typed errors, never panics.
+    pub fn restore(&mut self, bytes: Vec<u8>) -> Result<(), CheckpointError> {
+        let mut r = SnapReader::from_bytes(bytes, self.config_fingerprint())?;
+        self.restore_body(&mut r)
+    }
+
+    /// [`Simulator::restore`] from a snapshot file.
+    pub fn restore_from(&mut self, path: &Path) -> Result<(), CheckpointError> {
+        let mut r = SnapReader::open(path, self.config_fingerprint())?;
+        self.restore_body(&mut r)
+    }
+
+    fn restore_body(&mut self, r: &mut SnapReader) -> Result<(), CheckpointError> {
+        r.expect_tag(b"SIMU")?;
+        let now = r.get_time()?;
+        self.started = r.get_bool()?;
+        self.next_fwd_step = r.get_u64()?;
+        self.next_fault_index = r.get_usize()?;
+        self.epochs = r.get_u64()?;
+        self.barriers = r.get_u64()?;
+        self.min_lookahead_ns = r.get_opt_u64()?;
+        r.expect_tag(b"CSTA")?;
+        self.coord_stats.restore(r)?;
+        r.expect_tag(b"CTRC")?;
+        self.coord_trace.restore(r)?;
+        let has_fluid = r.get_bool()?;
+        if has_fluid != self.fluid.is_some() {
+            return Err(CheckpointError::Malformed(format!(
+                "snapshot fluid presence ({has_fluid}) does not match the rebuilt simulator \
+                 ({})",
+                self.fluid.is_some()
+            )));
+        }
+        if let Some(f) = self.fluid.as_mut() {
+            f.restore(r)?;
+        }
+        self.fluid_dirty = false;
+        for shard in &mut self.shards {
+            shard.restore(r)?;
+        }
+        r.expect_end()?;
+
+        // Rebuild the live fault state by replaying the schedule up to the
+        // cursor — exactly the entries the checkpointed run had applied
+        // (t = 0 entries are folded into the initial state, as in `new`).
+        if let Some(schedule) = &self.config.faults {
+            let events = schedule.events();
+            let first_future =
+                events.iter().position(|e| e.t > SimTime::ZERO).unwrap_or(events.len());
+            if self.next_fault_index < first_future || self.next_fault_index > events.len() {
+                return Err(CheckpointError::Malformed(format!(
+                    "fault cursor {} outside [{first_future}, {}]",
+                    self.next_fault_index,
+                    events.len()
+                )));
+            }
+            let mut state = FaultState::at(schedule, SimTime::ZERO);
+            for ev in &events[first_future..self.next_fault_index] {
+                state.apply(ev);
+            }
+            for shard in &mut self.shards {
+                shard.fault_state = Some(state.clone());
+            }
+        }
+
+        // Recompute the forwarding state in force at the checkpoint: the
+        // last applied step is `next_fwd_step - 1`. Step 0 (and frozen
+        // networks) is what the fresh build already computed. Forwarding is
+        // a pure function of the schedule at `t`, so this is byte-identical
+        // to the state the checkpointed run was using.
+        if self.next_fwd_step > 1 && !self.config.freeze_at_epoch {
+            let t_fwd = SimTime::ZERO + self.config.fstate_step * (self.next_fwd_step - 1);
+            let (fwd, mp) = Self::compute_states(
+                &self.constellation,
+                &self.config,
+                &self.dests,
+                t_fwd,
+                &mut self.snapshot_buffers,
+                &mut self.router,
+            );
+            let fwd = Arc::new(fwd);
+            let mp = mp.map(Arc::new);
+            self.fwd = fwd.clone();
+            self.mp = mp.clone();
+            for shard in &mut self.shards {
+                shard.set_forwarding(fwd.clone(), mp.clone());
+            }
+        }
+
+        // The prefetch pipeline (if any) was computing steps from 1; drop
+        // it and respawn from the restored cursor so `take(step)` stays in
+        // lockstep with the event loop.
+        self.fstate_prefetch = None;
+        self.fstate_prefetch = Self::spawn_prefetcher(
+            &self.constellation,
+            &self.config,
+            &self.dests,
+            self.next_fwd_step,
+        );
+
+        self.now = now;
+        self.refresh_views();
+        Ok(())
+    }
+
+    /// Re-derive the engine's bookkeeping from first principles and report
+    /// every violated invariant (empty = all conserved). See
+    /// [`crate::audit`] for the invariants. Read-only; safe to call at any
+    /// barrier (between `run_until` calls).
+    pub fn audit(&mut self) -> Vec<AuditViolation> {
+        let mut out = Vec::new();
+        let t_ns = self.now.nanos();
+        let mut stats = self.coord_stats.clone();
+        for shard in &self.shards {
+            stats.merge(&shard.stats);
+        }
+        // In flight = scheduled arrivals (propagating) + packets queued or
+        // in serialization at a device + cross-shard packets awaiting a
+        // barrier exchange.
+        let mut in_flight: u64 = 0;
+        for shard in &mut self.shards {
+            in_flight += shard.in_flight_arrivals();
+            in_flight += shard.outbox.iter().map(|b| b.len() as u64).sum::<u64>();
+        }
+        for shard in &self.shards {
+            for node in &shard.nodes {
+                for device in &node.devices {
+                    in_flight += device.occupancy();
+                }
+            }
+        }
+        let dropped = stats.total_drops();
+        if stats.injected != stats.delivered + dropped + in_flight {
+            out.push(AuditViolation::PacketConservation {
+                t_ns,
+                injected: stats.injected,
+                delivered: stats.delivered,
+                dropped,
+                in_flight,
+            });
+        }
+        for shard in &self.shards {
+            shard.audit_devices(&mut out);
+        }
+        if let Some(f) = &self.fluid {
+            for (link, load_bps, capacity_bps) in f.overloaded_links(1e-6) {
+                out.push(AuditViolation::FluidOverCapacity { t_ns, link, load_bps, capacity_bps });
+            }
+        }
+        out
     }
 }
 
@@ -1336,5 +1607,192 @@ mod tests {
         sim.run_until(SimTime::from_secs(30));
         assert!(sim.stats.queue_drops > 0, "expected queue pressure");
         assert_eq!(sim.stats.injected, sim.stats.delivered + sim.stats.total_drops());
+    }
+
+    /// Shared fixture for the resilience tests: a faulted, lossy ping
+    /// workload (plus a fluid flow outside packet mode) that exercises the
+    /// fault cursor, forwarding swaps, loss RNGs, and the solver.
+    fn resilience_fixture(
+        c: &Arc<Constellation>,
+    ) -> (SimConfig, impl Fn(&SimConfig) -> (Simulator, u32) + '_) {
+        use hypatia_fault::{FaultSchedule, FaultSpec, OutageWindow};
+        let (src, dst) = (c.gs_node(0), c.gs_node(1));
+        let spec = FaultSpec {
+            sat_outages: vec![OutageWindow { target: 12, from_s: 0.5, until_s: 1.5 }],
+            ..FaultSpec::default()
+        };
+        let schedule = Arc::new(FaultSchedule::compile(&spec, c, SimDuration::from_secs(2)));
+        let base =
+            SimConfig::default().with_faults(schedule).with_gsl_loss(0.1).with_trace_limit(100_000);
+        let build = move |cfg: &SimConfig| {
+            let mut sim = Simulator::new(c.clone(), cfg.clone(), vec![src, dst]);
+            let app = sim.add_app(
+                src,
+                100,
+                Box::new(PingApp::new(dst, SimDuration::from_millis(10), SimTime::from_secs(2))),
+            );
+            if cfg.sim_mode != SimMode::Packet {
+                sim.add_fluid_flow(
+                    0,
+                    src,
+                    dst,
+                    DataRate::from_mbps(5),
+                    1440,
+                    SimTime::from_secs(2),
+                );
+            }
+            (sim, app)
+        };
+        (base, build)
+    }
+
+    fn observe(sim: &Simulator, app: u32) -> (Vec<(SimTime, SimDuration)>, SimStats, usize) {
+        let ping: &PingApp = sim.app_as(app).unwrap();
+        (ping.rtts().to_vec(), sim.stats.clone(), sim.trace.entries().len())
+    }
+
+    /// The checkpoint/restore contract: restore into a freshly rebuilt
+    /// simulator and the continuation is bit-identical to never having
+    /// stopped — at every shard count × queue kind × mode, through fault
+    /// events and forwarding swaps on both sides of the snapshot.
+    #[test]
+    fn checkpoint_resume_is_bit_identical() {
+        use crate::event::QueueKind;
+        let c = constellation();
+        let (base, build) = resilience_fixture(&c);
+        for mode in [SimMode::Packet, SimMode::Hybrid] {
+            for shards in [1, 4] {
+                for queue in [QueueKind::Heap, QueueKind::Calendar] {
+                    let cfg =
+                        base.clone().with_sim_mode(mode).with_sim_shards(shards).with_queue(queue);
+                    let (mut whole, app_w) = build(&cfg);
+                    whole.run_until(SimTime::from_secs(2));
+                    let want = observe(&whole, app_w);
+                    assert!(want.1.delivered > 0, "workload delivered nothing");
+
+                    let (mut first, _) = build(&cfg);
+                    first.run_until(SimTime::from_millis(900));
+                    let image = first.checkpoint().expect("checkpoint");
+                    drop(first);
+
+                    let (mut resumed, app_r) = build(&cfg);
+                    resumed.restore(image).expect("restore");
+                    assert_eq!(resumed.now(), SimTime::from_millis(900));
+                    resumed.run_until(SimTime::from_secs(2));
+                    let got = observe(&resumed, app_r);
+                    assert_eq!(
+                        want,
+                        got,
+                        "resume diverged: mode={} shards={shards} queue={}",
+                        mode.name(),
+                        queue.name()
+                    );
+                }
+            }
+        }
+    }
+
+    /// A restore must also re-seat the background forwarding pipeline at
+    /// the snapshot's step cursor, not step 1.
+    #[test]
+    fn checkpoint_resume_respawns_the_prefetcher() {
+        let c = constellation();
+        let (base, build) = resilience_fixture(&c);
+        let cfg = base.with_fstate_prefetch(2, 4);
+        let (mut whole, app_w) = build(&cfg);
+        whole.run_until(SimTime::from_secs(2));
+        let want = observe(&whole, app_w);
+
+        let (mut first, _) = build(&cfg);
+        first.run_until(SimTime::from_millis(900));
+        let image = first.checkpoint().expect("checkpoint");
+
+        let (mut resumed, app_r) = build(&cfg);
+        resumed.restore(image).expect("restore");
+        resumed.run_until(SimTime::from_secs(2));
+        assert_eq!(want, observe(&resumed, app_r));
+    }
+
+    /// Round trip through a file, including the atomic write path.
+    #[test]
+    fn checkpoint_file_round_trip() {
+        let c = constellation();
+        let (base, build) = resilience_fixture(&c);
+        let dir = std::env::temp_dir().join("hypatia_snap_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("t900.snap");
+        let (mut first, _) = build(&base);
+        first.run_until(SimTime::from_millis(900));
+        first.checkpoint_to(&path).expect("checkpoint_to");
+        let image = first.checkpoint().expect("in-memory image");
+
+        let (mut resumed, _) = build(&base);
+        resumed.restore_from(&path).expect("restore_from");
+        // The file and in-memory continuations start from identical state:
+        // re-checkpointing both immediately yields the same bytes.
+        let (mut mem, _) = build(&base);
+        mem.restore(image).expect("restore");
+        assert_eq!(resumed.checkpoint().unwrap(), mem.checkpoint().unwrap());
+        std::fs::remove_file(&path).ok();
+    }
+
+    /// Snapshots refuse to restore into a differently-configured
+    /// simulator: the fingerprint check reports a typed mismatch instead
+    /// of silently diverging.
+    #[test]
+    fn restore_rejects_mismatched_config() {
+        let c = constellation();
+        let (base, build) = resilience_fixture(&c);
+        let (mut first, _) = build(&base);
+        first.run_until(SimTime::from_millis(500));
+        let image = first.checkpoint().unwrap();
+        let (mut other, _) = build(&base.clone().with_sim_shards(4));
+        match other.restore(image) {
+            Err(CheckpointError::ConfigMismatch { .. }) => {}
+            other => panic!("expected ConfigMismatch, got {other:?}"),
+        }
+    }
+
+    /// Checkpointing is refused while installed fluid flows have not been
+    /// started yet — the boundary schedule only exists after `run_until`.
+    #[test]
+    fn checkpoint_rejects_unflushed_fluid_installs() {
+        let c = constellation();
+        let (base, build) = resilience_fixture(&c);
+        let (mut sim, _) = build(&base.with_sim_mode(SimMode::Hybrid));
+        match sim.checkpoint() {
+            Err(CheckpointError::Unsupported(_)) => {}
+            other => panic!("expected Unsupported, got {other:?}"),
+        }
+    }
+
+    /// Audit mode re-derives conservation from first principles: a healthy
+    /// run (live or resumed, any engine/mode) reports zero violations at
+    /// every barrier, including mid-flight ones with packets in queues.
+    #[test]
+    fn audit_is_clean_on_live_and_resumed_runs() {
+        let c = constellation();
+        let (base, build) = resilience_fixture(&c);
+        for mode in [SimMode::Packet, SimMode::Hybrid] {
+            for shards in [1, 4] {
+                let cfg = base.clone().with_sim_mode(mode).with_sim_shards(shards);
+                let (mut sim, _) = build(&cfg);
+                for ms in [300, 900, 2000] {
+                    sim.run_until(SimTime::from_millis(ms));
+                    let violations = sim.audit();
+                    assert!(
+                        violations.is_empty(),
+                        "mode={} shards={shards} t={ms}ms: {violations:?}",
+                        mode.name()
+                    );
+                }
+                // The audit pass itself is non-destructive: the run
+                // continues bit-identically after it.
+                let audited = observe(&sim, 0);
+                let (mut clean, _) = build(&cfg);
+                clean.run_until(SimTime::from_secs(2));
+                assert_eq!(audited, observe(&clean, 0));
+            }
+        }
     }
 }

@@ -6,6 +6,7 @@
 //! animation, or to debug a forwarding anomaly) without unbounded memory
 //! growth on long runs.
 
+use crate::checkpoint::{CheckpointError, SnapReader, SnapWriter};
 use hypatia_constellation::NodeId;
 use hypatia_util::SimTime;
 
@@ -204,6 +205,88 @@ impl Trace {
     pub fn journey(&self, packet_id: u64) -> Vec<TraceEntry> {
         self.entries.iter().filter(|e| e.packet_id == packet_id).copied().collect()
     }
+
+    /// Serialize the full trace state (entries, keys, counters, and the
+    /// configured limits — stored so restore can cross-check the rebuilt
+    /// configuration).
+    pub fn save(&self, w: &mut SnapWriter) {
+        w.put_usize(self.limit);
+        w.put_u64(self.sample_every);
+        w.put_u64(self.current_key);
+        w.put_u64(self.truncated);
+        w.put_u64(self.sampled_out);
+        w.put_usize(self.entries.len());
+        for (e, &key) in self.entries.iter().zip(self.keys.iter()) {
+            w.put_time(e.t);
+            w.put_u32(e.node.0);
+            w.put_u64(e.packet_id);
+            w.put_u8(kind_tag(e.kind));
+            w.put_u64(key);
+        }
+    }
+
+    /// Restore the state captured by [`Trace::save`]. Fails if the saved
+    /// limits disagree with this trace's configuration (the snapshot came
+    /// from a differently configured run).
+    pub fn restore(&mut self, r: &mut SnapReader) -> Result<(), CheckpointError> {
+        let limit = r.get_usize()?;
+        let sample_every = r.get_u64()?;
+        if limit != self.limit || sample_every != self.sample_every {
+            return Err(CheckpointError::Malformed(format!(
+                "trace config mismatch: snapshot limit={limit}/sample={sample_every}, \
+                 rebuilt limit={}/sample={}",
+                self.limit, self.sample_every
+            )));
+        }
+        self.current_key = r.get_u64()?;
+        self.truncated = r.get_u64()?;
+        self.sampled_out = r.get_u64()?;
+        let n = r.get_usize()?;
+        if n > limit {
+            return Err(CheckpointError::Malformed(format!(
+                "trace holds {n} entries over its limit {limit}"
+            )));
+        }
+        self.entries.clear();
+        self.keys.clear();
+        for _ in 0..n {
+            let t = r.get_time()?;
+            let node = NodeId(r.get_u32()?);
+            let packet_id = r.get_u64()?;
+            let kind = kind_from_tag(r.get_u8()?)?;
+            self.entries.push(TraceEntry { t, node, packet_id, kind });
+            self.keys.push(r.get_u64()?);
+        }
+        Ok(())
+    }
+}
+
+/// Stable on-disk tag for a [`TraceKind`].
+fn kind_tag(kind: TraceKind) -> u8 {
+    match kind {
+        TraceKind::Inject => 0,
+        TraceKind::Arrive => 1,
+        TraceKind::Deliver => 2,
+        TraceKind::RoutingDrop => 3,
+        TraceKind::QueueDrop => 4,
+        TraceKind::ChannelDrop => 5,
+        TraceKind::FaultDrop => 6,
+        TraceKind::FluidResolve => 7,
+    }
+}
+
+fn kind_from_tag(tag: u8) -> Result<TraceKind, CheckpointError> {
+    Ok(match tag {
+        0 => TraceKind::Inject,
+        1 => TraceKind::Arrive,
+        2 => TraceKind::Deliver,
+        3 => TraceKind::RoutingDrop,
+        4 => TraceKind::QueueDrop,
+        5 => TraceKind::ChannelDrop,
+        6 => TraceKind::FaultDrop,
+        7 => TraceKind::FluidResolve,
+        t => return Err(CheckpointError::Malformed(format!("bad trace kind tag {t}"))),
+    })
 }
 
 #[cfg(test)]
@@ -336,6 +419,36 @@ mod tests {
         let merged = Trace::merged(&[&a, &b], 10);
         assert_eq!(merged.entries().len(), 1);
         assert_eq!(merged.sampled_out(), 2);
+    }
+
+    #[test]
+    fn save_restore_round_trips_entries_keys_and_counters() {
+        use crate::checkpoint::{SnapReader, SnapWriter};
+        let mut tr = Trace::with_sampling(2, 2);
+        tr.set_key(11);
+        tr.record_flow(SimTime::from_nanos(1), NodeId(3), 1, 4, TraceKind::Inject);
+        tr.record_flow(SimTime::from_nanos(2), NodeId(4), 2, 3, TraceKind::Inject); // sampled out
+        tr.set_key(13);
+        tr.record(SimTime::from_nanos(3), NodeId(5), 1, TraceKind::Deliver);
+        tr.record(SimTime::from_nanos(4), NodeId(6), 1, TraceKind::Arrive); // truncated
+        let mut w = SnapWriter::new(1);
+        tr.save(&mut w);
+        let mut back = Trace::with_sampling(2, 2);
+        let mut r = SnapReader::from_bytes(w.finish(), 1).unwrap();
+        back.restore(&mut r).unwrap();
+        r.expect_end().unwrap();
+        assert_eq!(back.entries(), tr.entries());
+        assert_eq!(back.keys, tr.keys);
+        assert_eq!(back.truncated(), 1);
+        assert_eq!(back.sampled_out(), 1);
+        assert_eq!(back.current_key, 13);
+
+        // A differently configured trace rejects the snapshot.
+        let mut w = SnapWriter::new(1);
+        tr.save(&mut w);
+        let mut wrong = Trace::with_sampling(5, 2);
+        let mut r = SnapReader::from_bytes(w.finish(), 1).unwrap();
+        assert!(wrong.restore(&mut r).is_err());
     }
 
     #[test]

@@ -25,7 +25,8 @@ use crate::tcp::config::TcpConfig;
 use crate::tcp::sender::TcpSender;
 use crate::tcp::sink::TcpSink;
 use hypatia_constellation::NodeId;
-use hypatia_netsim::app::{AppCtx, Application};
+use hypatia_netsim::app::{AppCtx, Application, SaveResult};
+use hypatia_netsim::checkpoint::{CheckpointError, SnapReader, SnapWriter};
 use hypatia_netsim::packet::Packet;
 
 /// Sorted `(port, index)` demux table shared by both wrappers.
@@ -138,6 +139,30 @@ impl Application for BulkTcpSender {
     fn as_any_mut(&mut self) -> &mut dyn std::any::Any {
         self
     }
+
+    fn save_state(&self, w: &mut SnapWriter) -> SaveResult {
+        // The port demux table is rebuilt by the push() sequence at
+        // construction time; only the per-flow protocol state travels.
+        w.put_usize(self.flows.len());
+        for flow in &self.flows {
+            flow.save_to(w);
+        }
+        Ok(())
+    }
+
+    fn restore_state(&mut self, r: &mut SnapReader) -> SaveResult {
+        let n = r.get_usize()?;
+        if n != self.flows.len() {
+            return Err(CheckpointError::Malformed(format!(
+                "bulk sender table has {} flows, snapshot has {n}",
+                self.flows.len()
+            )));
+        }
+        for flow in &mut self.flows {
+            flow.restore_from(r)?;
+        }
+        Ok(())
+    }
 }
 
 /// Many [`TcpSink`]s in one application slot, demuxed by the port each
@@ -224,6 +249,28 @@ impl Application for BulkTcpSink {
     }
     fn as_any_mut(&mut self) -> &mut dyn std::any::Any {
         self
+    }
+
+    fn save_state(&self, w: &mut SnapWriter) -> SaveResult {
+        w.put_usize(self.flows.len());
+        for flow in &self.flows {
+            flow.save_to(w);
+        }
+        Ok(())
+    }
+
+    fn restore_state(&mut self, r: &mut SnapReader) -> SaveResult {
+        let n = r.get_usize()?;
+        if n != self.flows.len() {
+            return Err(CheckpointError::Malformed(format!(
+                "bulk sink table has {} flows, snapshot has {n}",
+                self.flows.len()
+            )));
+        }
+        for flow in &mut self.flows {
+            flow.restore_from(r)?;
+        }
+        Ok(())
     }
 }
 

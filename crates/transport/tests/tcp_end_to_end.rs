@@ -170,6 +170,103 @@ fn delayed_ack_disabled_still_works() {
 }
 
 #[test]
+fn tcp_flow_resumes_bit_identically_from_a_checkpoint() {
+    // The full transport state machine — window, recovery, RTT estimator,
+    // CC internals, reassembly buffer, delayed-ACK timers — must travel
+    // through a snapshot: a run checkpointed mid-flow and resumed in a
+    // fresh process image must finish byte-identically to one that never
+    // stopped. Dynamic orbital forwarding plus GSL channel loss makes
+    // this exercise the RNG and forwarding cursors too.
+    let build = || {
+        let c = constellation();
+        let (src, dst) = (c.gs_node(0), c.gs_node(1));
+        let cfg = SimConfig::default().with_link_rate(DataRate::from_mbps(10)).with_gsl_loss(0.02);
+        let mut sim = Simulator::new(c, cfg, vec![src, dst]);
+        let tcp_cfg = TcpConfig::default();
+        let sink_idx = sim.add_app(dst, 80, Box::new(TcpSink::new(tcp_cfg.clone())));
+        let sender_idx = sim.add_app(
+            src,
+            70,
+            Box::new(TcpSender::new(dst, 80, tcp_cfg, Box::new(NewReno::new()))),
+        );
+        (sim, sink_idx, sender_idx)
+    };
+
+    let (mut clean, clean_sink, clean_sender) = build();
+    clean.run_until(SimTime::from_secs(10));
+
+    let (mut first, ..) = build();
+    first.run_until(SimTime::from_secs(4));
+    let image = first.checkpoint().expect("checkpoint");
+    drop(first);
+
+    let (mut resumed, res_sink, res_sender) = build();
+    resumed.restore(image).expect("restore");
+    assert_eq!(resumed.now(), SimTime::from_secs(4));
+    resumed.run_until(SimTime::from_secs(10));
+
+    let a: &TcpSink = clean.app_as(clean_sink).unwrap();
+    let b: &TcpSink = resumed.app_as(res_sink).unwrap();
+    assert!(a.bytes_received() > 500_000, "flow barely moved: {}", a.bytes_received());
+    assert_eq!(a.bytes_received(), b.bytes_received());
+    assert_eq!(a.goodput_bins_100ms(), b.goodput_bins_100ms());
+    let sa: &TcpSender = clean.app_as(clean_sender).unwrap();
+    let sb: &TcpSender = resumed.app_as(res_sender).unwrap();
+    assert_eq!(sa.acked_bytes(), sb.acked_bytes());
+    assert_eq!(sa.log.cwnd, sb.log.cwnd);
+    assert_eq!(sa.log.rtt_samples, sb.log.rtt_samples);
+    assert_eq!(sa.log.retransmits, sb.log.retransmits);
+    assert_eq!(sa.log.timeouts, sb.log.timeouts);
+    // Strongest form: the final serialized state is identical bit for bit.
+    assert_eq!(clean.checkpoint().unwrap(), resumed.checkpoint().unwrap());
+}
+
+#[test]
+fn bulk_tcp_tables_resume_bit_identically() {
+    // Arena flow tables demux many protocol endpoints through one app
+    // slot; their save path must round-trip each flow in table order.
+    use hypatia_transport::{BulkTcpSender, BulkTcpSink};
+    let build = || {
+        let c = constellation();
+        let (src, dst) = (c.gs_node(0), c.gs_node(1));
+        let cfg = SimConfig::default().with_link_rate(DataRate::from_mbps(10));
+        let mut sim = Simulator::new(c, cfg, vec![src, dst]);
+        let tcp_cfg = TcpConfig::default();
+        let mut senders = BulkTcpSender::new();
+        let mut sinks = BulkTcpSink::new();
+        for i in 0..4u16 {
+            sinks.push(80 + i, tcp_cfg.clone());
+            senders.push(70 + i, dst, 80 + i, tcp_cfg.clone(), Box::new(NewReno::new()));
+        }
+        let sink_ports = sinks.ports();
+        let sender_ports = senders.ports();
+        let sink_idx = sim.add_app_multi(dst, &sink_ports, Box::new(sinks));
+        sim.add_app_multi(src, &sender_ports, Box::new(senders));
+        (sim, sink_idx)
+    };
+
+    let (mut clean, clean_sinks) = build();
+    clean.run_until(SimTime::from_secs(8));
+
+    let (mut first, _) = build();
+    first.run_until(SimTime::from_secs(3));
+    let image = first.checkpoint().expect("checkpoint");
+    drop(first);
+
+    let (mut resumed, res_sinks) = build();
+    resumed.restore(image).expect("restore");
+    resumed.run_until(SimTime::from_secs(8));
+
+    let a: &hypatia_transport::BulkTcpSink = clean.app_as(clean_sinks).unwrap();
+    let b: &hypatia_transport::BulkTcpSink = resumed.app_as(res_sinks).unwrap();
+    for i in 0..4 {
+        assert!(a.flow(i).bytes_received() > 0, "flow {i} never started");
+        assert_eq!(a.flow(i).bytes_received(), b.flow(i).bytes_received(), "flow {i}");
+    }
+    assert_eq!(clean.checkpoint().unwrap(), resumed.checkpoint().unwrap());
+}
+
+#[test]
 fn per_packet_rtts_are_physically_plausible() {
     let c = constellation();
     let (src, dst) = (c.gs_node(0), c.gs_node(1));

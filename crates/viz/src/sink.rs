@@ -9,7 +9,12 @@
 //! `manifest.json` that states exactly what it produced. Byte checksums
 //! make regression tests one-line: two runs match iff their manifests do.
 
+// The sink is a crash-resilience surface: a panic while writing artifacts
+// loses the run. Errors must flow out as typed values, never unwraps.
+#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
+
 use crate::{csv, czml};
+use hypatia_netsim::audit::AuditViolation;
 use hypatia_netsim::trace::Trace;
 use hypatia_netsim::EngineReport;
 use serde_json::{json, Value};
@@ -48,6 +53,16 @@ pub struct ArtifactSink {
     sim_wall_s: f64,
     /// Engine telemetry (present once any simulation reported it).
     engine: Option<EngineAggregate>,
+    /// `Some((status, error))` once the supervisor marks the run aborted.
+    status: Option<(String, String)>,
+    /// Snapshot writes recorded via [`ArtifactSink::record_checkpoints`].
+    checkpoint_count: u64,
+    /// Freshest snapshot path (relative to `out_dir` when inside it).
+    last_checkpoint: Option<String>,
+    /// Conservation audits recorded via [`ArtifactSink::record_audit`].
+    audit_checks: u64,
+    /// Violations those audits found, pre-serialized.
+    audit_violations: Vec<Value>,
     /// Echo `wrote <path>` lines to stdout (the bench binaries' historic
     /// behaviour); disable for tests.
     pub verbose: bool,
@@ -63,6 +78,11 @@ impl ArtifactSink {
             sim_events: 0,
             sim_wall_s: 0.0,
             engine: None,
+            status: None,
+            checkpoint_count: 0,
+            last_checkpoint: None,
+            audit_checks: 0,
+            audit_violations: Vec::new(),
             verbose: true,
         }
     }
@@ -94,6 +114,39 @@ impl ArtifactSink {
             (Some(a), Some(b)) => Some(a.min(b)),
             (a, b) => a.or(b),
         };
+    }
+
+    /// Mark the run aborted with a one-line reason; the manifest gains
+    /// `"status": "aborted"` and an `error` line.
+    pub fn set_aborted(&mut self, error: &str) {
+        self.status = Some(("aborted".to_string(), error.to_string()));
+    }
+
+    /// Account `count` more snapshot writes, freshest at `path`; the
+    /// manifest gains a `checkpoints` section once any were recorded.
+    pub fn record_checkpoints(&mut self, count: u64, path: &Path) {
+        self.checkpoint_count += count;
+        self.set_last_checkpoint(path);
+    }
+
+    /// Point the manifest at the freshest on-disk snapshot (shown relative
+    /// to the output directory when inside it).
+    pub fn set_last_checkpoint(&mut self, path: &Path) {
+        let shown = path.strip_prefix(&self.out_dir).unwrap_or(path);
+        self.last_checkpoint = Some(shown.to_string_lossy().into_owned());
+    }
+
+    /// Account `checks` conservation audits and any violations they found;
+    /// the manifest gains an `audit` section once any audit ran.
+    pub fn record_audit(&mut self, checks: u64, violations: &[AuditViolation]) {
+        self.audit_checks += checks;
+        for v in violations {
+            self.audit_violations.push(json!({
+                "kind": v.kind(),
+                "t_ns": v.t_ns(),
+                "detail": v.to_string(),
+            }));
+        }
     }
 
     /// The output directory.
@@ -135,8 +188,8 @@ impl ArtifactSink {
 
     /// Write a JSON document, pretty-printed.
     pub fn write_json(&mut self, name: &str, value: &Value) -> io::Result<()> {
-        let text =
-            serde_json::to_string_pretty(value).expect("JSON value serialization cannot fail");
+        let text = serde_json::to_string_pretty(value)
+            .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))?;
         self.write_bytes(name, text.as_bytes())
     }
 
@@ -231,17 +284,32 @@ impl ArtifactSink {
                     "epochs": e.epochs,
                     "barriers": e.barriers,
                 });
-                if let Some(ns) = e.min_lookahead_ns {
-                    engine
-                        .as_object_mut()
-                        .expect("engine is an object")
-                        .insert("min_lookahead_ns".to_string(), Value::from(ns));
+                if let (Some(ns), Some(obj)) = (e.min_lookahead_ns, engine.as_object_mut()) {
+                    obj.insert("min_lookahead_ns".to_string(), Value::from(ns));
                 }
-                perf.as_object_mut()
-                    .expect("perf is an object")
-                    .insert("engine".to_string(), engine);
+                if let Some(obj) = perf.as_object_mut() {
+                    obj.insert("engine".to_string(), engine);
+                }
             }
-            doc.as_object_mut().expect("manifest is an object").insert("perf".to_string(), perf);
+            insert(&mut doc, "perf", perf);
+        }
+        if self.checkpoint_count > 0 || self.last_checkpoint.is_some() {
+            let mut ck = json!({ "count": self.checkpoint_count });
+            if let (Some(last), Some(obj)) = (&self.last_checkpoint, ck.as_object_mut()) {
+                obj.insert("last".to_string(), Value::from(last.clone()));
+            }
+            insert(&mut doc, "checkpoints", ck);
+        }
+        if self.audit_checks > 0 {
+            let audit = json!({
+                "checks": self.audit_checks,
+                "violations": Value::from(self.audit_violations.clone()),
+            });
+            insert(&mut doc, "audit", audit);
+        }
+        if let Some((status, error)) = &self.status {
+            insert(&mut doc, "status", Value::from(status.clone()));
+            insert(&mut doc, "error", Value::from(error.clone()));
         }
         doc
     }
@@ -250,8 +318,8 @@ impl ArtifactSink {
     /// Returns the manifest path.
     pub fn write_manifest(&mut self, experiment: &str) -> io::Result<PathBuf> {
         let doc = self.manifest(experiment);
-        let text =
-            serde_json::to_string_pretty(&doc).expect("JSON value serialization cannot fail");
+        let text = serde_json::to_string_pretty(&doc)
+            .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))?;
         std::fs::create_dir_all(&self.out_dir)?;
         let path = self.out_dir.join("manifest.json");
         std::fs::write(&path, text)?;
@@ -259,6 +327,14 @@ impl ArtifactSink {
             println!("  wrote {}", path.display());
         }
         Ok(path)
+    }
+}
+
+/// Insert a key into a JSON object value (no-op on non-objects; every
+/// caller passes the manifest document, which is one).
+fn insert(doc: &mut Value, key: &str, value: Value) {
+    if let Some(obj) = doc.as_object_mut() {
+        obj.insert(key.to_string(), value);
     }
 }
 
@@ -405,6 +481,50 @@ mod tests {
         sink.write_trace("trace.txt", &tr).unwrap();
         assert_eq!(sink.warnings().len(), 1);
         assert!(sink.warnings()[0].contains("sampled"), "{}", sink.warnings()[0]);
+        std::fs::remove_dir_all(sink.out_dir()).ok();
+    }
+
+    #[test]
+    fn resilience_sections_appear_only_when_recorded() {
+        let mut sink = temp_sink("resilience");
+        sink.write_text("a.txt", "x").unwrap();
+        let doc = sink.manifest("e");
+        assert!(doc.get("checkpoints").is_none(), "no checkpoints section by default");
+        assert!(doc.get("audit").is_none(), "no audit section by default");
+        assert!(doc.get("status").is_none(), "no status on a healthy run");
+
+        let snap = sink.out_dir().join("checkpoints").join("tcp_10mbps.snap");
+        sink.record_checkpoints(3, &snap);
+        let violation = AuditViolation::QueueOverCapacity {
+            t_ns: 42,
+            node: 1,
+            device: 2,
+            queue_len: 101,
+            capacity: 100,
+        };
+        sink.record_audit(5, std::slice::from_ref(&violation));
+        sink.record_audit(2, &[]);
+        sink.set_aborted("deadline exceeded: 9.0 s elapsed, limit 5.0 s");
+
+        let doc = sink.manifest("e");
+        let ck = doc.get("checkpoints").expect("checkpoints section");
+        assert_eq!(ck.get("count").and_then(Value::as_u64), Some(3));
+        assert_eq!(
+            ck.get("last").and_then(Value::as_str),
+            Some("checkpoints/tcp_10mbps.snap"),
+            "snapshot path is relative to the output directory"
+        );
+        let audit = doc.get("audit").expect("audit section");
+        assert_eq!(audit.get("checks").and_then(Value::as_u64), Some(7));
+        let violations = audit.get("violations").and_then(Value::as_array).expect("array");
+        assert_eq!(violations.len(), 1);
+        assert_eq!(violations[0].get("kind").and_then(Value::as_str), Some("queue_over_capacity"));
+        assert_eq!(violations[0].get("t_ns").and_then(Value::as_u64), Some(42));
+        assert_eq!(doc.get("status").and_then(Value::as_str), Some("aborted"));
+        assert!(
+            doc.get("error").and_then(Value::as_str).unwrap_or("").contains("deadline"),
+            "{doc:?}"
+        );
         std::fs::remove_dir_all(sink.out_dir()).ok();
     }
 

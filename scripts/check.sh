@@ -131,4 +131,64 @@ for metric, tol, relative in (("goodput", 0.05, True), ("jain", 0.05, False)):
 print("hybrid-vs-packet tolerance gate passed")
 PY
 
+echo "== crash resilience: audit smoke + kill -9 mid-flight + resume"
+cargo build --release -q -p hypatia-bench --bin run_experiment
+resilience_args=(fig02_scalability --set cities=10 --set duration_s=4
+  --set line_rates_mbps=10 --set slowdown=false --set audit=true
+  --set checkpoint_every_s=0.5)
+# Reference leg: uninterrupted, checkpointing and auditing all the way.
+target/release/run_experiment "${resilience_args[@]}" \
+  --out "$smoke_dir/resilience_ref" > /dev/null
+! grep -q '"status"' "$smoke_dir/resilience_ref/manifest.json"
+grep -q '"checkpoints"' "$smoke_dir/resilience_ref/manifest.json"
+grep -q '"violations": \[\]' "$smoke_dir/resilience_ref/manifest.json"
+
+# Victim leg: SIGKILL as soon as the first snapshot lands on disk.
+target/release/run_experiment "${resilience_args[@]}" \
+  --out "$smoke_dir/resilience_kill" > /dev/null 2>&1 &
+victim=$!
+for _ in $(seq 1 600); do
+  if ls "$smoke_dir/resilience_kill/checkpoints/"*.snap > /dev/null 2>&1; then
+    break
+  fi
+  sleep 0.1
+done
+kill -9 "$victim" 2> /dev/null || true
+wait "$victim" 2> /dev/null || true
+ls "$smoke_dir/resilience_kill/checkpoints/"*.snap > /dev/null
+
+# Resume leg: restore the victim's snapshots, replay the tail.
+target/release/run_experiment "${resilience_args[@]}" \
+  --out "$smoke_dir/resilience_resumed" \
+  --resume "$smoke_dir/resilience_kill/checkpoints" > /dev/null
+# Byte-identity gate: the resumed run must reproduce the uninterrupted
+# run's artifacts exactly. Only wall-clock perf, the snapshot count
+# (the resumed leg writes fewer), and the audit count (audits restart at
+# the restore point) may differ.
+strip_resilience() {
+  python3 - "$1" <<'PY'
+import json, sys
+doc = json.load(open(sys.argv[1]))
+doc.pop("perf", None)
+doc.pop("checkpoints", None)
+doc.pop("audit", None)
+print(json.dumps(doc, indent=2, sort_keys=True))
+PY
+}
+diff <(strip_resilience "$smoke_dir/resilience_ref/manifest.json") \
+     <(strip_resilience "$smoke_dir/resilience_resumed/manifest.json")
+grep -q '"violations": \[\]' "$smoke_dir/resilience_resumed/manifest.json"
+
+echo "== supervised abort smoke (deadline -> exit 8, salvaged manifest)"
+set +e
+target/release/run_experiment fig02_scalability --out "$smoke_dir/deadline" \
+  --set cities=10 --set duration_s=60 --set line_rates_mbps=10 \
+  --set slowdown=false --set checkpoint_every_s=0.2 --set deadline_s=0.5 \
+  > /dev/null 2>&1
+deadline_code=$?
+set -e
+test "$deadline_code" -eq 8
+grep -q '"status": "aborted"' "$smoke_dir/deadline/manifest.json"
+grep -q '"last"' "$smoke_dir/deadline/manifest.json"
+
 echo "All checks passed."
